@@ -1,0 +1,174 @@
+//! Load generators: wrk-sim (HTTP) and redis-bench-sim (pipelined GETs).
+//!
+//! Like the paper's setup, clients run natively (uninterposed) on the same
+//! machine as the servers and talk over loopback (§6.2.2).
+//!
+//! Binary configs:
+//!
+//! * `/etc/wrk-sim.conf`: `[reqs_lo, reqs_hi, work, resp64, port_lo, port_hi]`
+//!   (`resp64` = expected response bytes / 64)
+//! * `/etc/redis-bench-sim.conf`: `[batches_lo, batches_hi, work, batch]`
+
+use sim_isa::Reg;
+use sim_loader::{ImageBuilder, SimElf, LIBC_PATH};
+
+/// Builds wrk-sim.
+pub fn build_wrk() -> SimElf {
+    let mut b = ImageBuilder::new("/usr/bin/wrk-sim");
+    b.entry("main");
+    b.needs(LIBC_PATH);
+    b.asm.label("main");
+    // config
+    b.asm.mov_imm(Reg::Rdi, (-100i64) as u64);
+    b.asm.lea_label(Reg::Rsi, "cfg_path");
+    b.asm.mov_imm(Reg::Rdx, 0);
+    b.call_import("openat");
+    b.asm.mov_reg(Reg::R12, Reg::Rax);
+    b.asm.mov_reg(Reg::Rdi, Reg::R12);
+    b.asm.lea_label(Reg::Rsi, "cfg");
+    b.asm.mov_imm(Reg::Rdx, 16);
+    b.call_import("read");
+    b.asm.mov_reg(Reg::Rdi, Reg::R12);
+    b.call_import("close");
+    // connect
+    b.call_import("socket");
+    b.asm.mov_reg(Reg::R12, Reg::Rax);
+    b.asm.lea_label(Reg::R11, "cfg");
+    b.asm.load_byte(Reg::Rsi, Reg::R11, 4);
+    b.asm.load_byte(Reg::Rcx, Reg::R11, 5);
+    b.asm.shl_imm(Reg::Rcx, 8);
+    b.asm.add_reg(Reg::Rsi, Reg::Rcx);
+    b.asm.mov_reg(Reg::Rdi, Reg::R12);
+    b.call_import("connect");
+    // request count (u16)
+    b.asm.lea_label(Reg::R11, "cfg");
+    b.asm.load_byte(Reg::R13, Reg::R11, 0);
+    b.asm.load_byte(Reg::Rcx, Reg::R11, 1);
+    b.asm.shl_imm(Reg::Rcx, 8);
+    b.asm.add_reg(Reg::R13, Reg::Rcx);
+
+    b.asm.label("req_loop");
+    b.asm.mov_reg(Reg::Rdi, Reg::R12);
+    b.asm.lea_label(Reg::Rsi, "reqbuf");
+    b.asm.mov_imm(Reg::Rdx, 64);
+    b.call_import("write");
+    // read until the whole response (cfg[3] * 64 bytes) has arrived
+    b.asm.lea_label(Reg::R11, "cfg");
+    b.asm.load_byte(Reg::Rbx, Reg::R11, 3);
+    b.asm.shl_imm(Reg::Rbx, 6);
+    b.asm.label("recv_loop");
+    b.asm.mov_reg(Reg::Rdi, Reg::R12);
+    b.asm.lea_label(Reg::Rsi, "respbuf");
+    b.asm.mov_imm(Reg::Rdx, 8192);
+    b.call_import("read");
+    b.asm.cmp_imm(Reg::Rax, 0);
+    b.asm.jz("conn_dead");
+    b.asm.sub_reg(Reg::Rbx, Reg::Rax);
+    b.asm.cmp_imm(Reg::Rbx, 0);
+    b.asm.jcc(sim_isa::Cond::G, "recv_loop");
+    // response-handling work
+    b.asm.lea_label(Reg::R11, "cfg");
+    b.asm.load_byte(Reg::Rcx, Reg::R11, 2);
+    b.asm.shl_imm(Reg::Rcx, 8);
+    b.asm.test_reg(Reg::Rcx, Reg::Rcx);
+    b.asm.jz("work_done");
+    b.asm.label("work_loop");
+    b.asm.sub_imm(Reg::Rcx, 1);
+    b.asm.jnz("work_loop");
+    b.asm.label("work_done");
+    b.asm.sub_imm(Reg::R13, 1);
+    b.asm.jnz("req_loop");
+    b.asm.label("conn_dead");
+    b.asm.mov_reg(Reg::Rdi, Reg::R12);
+    b.call_import("close");
+    b.asm.mov_imm(Reg::Rdi, 0);
+    b.call_import("exit_group");
+
+    b.data_object("cfg", &[0u8; 16]);
+    b.data_object("cfg_path", b"/etc/wrk-sim.conf\0");
+    b.data_object("reqbuf", b"GET / HTTP/1.1\r\nHost: sim\r\nConnection: keep-alive\r\n\r\n\0\0\0\0\0\0\0\0\0\0");
+    b.data_object("respbuf", &[0u8; 8192]);
+    b.finish()
+}
+
+/// Builds redis-bench-sim.
+pub fn build_redis_bench() -> SimElf {
+    let mut b = ImageBuilder::new("/usr/bin/redis-bench-sim");
+    b.entry("main");
+    b.needs(LIBC_PATH);
+    b.asm.label("main");
+    b.asm.mov_imm(Reg::Rdi, (-100i64) as u64);
+    b.asm.lea_label(Reg::Rsi, "cfg_path");
+    b.asm.mov_imm(Reg::Rdx, 0);
+    b.call_import("openat");
+    b.asm.mov_reg(Reg::R12, Reg::Rax);
+    b.asm.mov_reg(Reg::Rdi, Reg::R12);
+    b.asm.lea_label(Reg::Rsi, "cfg");
+    b.asm.mov_imm(Reg::Rdx, 16);
+    b.call_import("read");
+    b.asm.mov_reg(Reg::Rdi, Reg::R12);
+    b.call_import("close");
+    b.call_import("socket");
+    b.asm.mov_reg(Reg::R12, Reg::Rax);
+    b.asm.mov_reg(Reg::Rdi, Reg::R12);
+    b.asm.mov_imm(Reg::Rsi, super::servers::REDIS_PORT);
+    b.call_import("connect");
+    // batches (u16)
+    b.asm.lea_label(Reg::R11, "cfg");
+    b.asm.load_byte(Reg::R13, Reg::R11, 0);
+    b.asm.load_byte(Reg::Rcx, Reg::R11, 1);
+    b.asm.shl_imm(Reg::Rcx, 8);
+    b.asm.add_reg(Reg::R13, Reg::Rcx);
+
+    b.asm.label("batch_loop");
+    // send batch * 32 request bytes in one write (pipelining)
+    b.asm.lea_label(Reg::R11, "cfg");
+    b.asm.load_byte(Reg::Rdx, Reg::R11, 3);
+    b.asm.shl_imm(Reg::Rdx, 5);
+    b.asm.mov_reg(Reg::Rdi, Reg::R12);
+    b.asm.lea_label(Reg::Rsi, "reqbuf");
+    b.call_import("write");
+    // collect batch * 64 response bytes
+    b.asm.lea_label(Reg::R11, "cfg");
+    b.asm.load_byte(Reg::Rbx, Reg::R11, 3);
+    b.asm.shl_imm(Reg::Rbx, 6);
+    b.asm.label("recv_loop");
+    b.asm.mov_reg(Reg::Rdi, Reg::R12);
+    b.asm.lea_label(Reg::Rsi, "respbuf");
+    b.asm.mov_imm(Reg::Rdx, 4096);
+    b.call_import("read");
+    b.asm.cmp_imm(Reg::Rax, 0);
+    b.asm.jz("conn_dead");
+    b.asm.sub_reg(Reg::Rbx, Reg::Rax);
+    b.asm.cmp_imm(Reg::Rbx, 0);
+    b.asm.jcc(sim_isa::Cond::G, "recv_loop");
+    // client-side bookkeeping work
+    b.asm.lea_label(Reg::R11, "cfg");
+    b.asm.load_byte(Reg::Rcx, Reg::R11, 2);
+    b.asm.shl_imm(Reg::Rcx, 8);
+    b.asm.test_reg(Reg::Rcx, Reg::Rcx);
+    b.asm.jz("work_done");
+    b.asm.label("work_loop");
+    b.asm.sub_imm(Reg::Rcx, 1);
+    b.asm.jnz("work_loop");
+    b.asm.label("work_done");
+    b.asm.sub_imm(Reg::R13, 1);
+    b.asm.jnz("batch_loop");
+    b.asm.label("conn_dead");
+    b.asm.mov_reg(Reg::Rdi, Reg::R12);
+    b.call_import("close");
+    b.asm.mov_imm(Reg::Rdi, 0);
+    b.call_import("exit_group");
+
+    b.data_object("cfg", &[0u8; 16]);
+    b.data_object("cfg_path", b"/etc/redis-bench-sim.conf\0");
+    b.data_object("reqbuf", &vec![b'G'; 2048]);
+    b.data_object("respbuf", &[0u8; 4096]);
+    b.finish()
+}
+
+/// Installs both load generators.
+pub fn install_clients(vfs: &mut sim_kernel::Vfs) {
+    build_wrk().install(vfs);
+    build_redis_bench().install(vfs);
+}

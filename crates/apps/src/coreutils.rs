@@ -1,0 +1,412 @@
+//! Simulated coreutils: `pwd`, `touch`, `ls`, `cat`, `clear`.
+//!
+//! Each utility performs its real counterpart's post-startup syscall mix
+//! through the libc-sim wrappers, so the number of unique
+//! `syscall`-instruction sites the offline phase observes matches the
+//! paper's Table 2 (pwd 7, touch 9, ls 10, cat 11, clear 13). All of them
+//! also carry a realistic startup footprint (library loading via the
+//! ld-sim stub); `ls` links the extra libraries real `ls` does, pushing its
+//! startup past 100 syscalls (§6.1).
+
+use sim_isa::Reg;
+use sim_kernel::Vfs;
+use sim_loader::{ImageBuilder, SimElf, FILLER_LIBS, LIBC_PATH};
+
+/// Install paths of all five utilities.
+pub const COREUTILS: [&str; 5] = [
+    "/usr/bin/pwd-sim",
+    "/usr/bin/touch-sim",
+    "/usr/bin/ls-sim",
+    "/usr/bin/cat-sim",
+    "/usr/bin/clear-sim",
+];
+
+/// Expected unique offline-logged sites per utility (paper Table 2).
+pub const EXPECTED_SITES: [(&str, usize); 5] = [
+    ("/usr/bin/pwd-sim", 7),
+    ("/usr/bin/touch-sim", 9),
+    ("/usr/bin/ls-sim", 10),
+    ("/usr/bin/cat-sim", 11),
+    ("/usr/bin/clear-sim", 13),
+];
+
+/// Seeds the VFS with the files the utilities operate on.
+pub fn install_home(vfs: &mut Vfs) {
+    vfs.write_file("/home/user/a.txt", b"alpha file contents\n").unwrap();
+    vfs.write_file("/home/user/b.txt", b"bravo file contents: a slightly longer line\n")
+        .unwrap();
+    vfs.write_file("/home/user/notes.md", b"# notes\n- reproduce K23\n").unwrap();
+    vfs.write_file(
+        "/usr/share/terminfo/x/xterm",
+        &vec![0x1b; 1024], // escape-sequence soup
+    )
+    .unwrap();
+    vfs.write_file("/etc/passwd", b"user:x:1000:1000::/home/user:/bin/sh\n").unwrap();
+}
+
+fn wrapper0(b: &mut ImageBuilder, f: &str) {
+    b.call_import(f);
+}
+
+/// pwd-sim: ioctl(tty), mmap(buffer), getcwd, fstat, write, close,
+/// exit_group — 7 sites.
+pub fn build_pwd() -> SimElf {
+    let mut b = ImageBuilder::new("/usr/bin/pwd-sim");
+    b.entry("main");
+    b.needs(LIBC_PATH);
+    b.asm.label("main");
+    // ioctl(1, TCGETS, buf)
+    b.asm.mov_imm(Reg::Rdi, 1);
+    b.asm.mov_imm(Reg::Rsi, 0x5401);
+    b.asm.lea_label(Reg::Rdx, "buf");
+    wrapper0(&mut b, "ioctl");
+    // mmap(0, 4096, RW) — libc's output buffer
+    b.asm.mov_imm(Reg::Rdi, 0);
+    b.asm.mov_imm(Reg::Rsi, 4096);
+    b.asm.mov_imm(Reg::Rdx, 3);
+    b.asm.mov_imm(Reg::R10, 0);
+    wrapper0(&mut b, "mmap");
+    // getcwd(buf, 128)
+    b.asm.lea_label(Reg::Rdi, "buf");
+    b.asm.mov_imm(Reg::Rsi, 128);
+    wrapper0(&mut b, "getcwd");
+    b.asm.mov_reg(Reg::R12, Reg::Rax); // length incl. NUL
+    // fstatat(AT_FDCWD, ".", st, 0)
+    b.asm.mov_imm(Reg::Rdi, (-100i64) as u64);
+    b.asm.lea_label(Reg::Rsi, "dot");
+    b.asm.lea_label(Reg::Rdx, "st");
+    b.asm.mov_imm(Reg::R10, 0);
+    wrapper0(&mut b, "newfstatat");
+    // write(1, buf, len)
+    b.asm.mov_imm(Reg::Rdi, 1);
+    b.asm.lea_label(Reg::Rsi, "buf");
+    b.asm.mov_reg(Reg::Rdx, Reg::R12);
+    wrapper0(&mut b, "write");
+    // close(0)
+    b.asm.mov_imm(Reg::Rdi, 0);
+    wrapper0(&mut b, "close");
+    // exit_group(0)
+    b.asm.mov_imm(Reg::Rdi, 0);
+    wrapper0(&mut b, "exit_group");
+    b.data_object("buf", &[0u8; 128]);
+    b.data_object("st", &[0u8; 64]);
+    b.data_object("dot", b".\0");
+    b.finish()
+}
+
+/// touch-sim: mmap, getuid, ioctl, fstat, openat(O_CREAT), dup, utimensat,
+/// close, exit_group — 9 sites.
+pub fn build_touch() -> SimElf {
+    let mut b = ImageBuilder::new("/usr/bin/touch-sim");
+    b.entry("main");
+    b.needs(LIBC_PATH);
+    b.asm.label("main");
+    b.asm.mov_imm(Reg::Rdi, 0);
+    b.asm.mov_imm(Reg::Rsi, 4096);
+    b.asm.mov_imm(Reg::Rdx, 3);
+    b.asm.mov_imm(Reg::R10, 0);
+    wrapper0(&mut b, "mmap");
+    wrapper0(&mut b, "getuid");
+    b.asm.mov_imm(Reg::Rdi, 1);
+    b.asm.mov_imm(Reg::Rsi, 0x5401);
+    b.asm.lea_label(Reg::Rdx, "st");
+    wrapper0(&mut b, "ioctl");
+    // fstatat the target (may not exist yet)
+    b.asm.mov_imm(Reg::Rdi, (-100i64) as u64);
+    b.asm.lea_label(Reg::Rsi, "path");
+    b.asm.lea_label(Reg::Rdx, "st");
+    b.asm.mov_imm(Reg::R10, 0);
+    wrapper0(&mut b, "newfstatat");
+    // openat(AT_FDCWD, path, O_CREAT)
+    b.asm.mov_imm(Reg::Rdi, (-100i64) as u64);
+    b.asm.lea_label(Reg::Rsi, "path");
+    b.asm.mov_imm(Reg::Rdx, 0x40);
+    wrapper0(&mut b, "openat");
+    b.asm.mov_reg(Reg::R12, Reg::Rax);
+    // dup(fd)
+    b.asm.mov_reg(Reg::Rdi, Reg::R12);
+    wrapper0(&mut b, "dup");
+    b.asm.mov_reg(Reg::R13, Reg::Rax);
+    // utimensat(AT_FDCWD, path, NULL, 0)
+    b.asm.mov_imm(Reg::Rdi, (-100i64) as u64);
+    b.asm.lea_label(Reg::Rsi, "path");
+    b.asm.mov_imm(Reg::Rdx, 0);
+    b.asm.mov_imm(Reg::R10, 0);
+    wrapper0(&mut b, "utimensat");
+    // close both fds (one wrapper site, two executions)
+    b.asm.mov_reg(Reg::Rdi, Reg::R13);
+    wrapper0(&mut b, "close");
+    b.asm.mov_reg(Reg::Rdi, Reg::R12);
+    wrapper0(&mut b, "close");
+    b.asm.mov_imm(Reg::Rdi, 0);
+    wrapper0(&mut b, "exit_group");
+    b.data_object("st", &[0u8; 64]);
+    b.data_object("path", b"/home/user/touched.txt\0");
+    b.finish()
+}
+
+/// ls-sim: mmap, ioctl, access, getcwd, openat(dir), fstat (per entry),
+/// getdents64 (loop), write, close, exit_group — 10 sites. Links the extra
+/// libraries real `ls` pulls in, so its startup exceeds 100 syscalls.
+pub fn build_ls() -> SimElf {
+    let mut b = ImageBuilder::new("/usr/bin/ls-sim");
+    b.entry("main");
+    b.needs(LIBC_PATH);
+    for f in FILLER_LIBS {
+        b.needs(f);
+    }
+    b.asm.label("main");
+    b.asm.mov_imm(Reg::Rdi, 0);
+    b.asm.mov_imm(Reg::Rsi, 8192);
+    b.asm.mov_imm(Reg::Rdx, 3);
+    b.asm.mov_imm(Reg::R10, 0);
+    wrapper0(&mut b, "mmap");
+    b.asm.mov_imm(Reg::Rdi, 1);
+    b.asm.mov_imm(Reg::Rsi, 0x5413); // TIOCGWINSZ
+    b.asm.lea_label(Reg::Rdx, "st");
+    wrapper0(&mut b, "ioctl");
+    b.asm.lea_label(Reg::Rdi, "dirpath");
+    wrapper0(&mut b, "access");
+    b.asm.lea_label(Reg::Rdi, "buf");
+    b.asm.mov_imm(Reg::Rsi, 128);
+    wrapper0(&mut b, "getcwd");
+    // openat(AT_FDCWD, dir, 0)
+    b.asm.mov_imm(Reg::Rdi, (-100i64) as u64);
+    b.asm.lea_label(Reg::Rsi, "dirpath");
+    b.asm.mov_imm(Reg::Rdx, 0);
+    wrapper0(&mut b, "openat");
+    b.asm.mov_reg(Reg::R12, Reg::Rax);
+    // getdents loop: read entries until 0; stat the dir each batch.
+    b.asm.label("dents_loop");
+    b.asm.mov_reg(Reg::Rdi, Reg::R12);
+    b.asm.lea_label(Reg::Rsi, "buf");
+    b.asm.mov_imm(Reg::Rdx, 64);
+    wrapper0(&mut b, "getdents64");
+    b.asm.cmp_imm(Reg::Rax, 0);
+    b.asm.jz("done");
+    b.asm.mov_reg(Reg::R13, Reg::Rax);
+    b.asm.mov_imm(Reg::Rdi, (-100i64) as u64);
+    b.asm.lea_label(Reg::Rsi, "dirpath");
+    b.asm.lea_label(Reg::Rdx, "st");
+    b.asm.mov_imm(Reg::R10, 0);
+    wrapper0(&mut b, "newfstatat");
+    // write the batch to stdout
+    b.asm.mov_imm(Reg::Rdi, 1);
+    b.asm.lea_label(Reg::Rsi, "buf");
+    b.asm.mov_reg(Reg::Rdx, Reg::R13);
+    wrapper0(&mut b, "write");
+    b.asm.jmp("dents_loop");
+    b.asm.label("done");
+    b.asm.mov_reg(Reg::Rdi, Reg::R12);
+    wrapper0(&mut b, "close");
+    b.asm.mov_imm(Reg::Rdi, 0);
+    wrapper0(&mut b, "exit_group");
+    b.data_object("st", &[0u8; 64]);
+    b.data_object("buf", &[0u8; 128]);
+    b.data_object("dirpath", b"/home/user\0");
+    b.finish()
+}
+
+/// cat-sim: mmap, ioctl, access, openat, fstat, lseek, madvise, read (loop),
+/// write (loop), close, exit_group — 11 sites.
+pub fn build_cat() -> SimElf {
+    let mut b = ImageBuilder::new("/usr/bin/cat-sim");
+    b.entry("main");
+    b.needs(LIBC_PATH);
+    b.needs(FILLER_LIBS[0]);
+    b.asm.label("main");
+    b.asm.mov_imm(Reg::Rdi, 0);
+    b.asm.mov_imm(Reg::Rsi, 4096);
+    b.asm.mov_imm(Reg::Rdx, 3);
+    b.asm.mov_imm(Reg::R10, 0);
+    wrapper0(&mut b, "mmap");
+    b.asm.mov_imm(Reg::Rdi, 1);
+    b.asm.mov_imm(Reg::Rsi, 0x5401);
+    b.asm.lea_label(Reg::Rdx, "st");
+    wrapper0(&mut b, "ioctl");
+    b.asm.lea_label(Reg::Rdi, "path");
+    wrapper0(&mut b, "access");
+    b.asm.mov_imm(Reg::Rdi, (-100i64) as u64);
+    b.asm.lea_label(Reg::Rsi, "path");
+    b.asm.mov_imm(Reg::Rdx, 0);
+    wrapper0(&mut b, "openat");
+    b.asm.mov_reg(Reg::R12, Reg::Rax);
+    b.asm.mov_imm(Reg::Rdi, (-100i64) as u64);
+    b.asm.lea_label(Reg::Rsi, "path");
+    b.asm.lea_label(Reg::Rdx, "st");
+    b.asm.mov_imm(Reg::R10, 0);
+    wrapper0(&mut b, "newfstatat");
+    b.asm.mov_reg(Reg::Rdi, Reg::R12);
+    b.asm.mov_imm(Reg::Rsi, 0);
+    b.asm.mov_imm(Reg::Rdx, 0); // SEEK_SET
+    wrapper0(&mut b, "lseek");
+    b.asm.mov_reg(Reg::Rdi, Reg::R12);
+    b.asm.mov_imm(Reg::Rsi, 0);
+    b.asm.mov_imm(Reg::Rdx, 2); // MADV_SEQUENTIAL-ish
+    wrapper0(&mut b, "madvise");
+    b.asm.label("copy_loop");
+    b.asm.mov_reg(Reg::Rdi, Reg::R12);
+    b.asm.lea_label(Reg::Rsi, "buf");
+    b.asm.mov_imm(Reg::Rdx, 32);
+    wrapper0(&mut b, "read");
+    b.asm.cmp_imm(Reg::Rax, 0);
+    b.asm.jz("done");
+    b.asm.mov_reg(Reg::Rdx, Reg::Rax);
+    b.asm.mov_imm(Reg::Rdi, 1);
+    b.asm.lea_label(Reg::Rsi, "buf");
+    wrapper0(&mut b, "write");
+    b.asm.jmp("copy_loop");
+    b.asm.label("done");
+    b.asm.mov_reg(Reg::Rdi, Reg::R12);
+    wrapper0(&mut b, "close");
+    b.asm.mov_imm(Reg::Rdi, 0);
+    wrapper0(&mut b, "exit_group");
+    b.data_object("st", &[0u8; 64]);
+    b.data_object("buf", &[0u8; 64]);
+    b.data_object("path", b"/home/user/a.txt\0");
+    b.finish()
+}
+
+/// clear-sim: mmap, ioctl, access, openat (terminfo), fstat, read, lseek,
+/// uname, getuid, write, munmap, close, exit_group — 13 sites.
+pub fn build_clear() -> SimElf {
+    let mut b = ImageBuilder::new("/usr/bin/clear-sim");
+    b.entry("main");
+    b.needs(LIBC_PATH);
+    b.needs(FILLER_LIBS[2]);
+    b.asm.label("main");
+    b.asm.mov_imm(Reg::Rdi, 0);
+    b.asm.mov_imm(Reg::Rsi, 4096);
+    b.asm.mov_imm(Reg::Rdx, 3);
+    b.asm.mov_imm(Reg::R10, 0);
+    wrapper0(&mut b, "mmap");
+    b.asm.mov_reg(Reg::R13, Reg::Rax);
+    b.asm.mov_imm(Reg::Rdi, 1);
+    b.asm.mov_imm(Reg::Rsi, 0x5401);
+    b.asm.lea_label(Reg::Rdx, "st");
+    wrapper0(&mut b, "ioctl");
+    b.asm.lea_label(Reg::Rdi, "tipath");
+    wrapper0(&mut b, "access");
+    b.asm.mov_imm(Reg::Rdi, (-100i64) as u64);
+    b.asm.lea_label(Reg::Rsi, "tipath");
+    b.asm.mov_imm(Reg::Rdx, 0);
+    wrapper0(&mut b, "openat");
+    b.asm.mov_reg(Reg::R12, Reg::Rax);
+    b.asm.mov_imm(Reg::Rdi, (-100i64) as u64);
+    b.asm.lea_label(Reg::Rsi, "tipath");
+    b.asm.lea_label(Reg::Rdx, "st");
+    b.asm.mov_imm(Reg::R10, 0);
+    wrapper0(&mut b, "newfstatat");
+    b.asm.mov_reg(Reg::Rdi, Reg::R12);
+    b.asm.lea_label(Reg::Rsi, "buf");
+    b.asm.mov_imm(Reg::Rdx, 64);
+    wrapper0(&mut b, "read");
+    b.asm.mov_reg(Reg::Rdi, Reg::R12);
+    b.asm.mov_imm(Reg::Rsi, 256);
+    b.asm.mov_imm(Reg::Rdx, 0);
+    wrapper0(&mut b, "lseek");
+    b.asm.lea_label(Reg::Rdi, "buf");
+    wrapper0(&mut b, "uname");
+    wrapper0(&mut b, "getuid");
+    // write the clear escape sequence
+    b.asm.mov_imm(Reg::Rdi, 1);
+    b.asm.lea_label(Reg::Rsi, "esc");
+    b.asm.mov_imm(Reg::Rdx, 7);
+    wrapper0(&mut b, "write");
+    // munmap the scratch mapping
+    b.asm.mov_reg(Reg::Rdi, Reg::R13);
+    b.asm.mov_imm(Reg::Rsi, 4096);
+    wrapper0(&mut b, "munmap");
+    b.asm.mov_reg(Reg::Rdi, Reg::R12);
+    wrapper0(&mut b, "close");
+    b.asm.mov_imm(Reg::Rdi, 0);
+    wrapper0(&mut b, "exit_group");
+    b.data_object("st", &[0u8; 64]);
+    b.data_object("buf", &[0u8; 64]);
+    b.data_object("tipath", b"/usr/share/terminfo/x/xterm\0");
+    b.data_object("esc", b"\x1b[H\x1b[2J\0");
+    b.finish()
+}
+
+/// Installs all five utilities and their input files.
+pub fn install_coreutils(vfs: &mut Vfs) {
+    install_home(vfs);
+    build_pwd().install(vfs);
+    build_touch().install(vfs);
+    build_ls().install(vfs);
+    build_cat().install(vfs);
+    build_clear().install(vfs);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_loader::boot_kernel;
+
+    #[test]
+    fn all_coreutils_run_to_exit_zero() {
+        for path in COREUTILS {
+            let mut k = boot_kernel();
+            install_coreutils(&mut k.vfs);
+            let pid = k.spawn(path, &[path.to_string()], &[], None).unwrap();
+            let exit = k.run(50_000_000_000);
+            assert_eq!(exit, sim_kernel::RunExit::AllExited, "{path}");
+            let p = k.process(pid).unwrap();
+            assert_eq!(p.exit_status, Some(0), "{path}: {}", p.output_string());
+        }
+    }
+
+    #[test]
+    fn pwd_prints_cwd() {
+        let mut k = boot_kernel();
+        install_coreutils(&mut k.vfs);
+        let pid = k.spawn("/usr/bin/pwd-sim", &[], &[], None).unwrap();
+        k.run(50_000_000_000);
+        let out = k.process(pid).unwrap().output_string();
+        assert!(out.starts_with('/'), "got {out:?}");
+    }
+
+    #[test]
+    fn cat_copies_file_contents() {
+        let mut k = boot_kernel();
+        install_coreutils(&mut k.vfs);
+        let pid = k.spawn("/usr/bin/cat-sim", &[], &[], None).unwrap();
+        k.run(50_000_000_000);
+        let out = k.process(pid).unwrap().output_string();
+        assert_eq!(out, "alpha file contents\n");
+    }
+
+    #[test]
+    fn ls_lists_directory_entries() {
+        let mut k = boot_kernel();
+        install_coreutils(&mut k.vfs);
+        let pid = k.spawn("/usr/bin/ls-sim", &[], &[], None).unwrap();
+        k.run(50_000_000_000);
+        let out = k.process(pid).unwrap().output_string();
+        assert!(out.contains("a.txt"), "got {out:?}");
+        assert!(out.contains("notes.md"), "got {out:?}");
+    }
+
+    #[test]
+    fn touch_creates_file() {
+        let mut k = boot_kernel();
+        install_coreutils(&mut k.vfs);
+        k.spawn("/usr/bin/touch-sim", &[], &[], None).unwrap();
+        k.run(50_000_000_000);
+        assert!(k.vfs.exists("/home/user/touched.txt"));
+    }
+
+    #[test]
+    fn ls_startup_exceeds_100_syscalls() {
+        let mut k = boot_kernel();
+        install_coreutils(&mut k.vfs);
+        let pid = k.spawn("/usr/bin/ls-sim", &[], &[], None).unwrap();
+        k.run(50_000_000_000);
+        let p = k.process(pid).unwrap();
+        assert!(
+            p.stats.syscalls_before_interposer > 100,
+            "got {}",
+            p.stats.syscalls_before_interposer
+        );
+    }
+}

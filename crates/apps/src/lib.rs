@@ -1,0 +1,108 @@
+//! # apps — the guest workloads
+//!
+//! Every application the paper evaluates, rebuilt as guest programs:
+//! five coreutils ([`coreutils`]), the four macrobenchmark servers
+//! ([`servers`]: nginx-sim, lighttpd-sim, redis-sim, sqlite-sim), the load
+//! generators ([`clients`]: wrk-sim, redis-bench-sim), and the measurement
+//! harness ([`workloads`]).
+
+pub mod clients;
+pub mod coreutils;
+pub mod servers;
+pub mod workloads;
+
+pub use clients::{build_redis_bench, build_wrk, install_clients};
+pub use coreutils::{install_coreutils, COREUTILS, EXPECTED_SITES};
+pub use servers::{build_lighttpd, build_nginx, build_redis, build_sqlite, install_servers};
+pub use workloads::{
+    install_spec_config, run_macro, run_sqlite, sqlite_cfg, table6_specs, MacroError, MacroResult,
+    MacroSpec,
+};
+
+/// Installs every application and its data into a VFS.
+pub fn install_world(vfs: &mut sim_kernel::Vfs) {
+    coreutils::install_coreutils(vfs);
+    servers::install_servers(vfs);
+    clients::install_clients(vfs);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interpose::Native;
+    use sim_loader::boot_kernel;
+
+    #[test]
+    fn nginx_serves_wrk_natively() {
+        let mut k = boot_kernel();
+        install_world(&mut k.vfs);
+        let specs = table6_specs(100); // small request counts
+        let spec = &specs[0];
+        let res = run_macro(&mut k, &Native, spec, 2_000_000_000_000).expect("macro run");
+        assert!(res.requests >= 8);
+        assert!(res.cycles > 0);
+        assert!(res.throughput() > 0.0);
+    }
+
+    #[test]
+    fn nginx_multi_worker_serves_all_clients() {
+        let mut k = boot_kernel();
+        install_world(&mut k.vfs);
+        let specs = table6_specs(100);
+        let spec = &specs[2]; // 10 workers
+        assert_eq!(spec.clients, 10);
+        let res = run_macro(&mut k, &Native, spec, 2_000_000_000_000).expect("macro run");
+        assert_eq!(res.requests, spec.total_requests);
+    }
+
+    #[test]
+    fn lighttpd_and_4kb_responses_work() {
+        let mut k = boot_kernel();
+        install_world(&mut k.vfs);
+        let specs = table6_specs(100);
+        let spec = &specs[5]; // lighttpd 1 worker 4KB
+        let res = run_macro(&mut k, &Native, spec, 2_000_000_000_000).expect("macro run");
+        assert!(res.cycles > 0);
+    }
+
+    #[test]
+    fn redis_single_and_six_io_threads() {
+        for idx in [8usize, 9] {
+            let mut k = boot_kernel();
+            install_world(&mut k.vfs);
+            let specs = table6_specs(100);
+            let spec = &specs[idx];
+            let res =
+                run_macro(&mut k, &Native, spec, 2_000_000_000_000).unwrap_or_else(|e| {
+                    panic!("{}: {e:?}", spec.name);
+                });
+            assert_eq!(res.requests, spec.total_requests, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn sqlite_completes() {
+        let mut k = boot_kernel();
+        install_world(&mut k.vfs);
+        let cycles = run_sqlite(&mut k, &Native, &sqlite_cfg(20), 2_000_000_000_000).unwrap();
+        assert!(cycles > 0);
+        assert!(k.vfs.exists("/data/test.db"));
+    }
+
+    #[test]
+    fn bigger_responses_cost_more_cycles_per_request() {
+        // 0 KB vs 4 KB nginx: absolute throughput must drop with size, as
+        // in Table 6's native column.
+        let thr = |idx: usize| {
+            let mut k = boot_kernel();
+            install_world(&mut k.vfs);
+            let specs = table6_specs(50);
+            run_macro(&mut k, &Native, &specs[idx], 2_000_000_000_000)
+                .unwrap()
+                .throughput()
+        };
+        let t0 = thr(0);
+        let t4 = thr(1);
+        assert!(t4 < t0, "0KB {t0:.1} vs 4KB {t4:.1}");
+    }
+}

@@ -1,0 +1,444 @@
+//! The four macrobenchmark applications (paper §6.2.2): nginx-sim,
+//! lighttpd-sim, redis-sim, and sqlite-sim.
+//!
+//! Each is a guest program whose *request-path syscall mix* models its real
+//! counterpart: the web servers run accept/read/write loops over loopback
+//! sockets with per-request parsing work; redis pipelines batches of GETs
+//! and optionally fans out to I/O threads over pipes (which multiplies its
+//! kernel entries per request — the effect behind its dramatic 6-thread SUD
+//! collapse in Table 6); sqlite runs a speedtest1-style single-threaded
+//! page-I/O loop with periodic fsync.
+//!
+//! Real servers also contain far more *distinct* syscall instruction sites
+//! than a minimal loop (inlined syscalls, module init paths, error paths
+//! — see Table 2: nginx 43, lighttpd 44, redis 92). We model that site
+//! diversity with a block of one-shot init-time probe sites per application,
+//! calibrated so the offline phase observes counts matching the paper.
+//!
+//! Binary configs (installed by the workload harness):
+//!
+//! * web servers `/etc/<name>.conf`: `[workers, resp_kb, work, 0]`
+//! * redis `/etc/redis-sim.conf`: `[io_threads, batch, work, 0]`
+//! * sqlite `/etc/sqlite-sim.conf`: `[ops_lo, ops_hi, work, 0]`
+
+use sim_isa::Reg;
+use sim_kernel::nr;
+use sim_loader::{ImageBuilder, SimElf, FILLER_LIBS, LIBC_PATH};
+
+/// nginx-sim listen port.
+pub const NGINX_PORT: u64 = 80;
+/// lighttpd-sim listen port.
+pub const LIGHTTPD_PORT: u64 = 8080;
+/// redis-sim listen port.
+pub const REDIS_PORT: u64 = 6379;
+/// Bytes per redis request in a pipeline batch.
+pub const REDIS_REQ_BYTES: u64 = 32;
+/// Bytes per redis response.
+pub const REDIS_RESP_BYTES: u64 = 64;
+
+/// One-shot init-time probe sites modeling real servers' site diversity
+/// (`clock_gettime` probes, each a distinct `syscall` instruction).
+fn emit_diversity_sites(b: &mut ImageBuilder, k: usize) {
+    b.asm.mov_imm(Reg::Rdi, 0);
+    b.asm.lea_label(Reg::Rsi, "div_scratch");
+    for _ in 0..k {
+        b.asm.mov_imm(Reg::Rax, nr::SYS_CLOCK_GETTIME);
+        b.asm.syscall();
+    }
+}
+
+/// Loads `/etc/<name>.conf` into the `cfg` data object via libc wrappers.
+fn emit_load_config(b: &mut ImageBuilder) {
+    b.asm.mov_imm(Reg::Rdi, (-100i64) as u64);
+    b.asm.lea_label(Reg::Rsi, "cfg_path");
+    b.asm.mov_imm(Reg::Rdx, 0);
+    b.call_import("openat");
+    b.asm.mov_reg(Reg::R12, Reg::Rax);
+    b.asm.mov_reg(Reg::Rdi, Reg::R12);
+    b.asm.lea_label(Reg::Rsi, "cfg");
+    b.asm.mov_imm(Reg::Rdx, 16);
+    b.call_import("read");
+    b.asm.mov_reg(Reg::Rdi, Reg::R12);
+    b.call_import("close");
+}
+
+/// Busy loop of `cfg[work_idx] << shift` iterations (guarded against zero).
+fn emit_work_loop_shifted(b: &mut ImageBuilder, work_idx: i32, unique: &str, shift: u8) {
+    b.asm.lea_label(Reg::R11, "cfg");
+    b.asm.load_byte(Reg::Rcx, Reg::R11, work_idx);
+    b.asm.shl_imm(Reg::Rcx, shift);
+    b.asm.test_reg(Reg::Rcx, Reg::Rcx);
+    let done = format!("__work_done_{unique}");
+    let looplbl = format!("__work_loop_{unique}");
+    b.asm.jz(&done);
+    b.asm.label(&looplbl);
+    b.asm.sub_imm(Reg::Rcx, 1);
+    b.asm.jnz(&looplbl);
+    b.asm.label(&done);
+}
+
+/// Busy loop of `cfg[work_idx] * 256` iterations.
+fn emit_work_loop(b: &mut ImageBuilder, work_idx: i32, unique: &str) {
+    emit_work_loop_shifted(b, work_idx, unique, 8);
+}
+
+/// Builds a web server (nginx-sim / lighttpd-sim differ in name, port,
+/// per-request extras, and site diversity).
+fn build_web_server(name: &str, port: u64, diversity: usize, lighttpd_extras: bool) -> SimElf {
+    let path = format!("/usr/bin/{name}");
+    let mut b = ImageBuilder::new(&path);
+    b.entry("main");
+    b.needs(LIBC_PATH);
+    for f in FILLER_LIBS {
+        b.needs(f);
+    }
+    b.asm.label("main");
+    emit_load_config(&mut b);
+    emit_diversity_sites(&mut b, diversity);
+    // socket / bind / listen
+    b.call_import("socket");
+    b.asm.mov_reg(Reg::R12, Reg::Rax); // listener fd
+    b.asm.mov_reg(Reg::Rdi, Reg::R12);
+    b.asm.mov_imm(Reg::Rsi, port);
+    b.call_import("bind");
+    b.asm.mov_reg(Reg::Rdi, Reg::R12);
+    b.asm.mov_imm(Reg::Rsi, 128);
+    b.call_import("listen");
+    // fork workers-1 children; every worker runs the accept loop.
+    b.asm.lea_label(Reg::R11, "cfg");
+    b.asm.load_byte(Reg::R13, Reg::R11, 0);
+    b.asm.sub_imm(Reg::R13, 1);
+    b.asm.label("fork_loop");
+    b.asm.cmp_imm(Reg::R13, 0);
+    b.asm.jz("accept_loop");
+    b.call_import("fork");
+    b.asm.test_reg(Reg::Rax, Reg::Rax);
+    b.asm.jz("accept_loop"); // child serves
+    b.asm.sub_imm(Reg::R13, 1);
+    b.asm.jmp("fork_loop");
+
+    b.asm.label("accept_loop");
+    b.asm.mov_reg(Reg::Rdi, Reg::R12);
+    b.call_import("accept");
+    b.asm.mov_reg(Reg::R14, Reg::Rax); // connection fd
+    b.asm.label("conn_loop");
+    b.asm.mov_reg(Reg::Rdi, Reg::R14);
+    b.asm.lea_label(Reg::Rsi, "reqbuf");
+    b.asm.mov_imm(Reg::Rdx, 128);
+    b.call_import("read");
+    b.asm.cmp_imm(Reg::Rax, 0);
+    b.asm.jz("conn_close");
+    // Pipelining: a read may deliver several 64-byte requests at once;
+    // answer each one (r13 = request count in the buffer).
+    b.asm.mov_reg(Reg::R13, Reg::Rax);
+    b.asm.shr_imm(Reg::R13, 6);
+    b.asm.label("serve_one");
+    if lighttpd_extras {
+        // lighttpd's event loop stamps each request.
+        b.asm.mov_imm(Reg::Rdi, 0);
+        b.asm.lea_label(Reg::Rsi, "div_scratch");
+        b.call_import("clock_gettime");
+    }
+    // Request parsing / response formatting work.
+    emit_work_loop(&mut b, 2, "req");
+    // Response: a 128-byte header write, plus a separate body write for
+    // non-empty files (the sendfile/writev split real servers perform).
+    b.asm.mov_reg(Reg::Rdi, Reg::R14);
+    b.asm.lea_label(Reg::Rsi, "respbuf");
+    b.asm.mov_imm(Reg::Rdx, 128);
+    b.call_import("write");
+    b.asm.lea_label(Reg::R11, "cfg");
+    b.asm.load_byte(Reg::Rdx, Reg::R11, 1);
+    b.asm.shl_imm(Reg::Rdx, 10); // resp_kb KiB of body
+    b.asm.cmp_imm(Reg::Rdx, 0);
+    b.asm.jz("next_req");
+    b.asm.mov_reg(Reg::Rdi, Reg::R14);
+    b.asm.lea_label(Reg::Rsi, "respbuf");
+    b.call_import("write");
+    b.asm.label("next_req");
+    b.asm.sub_imm(Reg::R13, 1);
+    b.asm.jnz("serve_one");
+    b.asm.jmp("conn_loop");
+    b.asm.label("conn_close");
+    b.asm.mov_reg(Reg::Rdi, Reg::R14);
+    b.call_import("close");
+    b.asm.jmp("accept_loop");
+
+    b.data_object("cfg", &[1, 0, 4, 0, 0, 0, 0, 0]);
+    b.data_object("cfg_path", format!("/etc/{name}.conf\0").as_bytes());
+    b.data_object("div_scratch", &[0u8; 16]);
+    b.data_object("reqbuf", &[0u8; 128]);
+    b.data_object("docroot", b"/home/user\0");
+    let mut resp = b"HTTP/1.1 200 OK\r\nServer: sim\r\nContent-Length: 4096\r\n\r\n".to_vec();
+    resp.resize(128 + 4 * 4096, b'x');
+    b.data_object("respbuf", &resp);
+    b.finish()
+}
+
+/// Builds nginx-sim.
+pub fn build_nginx() -> SimElf {
+    build_web_server("nginx-sim", NGINX_PORT, 34, false)
+}
+
+/// Builds lighttpd-sim.
+pub fn build_lighttpd() -> SimElf {
+    build_web_server("lighttpd-sim", LIGHTTPD_PORT, 34, true)
+}
+
+/// Builds redis-sim: a pipelined GET server with optional I/O threads.
+pub fn build_redis() -> SimElf {
+    let mut b = ImageBuilder::new("/usr/bin/redis-sim");
+    b.entry("main");
+    b.needs(LIBC_PATH);
+    for f in FILLER_LIBS {
+        b.needs(f);
+    }
+    b.asm.label("main");
+    emit_load_config(&mut b);
+    emit_diversity_sites(&mut b, 81);
+    // socket / bind / listen
+    b.call_import("socket");
+    b.asm.mov_reg(Reg::R12, Reg::Rax);
+    b.asm.mov_reg(Reg::Rdi, Reg::R12);
+    b.asm.mov_imm(Reg::Rsi, REDIS_PORT);
+    b.call_import("bind");
+    b.asm.mov_reg(Reg::Rdi, Reg::R12);
+    b.asm.mov_imm(Reg::Rsi, 128);
+    b.call_import("listen");
+
+    // If io_threads > 1: create 6 job pipes + 1 completion pipe and spawn
+    // the I/O threads.
+    b.asm.lea_label(Reg::R11, "cfg");
+    b.asm.load_byte(Reg::R13, Reg::R11, 0);
+    b.asm.cmp_imm(Reg::R13, 1);
+    b.asm.jcc(sim_isa::Cond::Le, "accept_phase");
+    // completion pipe
+    b.asm.lea_label(Reg::Rdi, "comp_pipe");
+    b.call_import("pipe");
+    // 6 job pipes + 6 threads
+    b.asm.mov_imm(Reg::Rbx, 0);
+    b.asm.label("spawn_loop");
+    // pipe(&jobpipes[i])
+    b.asm.lea_label(Reg::Rdi, "jobpipes");
+    b.asm.mov_reg(Reg::Rcx, Reg::Rbx);
+    b.asm.shl_imm(Reg::Rcx, 3);
+    b.asm.add_reg(Reg::Rdi, Reg::Rcx);
+    b.call_import("pipe");
+    // stack for the thread
+    b.asm.mov_imm(Reg::Rdi, 0);
+    b.asm.mov_imm(Reg::Rsi, 0x8000);
+    b.asm.mov_imm(Reg::Rdx, 3);
+    b.asm.mov_imm(Reg::R10, 0);
+    b.call_import("mmap");
+    b.asm.mov_reg(Reg::Rsi, Reg::Rax);
+    b.asm.add_imm(Reg::Rsi, 0x7ff0);
+    // Seed the child's stack with its entry point: the clone wrapper's
+    // `ret` in the child pops it (exactly how glibc's clone shim starts
+    // the thread function). The child inherits rbx = its index.
+    b.asm.lea_label(Reg::Rcx, "io_thread");
+    b.asm.store(Reg::Rsi, 0, Reg::Rcx);
+    b.asm.mov_imm(Reg::Rdi, 0);
+    b.call_import("clone");
+    b.asm.add_imm(Reg::Rbx, 1);
+    b.asm.cmp_imm(Reg::Rbx, 6);
+    b.asm.jl("spawn_loop");
+
+    // ---- main thread: accept + batch loop -----------------------------------
+    b.asm.label("accept_phase");
+    b.asm.mov_reg(Reg::Rdi, Reg::R12);
+    b.call_import("accept");
+    b.asm.mov_reg(Reg::R14, Reg::Rax);
+    // Publish the connection fd for the I/O threads.
+    b.asm.lea_label(Reg::R11, "sockfd");
+    b.asm.store(Reg::R11, 0, Reg::R14);
+    b.asm.label("serve_loop");
+    // read one pipeline batch (batch * 32 bytes)
+    b.asm.mov_reg(Reg::Rdi, Reg::R14);
+    b.asm.lea_label(Reg::Rsi, "reqbuf");
+    b.asm.mov_imm(Reg::Rdx, 4096);
+    b.call_import("read");
+    b.asm.cmp_imm(Reg::Rax, 0);
+    b.asm.jz("conn_done");
+    b.asm.lea_label(Reg::R11, "cfg");
+    b.asm.load_byte(Reg::R13, Reg::R11, 0);
+    b.asm.cmp_imm(Reg::R13, 1);
+    b.asm.jcc(sim_isa::Cond::G, "fan_out");
+    // Single-threaded: do the batch's work and respond in one write.
+    emit_work_loop_shifted(&mut b, 2, "single", 11);
+    b.asm.lea_label(Reg::R11, "cfg");
+    b.asm.load_byte(Reg::Rdx, Reg::R11, 1); // batch
+    b.asm.mov_imm(Reg::Rcx, REDIS_RESP_BYTES);
+    b.asm.imul_reg(Reg::Rdx, Reg::Rcx);
+    b.asm.mov_reg(Reg::Rdi, Reg::R14);
+    b.asm.lea_label(Reg::Rsi, "respbuf");
+    b.call_import("write");
+    b.asm.jmp("serve_loop");
+
+    // Fan out: one 16-byte job to each I/O thread, then collect 6
+    // completion bytes.
+    b.asm.label("fan_out");
+    b.asm.mov_imm(Reg::Rbx, 0);
+    b.asm.label("dispatch_loop");
+    b.asm.lea_label(Reg::R11, "jobpipes");
+    b.asm.mov_reg(Reg::Rcx, Reg::Rbx);
+    b.asm.shl_imm(Reg::Rcx, 3);
+    b.asm.add_reg(Reg::R11, Reg::Rcx);
+    b.asm.load(Reg::Rdi, Reg::R11, 0);
+    b.asm.shr_imm(Reg::Rdi, 32); // write end (upper i32)
+    b.asm.lea_label(Reg::Rsi, "jobbuf");
+    b.asm.mov_imm(Reg::Rdx, 16);
+    b.call_import("write");
+    b.asm.add_imm(Reg::Rbx, 1);
+    b.asm.cmp_imm(Reg::Rbx, 6);
+    b.asm.jl("dispatch_loop");
+    // collect completions (6 bytes total, possibly split)
+    b.asm.mov_imm(Reg::Rbx, 6);
+    b.asm.label("collect_loop");
+    b.asm.lea_label(Reg::R11, "comp_pipe");
+    b.asm.load(Reg::Rdi, Reg::R11, 0);
+    b.asm.shl_imm(Reg::Rdi, 32);
+    b.asm.shr_imm(Reg::Rdi, 32); // read end (lower i32)
+    b.asm.lea_label(Reg::Rsi, "compbuf");
+    b.asm.mov_imm(Reg::Rdx, 6);
+    b.call_import("read");
+    b.asm.sub_reg(Reg::Rbx, Reg::Rax);
+    b.asm.cmp_imm(Reg::Rbx, 0);
+    b.asm.jcc(sim_isa::Cond::G, "collect_loop");
+    b.asm.jmp("serve_loop");
+
+    b.asm.label("conn_done");
+    b.asm.mov_reg(Reg::Rdi, Reg::R14);
+    b.call_import("close");
+    b.asm.jmp("accept_phase");
+
+    // ---- I/O thread: read job → work → write response share → complete -----
+    b.asm.label("io_thread");
+    b.asm.label("io_loop");
+    b.asm.lea_label(Reg::R11, "jobpipes");
+    b.asm.mov_reg(Reg::Rcx, Reg::Rbx);
+    b.asm.shl_imm(Reg::Rcx, 3);
+    b.asm.add_reg(Reg::R11, Reg::Rcx);
+    b.asm.load(Reg::Rdi, Reg::R11, 0);
+    b.asm.shl_imm(Reg::Rdi, 32);
+    b.asm.shr_imm(Reg::Rdi, 32); // job read end
+    b.asm.lea_label(Reg::Rsi, "jobbuf");
+    b.asm.mov_imm(Reg::Rdx, 16);
+    b.call_import("read");
+    emit_work_loop_shifted(&mut b, 2, "io", 11);
+    // write this thread's response share: cfg[3] * 8 bytes (the workload
+    // harness sets cfg[3] = batch*64/6/8 so shares sum to the batch).
+    b.asm.lea_label(Reg::R11, "cfg");
+    b.asm.load_byte(Reg::Rdx, Reg::R11, 3);
+    b.asm.shl_imm(Reg::Rdx, 3);
+    b.asm.lea_label(Reg::R11, "sockfd");
+    b.asm.load(Reg::Rdi, Reg::R11, 0);
+    b.asm.lea_label(Reg::Rsi, "respbuf");
+    b.call_import("write");
+    // completion byte
+    b.asm.lea_label(Reg::R11, "comp_pipe");
+    b.asm.load(Reg::Rdi, Reg::R11, 0);
+    b.asm.shr_imm(Reg::Rdi, 32); // completion write end
+    b.asm.lea_label(Reg::Rsi, "compbuf");
+    b.asm.mov_imm(Reg::Rdx, 1);
+    b.call_import("write");
+    b.asm.jmp("io_loop");
+
+    b.data_object("cfg", &[1, 12, 4, 0, 0, 0, 0, 0]);
+    b.data_object("cfg_path", b"/etc/redis-sim.conf\0");
+    b.data_object("div_scratch", &[0u8; 16]);
+    b.data_object("reqbuf", &[0u8; 4096]);
+    b.data_object("respbuf", &vec![b'$'; 2048]);
+    b.data_object("jobbuf", &[0u8; 16]);
+    b.data_object("compbuf", &[0u8; 8]);
+    b.data_object("jobpipes", &[0u8; 48]);
+    b.data_object("comp_pipe", &[0u8; 8]);
+    b.data_object("sockfd", &[0u8; 8]);
+    b.finish()
+}
+
+/// Builds sqlite-sim: the speedtest1-style page-I/O loop.
+pub fn build_sqlite() -> SimElf {
+    let mut b = ImageBuilder::new("/usr/bin/sqlite-sim");
+    b.entry("main");
+    b.needs(LIBC_PATH);
+    b.needs(FILLER_LIBS[1]);
+    b.asm.label("main");
+    emit_load_config(&mut b);
+    emit_diversity_sites(&mut b, 10);
+    // Scratch arena + db bookkeeping, as sqlite does at open.
+    b.asm.mov_imm(Reg::Rdi, 0);
+    b.asm.mov_imm(Reg::Rsi, 65536);
+    b.asm.mov_imm(Reg::Rdx, 3);
+    b.asm.mov_imm(Reg::R10, 0);
+    b.call_import("mmap");
+    b.asm.mov_imm(Reg::Rdi, (-100i64) as u64);
+    b.asm.lea_label(Reg::Rsi, "db_path");
+    b.asm.lea_label(Reg::Rdx, "page");
+    b.asm.mov_imm(Reg::R10, 0);
+    b.call_import("newfstatat"); // -ENOENT on a fresh db, as upstream
+    b.asm.lea_label(Reg::Rdi, "wal_path");
+    b.call_import("unlink"); // stale-WAL cleanup attempt
+    // open the database
+    b.asm.mov_imm(Reg::Rdi, (-100i64) as u64);
+    b.asm.lea_label(Reg::Rsi, "db_path");
+    b.asm.mov_imm(Reg::Rdx, 0x40);
+    b.call_import("openat");
+    b.asm.mov_reg(Reg::R12, Reg::Rax);
+    // ops = u16 from cfg[0..2]
+    b.asm.lea_label(Reg::R11, "cfg");
+    b.asm.load_byte(Reg::R13, Reg::R11, 0);
+    b.asm.load_byte(Reg::Rcx, Reg::R11, 1);
+    b.asm.shl_imm(Reg::Rcx, 8);
+    b.asm.add_reg(Reg::R13, Reg::Rcx);
+    b.asm.label("op_loop");
+    // position at (op * 512) % 64 KiB
+    b.asm.mov_reg(Reg::Rsi, Reg::R13);
+    b.asm.shl_imm(Reg::Rsi, 9);
+    b.asm.and_imm(Reg::Rsi, 0xffff);
+    b.asm.mov_reg(Reg::Rdi, Reg::R12);
+    b.asm.mov_imm(Reg::Rdx, 0);
+    b.call_import("lseek");
+    // WAL append
+    b.asm.mov_reg(Reg::Rdi, Reg::R12);
+    b.asm.lea_label(Reg::Rsi, "page");
+    b.asm.mov_imm(Reg::Rdx, 512);
+    b.call_import("write");
+    // page read-back
+    b.asm.mov_reg(Reg::Rdi, Reg::R12);
+    b.asm.lea_label(Reg::Rsi, "page");
+    b.asm.mov_imm(Reg::Rdx, 512);
+    b.call_import("read");
+    // checkpointing fsync every 16 ops
+    b.asm.mov_reg(Reg::Rcx, Reg::R13);
+    b.asm.and_imm(Reg::Rcx, 15);
+    b.asm.cmp_imm(Reg::Rcx, 0);
+    b.asm.jnz("skip_sync");
+    b.asm.mov_reg(Reg::Rdi, Reg::R12);
+    b.call_import("fsync");
+    b.asm.label("skip_sync");
+    // query evaluation work
+    emit_work_loop(&mut b, 2, "op");
+    b.asm.sub_imm(Reg::R13, 1);
+    b.asm.jnz("op_loop");
+    b.asm.mov_reg(Reg::Rdi, Reg::R12);
+    b.call_import("close");
+    b.asm.mov_imm(Reg::Rdi, 0);
+    b.call_import("exit_group");
+
+    b.data_object("cfg", &[0, 1, 4, 0, 0, 0, 0, 0]);
+    b.data_object("cfg_path", b"/etc/sqlite-sim.conf\0");
+    b.data_object("div_scratch", &[0u8; 16]);
+    b.data_object("db_path", b"/data/test.db\0");
+    b.data_object("wal_path", b"/data/test.db-wal\0");
+    b.data_object("page", &[0u8; 512]);
+    b.finish()
+}
+
+/// Installs every server binary.
+pub fn install_servers(vfs: &mut sim_kernel::Vfs) {
+    build_nginx().install(vfs);
+    build_lighttpd().install(vfs);
+    build_redis().install(vfs);
+    build_sqlite().install(vfs);
+    vfs.mkdir_p("/data").expect("/data creatable");
+}

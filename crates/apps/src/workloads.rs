@@ -1,0 +1,273 @@
+//! Workload harness: spawns servers + clients under an interposer and
+//! measures throughput, replicating the paper's macrobenchmark methodology
+//! (§6.2.2): clients and servers share the machine and talk over loopback;
+//! the benchmarked metric is requests per (simulated) time, with client
+//! count matched to worker count.
+
+use crate::servers::{LIGHTTPD_PORT, NGINX_PORT};
+use interpose::Interposer;
+use sim_kernel::{Kernel, Pid, RunExit, ThreadState};
+
+/// A client/server macrobenchmark specification (one Table 6 row).
+#[derive(Debug, Clone)]
+pub struct MacroSpec {
+    /// Row label, e.g. `nginx (1 worker, 0 KB)`.
+    pub name: String,
+    /// Server binary path.
+    pub server: &'static str,
+    /// Client binary path.
+    pub client: &'static str,
+    /// Server `/etc/<name>.conf` contents.
+    pub server_cfg: Vec<u8>,
+    /// Client config contents.
+    pub client_cfg: Vec<u8>,
+    /// Client config path.
+    pub client_cfg_path: &'static str,
+    /// Server config path.
+    pub server_cfg_path: &'static str,
+    /// Number of client processes (matched to workers, as in the paper).
+    pub clients: usize,
+    /// Total requests all clients perform (for the throughput numerator).
+    pub total_requests: u64,
+}
+
+/// Result of one macro run.
+#[derive(Debug, Clone, Copy)]
+pub struct MacroResult {
+    /// Requests completed.
+    pub requests: u64,
+    /// Global cycles consumed during the load phase.
+    pub cycles: u64,
+}
+
+impl MacroResult {
+    /// Requests per billion cycles (a req/s analogue at ~1 GHz-of-cycles;
+    /// only ratios matter).
+    pub fn throughput(&self) -> f64 {
+        self.requests as f64 / self.cycles as f64 * 1e9
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // a row constructor mirroring Table 6 columns
+fn web_spec(
+    server: &'static str,
+    cfg_path: &'static str,
+    port: u64,
+    workers: u8,
+    resp_kb: u8,
+    server_work: u8,
+    client_work: u8,
+    reqs_per_client: u64,
+) -> MacroSpec {
+    let resp64 = ((128 + resp_kb as u64 * 4096) / 64) as u8;
+    MacroSpec {
+        name: format!(
+            "{} ({} worker{}, {} KB)",
+            server.rsplit('/').next().unwrap_or(server).trim_end_matches("-sim"),
+            workers,
+            if workers == 1 { "" } else { "s" },
+            resp_kb
+        ),
+        server,
+        client: "/usr/bin/wrk-sim",
+        server_cfg: vec![workers, resp_kb, server_work, 0],
+        client_cfg: vec![
+            (reqs_per_client & 0xff) as u8,
+            (reqs_per_client >> 8) as u8,
+            client_work,
+            resp64,
+            (port & 0xff) as u8,
+            (port >> 8) as u8,
+        ],
+        client_cfg_path: "/etc/wrk-sim.conf",
+        server_cfg_path: cfg_path,
+        clients: workers as usize,
+        total_requests: reqs_per_client * workers as u64,
+    }
+}
+
+fn redis_spec(io_threads: u8, work: u8, batches_per_client: u64, clients: usize) -> MacroSpec {
+    let batch: u8 = 12;
+    let share8 = (batch as u64 * 64 / 6 / 8) as u8; // exact sixth of a batch
+    MacroSpec {
+        name: format!(
+            "redis ({} I/O thread{})",
+            io_threads,
+            if io_threads == 1 { "" } else { "s" }
+        ),
+        server: "/usr/bin/redis-sim",
+        client: "/usr/bin/redis-bench-sim",
+        server_cfg: vec![io_threads, batch, work, share8],
+        client_cfg: vec![
+            (batches_per_client & 0xff) as u8,
+            (batches_per_client >> 8) as u8,
+            1,
+            batch,
+        ],
+        client_cfg_path: "/etc/redis-bench-sim.conf",
+        server_cfg_path: "/etc/redis-sim.conf",
+        clients,
+        total_requests: batches_per_client * batch as u64 * clients as u64,
+    }
+}
+
+/// The ten client/server rows of Table 6 (sqlite is a completion workload,
+/// see [`sqlite_cfg`] + [`run_sqlite`]). `scale` divides request counts for
+/// quick runs.
+pub fn table6_specs(scale: u64) -> Vec<MacroSpec> {
+    let r = |n: u64| (n / scale).max(8);
+    vec![
+        web_spec("/usr/bin/nginx-sim", "/etc/nginx-sim.conf", NGINX_PORT, 1, 0, 4, 1, r(1500)),
+        web_spec("/usr/bin/nginx-sim", "/etc/nginx-sim.conf", NGINX_PORT, 1, 4, 4, 1, r(1200)),
+        web_spec("/usr/bin/nginx-sim", "/etc/nginx-sim.conf", NGINX_PORT, 10, 0, 4, 1, r(300)),
+        web_spec("/usr/bin/nginx-sim", "/etc/nginx-sim.conf", NGINX_PORT, 10, 4, 4, 1, r(300)),
+        web_spec("/usr/bin/lighttpd-sim", "/etc/lighttpd-sim.conf", LIGHTTPD_PORT, 1, 0, 12, 1, r(1500)),
+        web_spec("/usr/bin/lighttpd-sim", "/etc/lighttpd-sim.conf", LIGHTTPD_PORT, 1, 4, 12, 1, r(1200)),
+        web_spec("/usr/bin/lighttpd-sim", "/etc/lighttpd-sim.conf", LIGHTTPD_PORT, 10, 0, 12, 1, r(300)),
+        web_spec("/usr/bin/lighttpd-sim", "/etc/lighttpd-sim.conf", LIGHTTPD_PORT, 10, 4, 12, 1, r(300)),
+        redis_spec(1, 19, r(200), 1),
+        redis_spec(6, 1, r(200), 1),
+    ]
+}
+
+/// sqlite speedtest1 configuration: (ops, work) for `-size=800`.
+pub fn sqlite_cfg(scale: u64) -> Vec<u8> {
+    let ops = (32_000 / scale).max(3000);
+    vec![(ops & 0xff) as u8, (ops >> 8) as u8, 10, 0]
+}
+
+/// Boots the machine state for a spec: installs configs.
+pub fn install_spec_config(k: &mut Kernel, spec: &MacroSpec) {
+    k.vfs
+        .write_file(spec.server_cfg_path, &spec.server_cfg)
+        .expect("server cfg");
+    k.vfs
+        .write_file(spec.client_cfg_path, &spec.client_cfg)
+        .expect("client cfg");
+}
+
+/// Errors from a macro run.
+#[derive(Debug)]
+pub enum MacroError {
+    /// Server or client failed to load.
+    Spawn(i64),
+    /// The system wedged with clients unfinished.
+    Stuck(String),
+    /// The cycle budget ran out.
+    Budget,
+}
+
+/// Runs one macro spec under `ip` (clients run natively) and measures the
+/// load phase.
+///
+/// # Errors
+///
+/// See [`MacroError`].
+pub fn run_macro(
+    k: &mut Kernel,
+    ip: &dyn Interposer,
+    spec: &MacroSpec,
+    budget: u64,
+) -> Result<MacroResult, MacroError> {
+    ip.prepare(k);
+    install_spec_config(k, spec);
+    let spid = ip
+        .spawn(k, spec.server, &[spec.server.to_string()], &[])
+        .map_err(MacroError::Spawn)?;
+    // Let the server initialize and park in accept().
+    match k.run(budget) {
+        RunExit::Deadlock => {}
+        RunExit::AllExited => {
+            return Err(MacroError::Stuck(format!(
+                "server exited early: {:?} out={:?}",
+                k.process(spid).and_then(|p| p.exit_status),
+                k.process(spid).map(|p| p.output_string())
+            )))
+        }
+        RunExit::Budget => return Err(MacroError::Budget),
+    }
+    let t0 = k.clock;
+    let mut cpids: Vec<Pid> = Vec::new();
+    for _ in 0..spec.clients {
+        cpids.push(
+            k.spawn(spec.client, &[spec.client.to_string()], &[], None)
+                .map_err(MacroError::Spawn)?,
+        );
+    }
+    // Drive the load phase to completion (servers park in accept when the
+    // clients finish, so the run ends in Deadlock or AllExited).
+    match k.run(budget) {
+        RunExit::AllExited => {}
+        RunExit::Deadlock => {
+            let done = cpids
+                .iter()
+                .all(|c| k.process(*c).map(|p| p.exit_status.is_some()).unwrap_or(true));
+            if !done {
+                let diag = cpids
+                    .iter()
+                    .map(|c| {
+                        let p = k.process(*c);
+                        format!(
+                            "client {c}: exit={:?} threads={:?}",
+                            p.and_then(|p| p.exit_status),
+                            p.map(|p| p
+                                .threads
+                                .iter()
+                                .map(|t| t.state)
+                                .collect::<Vec<ThreadState>>())
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join("; ");
+                return Err(MacroError::Stuck(diag));
+            }
+        }
+        RunExit::Budget => return Err(MacroError::Budget),
+    }
+    // Clients must have finished successfully.
+    for c in &cpids {
+        let st = k.process(*c).and_then(|p| p.exit_status);
+        if st != Some(0) {
+            return Err(MacroError::Stuck(format!("client {c} exited {st:?}")));
+        }
+    }
+    Ok(MacroResult {
+        requests: spec.total_requests,
+        cycles: k.clock - t0,
+    })
+}
+
+/// Runs the sqlite completion workload; returns total cycles from spawn to
+/// exit (the paper's completion-time metric).
+///
+/// # Errors
+///
+/// See [`MacroError`].
+pub fn run_sqlite(
+    k: &mut Kernel,
+    ip: &dyn Interposer,
+    cfg: &[u8],
+    budget: u64,
+) -> Result<u64, MacroError> {
+    ip.prepare(k);
+    k.vfs
+        .write_file("/etc/sqlite-sim.conf", cfg)
+        .expect("sqlite cfg");
+    let t0 = k.clock;
+    let pid = ip
+        .spawn(k, "/usr/bin/sqlite-sim", &[], &[])
+        .map_err(MacroError::Spawn)?;
+    match k.run(budget) {
+        RunExit::AllExited => {}
+        RunExit::Budget => return Err(MacroError::Budget),
+        RunExit::Deadlock => return Err(MacroError::Stuck("sqlite wedged".into())),
+    }
+    let st = k.process(pid).and_then(|p| p.exit_status);
+    if st != Some(0) {
+        return Err(MacroError::Stuck(format!(
+            "sqlite exited {st:?}: {}",
+            k.process(pid).map(|p| p.output_string()).unwrap_or_default()
+        )));
+    }
+    Ok(k.clock - t0)
+}

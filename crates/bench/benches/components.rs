@@ -1,0 +1,105 @@
+//! Criterion benches of the substrate components, including the P4b
+//! ablation: zpoline's address-space bitmap vs K23's bounded hash set.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sim_isa::{decode, disasm, Asm, Reg};
+use sim_mem::Bitmap;
+use std::collections::HashSet;
+
+fn codec(c: &mut Criterion) {
+    let insts = [
+        sim_isa::Inst::MovImm(Reg::Rax, 0xdead_beef),
+        sim_isa::Inst::Syscall,
+        sim_isa::Inst::Load(Reg::Rbx, Reg::Rsp, 16),
+        sim_isa::Inst::Jcc(sim_isa::Cond::Ne, -64),
+    ];
+    c.bench_function("encode_4_instructions", |b| {
+        b.iter(|| {
+            let mut v = Vec::with_capacity(32);
+            for i in &insts {
+                i.encode_into(&mut v);
+            }
+            black_box(v)
+        })
+    });
+    let mut bytes = Vec::new();
+    for i in &insts {
+        i.encode_into(&mut bytes);
+    }
+    c.bench_function("decode_4_instructions", |b| {
+        b.iter(|| {
+            let mut off = 0;
+            while off < bytes.len() {
+                let (_, len) = decode(black_box(&bytes[off..])).unwrap();
+                off += len;
+            }
+        })
+    });
+}
+
+fn disassembly(c: &mut Criterion) {
+    // A libc-sized image.
+    let libc = sim_loader::build_libc();
+    c.bench_function("linear_sweep_libc_image", |b| {
+        b.iter(|| disasm::sweep_syscall_sites(black_box(&libc.bytes), 0))
+    });
+    c.bench_function("byte_scan_libc_image", |b| {
+        b.iter(|| disasm::scan_syscall_bytes(black_box(&libc.bytes), 0))
+    });
+}
+
+fn site_checks(c: &mut Criterion) {
+    // The P4b ablation: full-address-space bitmap vs bounded hash set, with
+    // 92 sites (the paper's redis count).
+    let sites: Vec<u64> = (0..92u64).map(|i| 0x7f00_0000_0000 + i * 13).collect();
+    let mut bitmap = Bitmap::new();
+    let mut set: HashSet<u64> = HashSet::new();
+    for &s in &sites {
+        bitmap.set(s);
+        set.insert(s);
+    }
+    c.bench_function("bitmap_check_hit", |b| {
+        b.iter(|| black_box(bitmap.test(black_box(sites[41]))))
+    });
+    c.bench_function("hashset_check_hit", |b| {
+        b.iter(|| black_box(set.contains(&black_box(sites[41]))))
+    });
+    c.bench_function("bitmap_check_miss", |b| {
+        b.iter(|| black_box(bitmap.test(black_box(0x1234_5678))))
+    });
+    c.bench_function("hashset_check_miss", |b| {
+        b.iter(|| black_box(set.contains(&black_box(0x1234_5678u64))))
+    });
+}
+
+fn cpu_throughput(c: &mut Criterion) {
+    use sim_cpu::{CostModel, Cpu, StepEvent};
+    use sim_mem::{AddressSpace, Perms};
+    let mut a = Asm::new();
+    a.mov_imm(Reg::Rcx, 1_000);
+    a.label("loop");
+    a.add_imm(Reg::Rax, 3);
+    a.sub_imm(Reg::Rcx, 1);
+    a.jnz("loop");
+    a.inst(sim_isa::Inst::Hlt);
+    let code = a.finish();
+    c.bench_function("cpu_simulate_3k_instructions", |b| {
+        b.iter(|| {
+            let mut mem = AddressSpace::new();
+            mem.map(0x1000, 0x1000, Perms::RX, "code").unwrap();
+            mem.write_raw(0x1000, &code).unwrap();
+            let mut cpu = Cpu::new();
+            cpu.rip = 0x1000;
+            let cost = CostModel::DEFAULT;
+            loop {
+                if let StepEvent::Hlt = cpu.step(&mut mem, 0, &cost).event {
+                    break;
+                }
+            }
+            black_box(cpu.regs[0])
+        })
+    });
+}
+
+criterion_group!(benches, codec, disassembly, site_checks, cpu_throughput);
+criterion_main!(benches);

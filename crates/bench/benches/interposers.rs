@@ -1,0 +1,50 @@
+//! Criterion benches of whole interposition mechanisms: host wall-clock per
+//! simulated stress run, one per Table 5 configuration, plus the kernel-path
+//! primitives (SUD signal round trip, ptrace stop round trip).
+
+use bench::Config;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn stress_runs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro_stress_1k_syscalls");
+    g.sample_size(10);
+    for cfg in [
+        Config::Native,
+        Config::ZpolineDefault,
+        Config::ZpolineUltra,
+        Config::Lazypoline,
+        Config::K23Default,
+        Config::K23Ultra,
+        Config::K23UltraPlus,
+        Config::SudNoInterpose,
+        Config::Sud,
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(cfg.label()), &cfg, |b, cfg| {
+            b.iter(|| black_box(bench::micro::per_iteration_cycles(*cfg, 500)))
+        });
+    }
+    g.finish();
+}
+
+fn kernel_paths(c: &mut Criterion) {
+    use interpose::{Interposer, PtraceInterposer, SudInterposer};
+    let mut g = c.benchmark_group("kernel_paths");
+    g.sample_size(10);
+    g.bench_function("sud_signal_roundtrip_500", |b| {
+        b.iter(|| black_box(bench::micro::per_iteration_cycles_with(&SudInterposer::new(), 500)))
+    });
+    g.bench_function("ptrace_stop_roundtrip_500", |b| {
+        b.iter(|| {
+            black_box(bench::micro::per_iteration_cycles_with(
+                &PtraceInterposer::new(),
+                500,
+            ))
+        })
+    });
+    let _ = &g;
+    g.finish();
+    let _: Option<Box<dyn Interposer>> = None;
+}
+
+criterion_group!(benches, stress_runs, kernel_paths);
+criterion_main!(benches);

@@ -1,0 +1,2 @@
+//! Regenerates Figure 1: instruction misidentification.
+fn main() { print!("{}", bench::figures::fig1()); }

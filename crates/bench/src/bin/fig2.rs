@@ -1,0 +1,2 @@
+//! Regenerates Figure 2: the offline phase walkthrough.
+fn main() { print!("{}", bench::figures::fig2()); }

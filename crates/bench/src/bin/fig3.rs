@@ -1,0 +1,2 @@
+//! Regenerates Figure 3: the ls offline log.
+fn main() { print!("{}", bench::figures::fig3()); }

@@ -1,0 +1,2 @@
+//! Regenerates Figure 4: the online phase walkthrough.
+fn main() { print!("{}", bench::figures::fig4()); }

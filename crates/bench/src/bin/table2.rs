@@ -1,0 +1,6 @@
+//! Regenerates Table 2: unique offline-logged syscall sites per application.
+fn main() {
+    let rows = bench::table2::run_table2(bench::scale());
+    println!("Table 2 — unique syscall/sysenter sites logged offline\n");
+    print!("{}", bench::table2::render_table2(&rows));
+}

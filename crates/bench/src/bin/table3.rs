@@ -1,0 +1,6 @@
+//! Regenerates Table 3: the pitfall matrix.
+fn main() {
+    let m = pitfalls::full_matrix();
+    println!("Table 3 — interposers vs System Call Interposition Pitfalls\n");
+    print!("{}", pitfalls::render_matrix(&m));
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table 6: macrobenchmark throughput relative to native.
+fn main() {
+    let scale = bench::scale();
+    println!("Table 6 — macrobenchmarks, relative to native (paper value in parens)\n");
+    let rows = bench::macros_::run_table6(scale);
+    print!("{}", bench::macros_::render_table6(&rows));
+}

@@ -1,0 +1,99 @@
+//! Table 2: unique `syscall`/`sysenter` sites the offline phase logs per
+//! application.
+
+use apps::{install_world, MacroSpec};
+use k23::OfflineSession;
+use sim_kernel::RunExit;
+use sim_loader::boot_kernel;
+
+/// One Table 2 row.
+#[derive(Debug, Clone)]
+pub struct SiteRow {
+    /// Application name.
+    pub app: String,
+    /// Measured unique sites.
+    pub measured: usize,
+    /// The paper's count.
+    pub paper: usize,
+}
+
+const BUDGET: u64 = 40_000_000_000_000;
+
+/// Offline-phase site count for a run-to-completion binary.
+pub fn sites_for_simple(app: &str) -> usize {
+    let mut k = boot_kernel();
+    install_world(&mut k.vfs);
+    let session = OfflineSession::new(&mut k, app);
+    let (_pid, exit) = session
+        .run_once(&mut k, &[app.to_string()], &[], BUDGET)
+        .expect("offline run");
+    assert_eq!(exit, RunExit::AllExited, "{app}");
+    session.finish(&mut k).len()
+}
+
+/// Offline-phase site count for a server spec (driven by its clients).
+pub fn sites_for_server(spec: &MacroSpec) -> usize {
+    let mut k = boot_kernel();
+    install_world(&mut k.vfs);
+    apps::install_spec_config(&mut k, spec);
+    let session = OfflineSession::new(&mut k, spec.server);
+    session
+        .spawn(&mut k, &[spec.server.to_string()], &[])
+        .expect("spawn server");
+    assert_eq!(k.run(BUDGET), RunExit::Deadlock, "server ready");
+    for _ in 0..spec.clients {
+        k.spawn(spec.client, &[], &[], None).expect("client");
+    }
+    let exit = k.run(BUDGET);
+    assert_ne!(exit, RunExit::Budget);
+    session.finish(&mut k).len()
+}
+
+/// Offline site count for sqlite.
+pub fn sites_for_sqlite(scale: u64) -> usize {
+    let mut k = boot_kernel();
+    install_world(&mut k.vfs);
+    k.vfs
+        .write_file("/etc/sqlite-sim.conf", &apps::sqlite_cfg(scale))
+        .expect("cfg");
+    let session = OfflineSession::new(&mut k, "/usr/bin/sqlite-sim");
+    let (_pid, exit) = session.run_once(&mut k, &[], &[], BUDGET).expect("run");
+    assert_eq!(exit, RunExit::AllExited);
+    session.finish(&mut k).len()
+}
+
+/// Runs the whole Table 2.
+pub fn run_table2(scale: u64) -> Vec<SiteRow> {
+    let mut rows = Vec::new();
+    for (app, paper) in apps::EXPECTED_SITES {
+        rows.push(SiteRow {
+            app: app.rsplit('/').next().unwrap_or(app).to_string(),
+            measured: sites_for_simple(app),
+            paper,
+        });
+    }
+    rows.push(SiteRow {
+        app: "sqlite-sim".into(),
+        measured: sites_for_sqlite(scale),
+        paper: 20,
+    });
+    let specs = apps::table6_specs(scale.max(20));
+    for (idx, name, paper) in [(2usize, "nginx-sim", 43), (6, "lighttpd-sim", 44), (9, "redis-sim", 92)] {
+        rows.push(SiteRow {
+            app: name.to_string(),
+            measured: sites_for_server(&specs[idx]),
+            paper,
+        });
+    }
+    rows
+}
+
+/// Renders Table 2.
+pub fn render_table2(rows: &[SiteRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:<14}{:>12}{:>10}\n", "Application", "#sites", "paper"));
+    for r in rows {
+        out.push_str(&format!("{:<14}{:>12}{:>10}\n", r.app, r.measured, r.paper));
+    }
+    out
+}

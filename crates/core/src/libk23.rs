@@ -1,0 +1,256 @@
+//! The `libK23` guest library (paper §5.2–§5.3) and its host-side
+//! initialization.
+//!
+//! Fast path: sites pre-validated by the offline phase are rewritten —
+//! once, atomically, with page permissions saved and restored — to
+//! `callq *%rax`, landing in the trampoline and then [`K23_LIB`]'s handler.
+//! The handler exploits the kernel's `rcx`/`r11` clobbering to avoid any
+//! register saves (§6.2.1), intercepts `prctl`/`execve` for the P1 defenses,
+//! and forwards the call.
+//!
+//! Fallback: any site the offline phase missed raises SIGSYS via SUD and is
+//! emulated by the fallback handler — unlike lazypoline, **nothing is ever
+//! rewritten at runtime** (addressing P3b and P5). The NULL-execution check
+//! (`-ultra`) probes a bounded hash set of the logged sites instead of a
+//! 16 TiB bitmap (addressing P4a + P4b).
+
+use crate::log::SiteLog;
+use crate::online::K23Stats;
+use crate::Variant;
+use interpose::handler_asm::{emit_sigsys_handler, SigsysHandlerOpts};
+use sim_isa::{Cond, Reg};
+use sim_kernel::{nr, Kernel, Pid};
+use sim_loader::{ImageBuilder, SimElf};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Install path of the libK23 guest library.
+pub const K23_LIB: &str = "/usr/lib/libk23.so";
+/// Fibonacci-hash multiplier for the site hash set.
+pub const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+/// log2 of the hash-set slot count (1 Ki slots ≈ 8 KiB — versus the
+/// bitmap's 16 TiB reservation; the P4b fix).
+pub const TABLE_BITS: u32 = 10;
+
+/// Builds the libK23 image for `variant`.
+pub fn build_libk23(variant: Variant) -> SimElf {
+    let mut b = ImageBuilder::new(K23_LIB);
+    b.isolated();
+    b.init("k23_ctor");
+    b.asm.label("__lib_start");
+
+    // ---- fast-path handler (entered from the trampoline) -------------------
+    b.asm.label("k23_handler");
+    if variant.null_check() {
+        // NULL-execution check: probe the hash set of pre-validated sites.
+        b.asm.load(Reg::R11, Reg::Rsp, 0);
+        b.asm.sub_imm(Reg::R11, 2); // the rewritten site address
+        b.asm.mov_imm(Reg::Rcx, GOLDEN);
+        b.asm.imul_reg(Reg::Rcx, Reg::R11);
+        b.asm.shr_imm(Reg::Rcx, 64 - TABLE_BITS as u8);
+        b.asm.shl_imm(Reg::Rcx, 3);
+        b.asm.push(Reg::Rbx);
+        b.asm.lea_label(Reg::Rbx, "__k23_table");
+        b.asm.add_reg(Reg::Rbx, Reg::Rcx);
+        b.asm.label("__k23_probe");
+        b.asm.load(Reg::Rcx, Reg::Rbx, 0);
+        b.asm.cmp_reg(Reg::Rcx, Reg::R11);
+        b.asm.jz("__k23_hit");
+        b.asm.cmp_imm(Reg::Rcx, 0);
+        b.asm.jz("__k23_abort_pop"); // empty slot: unknown caller
+        b.asm.add_imm(Reg::Rbx, 8);
+        b.asm.jmp("__k23_probe");
+        b.asm.label("__k23_hit");
+        b.asm.pop(Reg::Rbx);
+    }
+    // P1 defenses: intercept prctl (SUD-disable attempts) and execve
+    // (ptracer re-attachment + LD_PRELOAD enforcement).
+    b.asm.cmp_imm(Reg::Rax, nr::SYS_PRCTL as i32);
+    b.asm.jcc(Cond::E, "k23_prctl_guard");
+    b.asm.cmp_imm(Reg::Rax, nr::SYS_EXECVE as i32);
+    b.asm.jcc(Cond::E, "k23_execve_guard");
+    b.asm.label("k23_do_syscall");
+    if variant.stack_switch() {
+        // clone must not run the switch epilogue in the child (the child
+        // starts right after the forwarded syscall with a fresh stack and no
+        // rbx spill) — the clone special-casing every in-process interposer
+        // needs (cf. lazypoline's clone handling).
+        b.asm.cmp_imm(Reg::Rax, nr::SYS_CLONE as i32);
+        b.asm.jcc(Cond::E, "__k23_forward_noswitch");
+        // Switch to the dedicated interposer stack (§5.3). The old stack
+        // pointer is parked in a callee-saved register whose original value
+        // is spilled to the *per-thread* application stack — no shared
+        // mutable state, so the switch is thread-safe. Nothing is pushed on
+        // the dedicated stack itself.
+        b.asm.push(Reg::Rbx);
+        b.asm.mov_reg(Reg::Rbx, Reg::Rsp);
+        b.asm.lea_label(Reg::Rsp, "__k23_stack_top");
+    }
+    // The empty interposition function, then forward. The handler's own
+    // syscall is inside the SUD allowlist, so no selector toggling is
+    // needed — and rcx/r11 were already dead. This is the trampoline
+    // optimization of §6.2.1.
+    b.asm.label("__k23_forward");
+    b.asm.syscall();
+    if variant.stack_switch() {
+        b.asm.mov_reg(Reg::Rsp, Reg::Rbx);
+        b.asm.pop(Reg::Rbx);
+        b.asm.ret();
+        b.asm.label("__k23_forward_noswitch");
+        b.asm.syscall();
+    }
+    b.asm.ret();
+
+    b.asm.label("k23_prctl_guard");
+    b.asm.call("__host_k23_prctl_guard"); // aborts the process if hostile
+    b.asm.jmp("k23_do_syscall");
+    b.asm.label("k23_execve_guard");
+    b.asm.call("__host_k23_execve_reattach");
+    b.asm.jmp("k23_do_syscall");
+    if variant.null_check() {
+        b.asm.label("__k23_abort_pop");
+        b.asm.pop(Reg::Rbx);
+        b.asm.mov_imm(Reg::Rdi, 134); // 128 + SIGABRT
+        b.asm.mov_imm(Reg::Rax, nr::SYS_EXIT_GROUP);
+        b.asm.syscall();
+    }
+
+    b.hostcall_fn("__host_k23_prctl_guard");
+    b.hostcall_fn("__host_k23_execve_reattach");
+    b.hostcall_fn("__host_k23_init");
+    b.hostcall_fn("__host_k23_sud_guard");
+
+    // ---- SUD fallback handler (sites the offline phase missed) -------------
+    emit_sigsys_handler(
+        &mut b,
+        &SigsysHandlerOpts {
+            selector_label: "__k23_selector".into(),
+            handler_label: "k23_sud_handler".into(),
+            // The guard inspects the trapped call (prctl/execve defenses
+            // apply on the fallback path too). It never rewrites anything.
+            pre_call: Some("__host_k23_sud_guard".into()),
+            no_selector_toggle: false,
+            forward_label: "__k23_sud_forward".into(),
+        },
+    );
+
+    // ---- constructor --------------------------------------------------------
+    b.asm.label("k23_ctor");
+    // Host side: trampoline + selective rewrite + hash-set fill.
+    b.asm.call("__host_k23_init");
+    // rt_sigaction(SIGSYS, fallback handler)
+    b.asm.mov_imm(Reg::Rdi, nr::SIGSYS);
+    b.asm.lea_label(Reg::Rsi, "k23_sud_handler");
+    b.asm.mov_imm(Reg::Rax, nr::SYS_RT_SIGACTION);
+    b.asm.syscall();
+    // prctl(PR_SET_SYSCALL_USER_DISPATCH, ON, lib_start, 1 MiB, selector)
+    b.asm.mov_imm(Reg::Rdi, nr::PR_SET_SYSCALL_USER_DISPATCH);
+    b.asm.mov_imm(Reg::Rsi, nr::PR_SYS_DISPATCH_ON);
+    b.asm.lea_label(Reg::Rdx, "__lib_start");
+    b.asm.mov_imm(Reg::R10, 0x10_0000);
+    b.asm.lea_label(Reg::R8, "__k23_selector");
+    b.asm.mov_imm(Reg::Rax, nr::SYS_PRCTL);
+    b.asm.syscall();
+    // selector = BLOCK: interposition is live from here.
+    b.asm.lea_label(Reg::R11, "__k23_selector");
+    b.asm.mov_imm(Reg::Rcx, nr::SYSCALL_DISPATCH_FILTER_BLOCK as u64);
+    b.asm.store_byte(Reg::R11, 0, Reg::Rcx);
+    // Fake syscall 600: request the ptracer's state handoff into
+    // __k23_state (the kernel routes unknown numbers to the tracer, §5.3).
+    b.asm.lea_label(Reg::Rdi, "__k23_state");
+    b.asm.mov_imm(Reg::Rax, nr::SYS_K23_HANDOFF);
+    b.asm.label("__k23_fake1");
+    b.asm.syscall();
+    // Fake syscall 601: tell the ptracer to detach.
+    b.asm.mov_imm(Reg::Rax, nr::SYS_K23_DETACH);
+    b.asm.label("__k23_fake2");
+    b.asm.syscall();
+    b.asm.ret();
+
+    // ---- data ----------------------------------------------------------------
+    b.data_object("__k23_selector", &[nr::SYSCALL_DISPATCH_FILTER_ALLOW]);
+    b.data_object("__k23_state", &[0u8; 64]);
+    if variant.null_check() {
+        b.data_object("__k23_table", &vec![0u8; 8 << TABLE_BITS]);
+    }
+    if variant.stack_switch() {
+        b.data_object("__k23_stack_area", &[0u8; 4096]);
+        b.data_object("__k23_stack_top", &[0u8; 16]);
+    }
+    b.finish()
+}
+
+/// Host side of `__host_k23_init`: trampoline installation, selective
+/// rewriting of offline-validated sites, and hash-set population.
+pub fn k23_init(k: &mut Kernel, pid: Pid, variant: Variant, stats: &Rc<RefCell<K23Stats>>) {
+    let (handler, exe) = {
+        let p = k.process(pid).expect("proc");
+        (p.symbols["libk23.so:k23_handler"], p.exe.clone())
+    };
+    zpoline::install_trampoline(k, pid, handler, "[k23-trampoline]");
+
+    // Resolve offline-logged (region, offset) pairs against the current
+    // layout and validate each before rewriting: the region must still be
+    // executable and non-writable and the bytes must actually encode
+    // syscall/sysenter. Only these pre-validated sites are ever rewritten
+    // (addressing P3a/P3b).
+    let log = SiteLog::load(&k.vfs, &exe).unwrap_or_default();
+    let mut resolved: Vec<u64> = Vec::new();
+    {
+        let p = k.process_mut(pid).expect("proc");
+        for e in &log.entries {
+            let Some(base) = p.lib_bases.get(&e.region).copied() else {
+                continue;
+            };
+            let addr = base + e.offset;
+            let valid_region = p
+                .space
+                .mapping_at(addr)
+                .map(|m| m.perms.executable() && !m.perms.writable() && m.name == e.region)
+                .unwrap_or(false);
+            if !valid_region {
+                continue;
+            }
+            let mut bytes = [0u8; 2];
+            if p.space.read_raw(addr, &mut bytes).is_err() {
+                continue;
+            }
+            if bytes != sim_isa::SYSCALL_BYTES && bytes != sim_isa::SYSENTER_BYTES {
+                continue;
+            }
+            resolved.push(addr);
+        }
+    }
+    for &site in &resolved {
+        // One-time, atomic, permission-preserving rewrite (addressing P5).
+        zpoline::rewrite_site_properly(k, pid, site);
+    }
+
+    if variant.null_check() {
+        let table = k.process(pid).expect("proc").symbols["libk23.so:__k23_table"];
+        let slots = 1u64 << TABLE_BITS;
+        let p = k.process_mut(pid).expect("proc");
+        for &site in &resolved {
+            let mut slot = GOLDEN.wrapping_mul(site) >> (64 - TABLE_BITS);
+            loop {
+                assert!(slot < slots, "hash set over-full; raise TABLE_BITS");
+                let addr = table + slot * 8;
+                let mut cur = [0u8; 8];
+                p.space.read_raw(addr, &mut cur).expect("table readable");
+                if u64::from_le_bytes(cur) == 0 {
+                    p.space
+                        .write_raw(addr, &site.to_le_bytes())
+                        .expect("table writable");
+                    break;
+                }
+                slot += 1;
+            }
+        }
+    }
+
+    let mut s = stats.borrow_mut();
+    s.rewritten = resolved;
+    s.table_bytes = if variant.null_check() { 8 << TABLE_BITS } else { 0 };
+    drop(s);
+    k.mark_interposer_live(pid);
+}

@@ -1,0 +1,138 @@
+//! The offline-phase site log (paper §5.1, Figure 3).
+//!
+//! Each entry is a *(region, offset)* pair: the mapping that contained a
+//! trapping `syscall`/`sysenter` instruction and the instruction's offset
+//! within it. Offsets within a region are stable across runs even under
+//! ASLR, so the online phase can map entries back to virtual addresses.
+
+use serde::{Deserialize, Serialize};
+use sim_kernel::Vfs;
+use std::collections::BTreeSet;
+
+/// Directory holding offline logs; marked immutable once the offline phase
+/// completes (§5.3).
+pub const LOG_DIR: &str = "/k23/logs";
+
+/// One logged site.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SiteEntry {
+    /// Mapping name, e.g. `/usr/lib/libc-sim.so.6`.
+    pub region: String,
+    /// Byte offset of the instruction within the mapping.
+    pub offset: u64,
+}
+
+/// The offline log for one application.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SiteLog {
+    /// Application path the log was collected for.
+    pub app: String,
+    /// Unique logged sites.
+    pub entries: BTreeSet<SiteEntry>,
+}
+
+impl SiteLog {
+    /// A fresh, empty log for `app`.
+    pub fn new(app: &str) -> SiteLog {
+        SiteLog {
+            app: app.to_string(),
+            entries: BTreeSet::new(),
+        }
+    }
+
+    /// Canonical VFS path of the log for `app`.
+    pub fn path_for(app: &str) -> String {
+        let base = app.rsplit('/').next().unwrap_or(app);
+        format!("{LOG_DIR}/{base}.log")
+    }
+
+    /// Number of unique sites (the Table 2 metric).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing was logged.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Saves the log into the VFS.
+    ///
+    /// # Errors
+    ///
+    /// Propagates VFS errors (e.g. `-EPERM` if the log dir is immutable).
+    pub fn save(&self, vfs: &mut Vfs) -> Result<(), u64> {
+        let data = serde_json::to_vec_pretty(self).expect("log serializes");
+        vfs.write_file(&Self::path_for(&self.app), &data)
+    }
+
+    /// Loads the log for `app`, if present and well-formed.
+    pub fn load(vfs: &Vfs, app: &str) -> Option<SiteLog> {
+        let data = vfs.read_file(&Self::path_for(app)).ok()?;
+        serde_json::from_slice(data).ok()
+    }
+
+    /// Renders the Figure 3 textual form: `region,offset` per line.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        for e in &self.entries {
+            s.push_str(&format!("{},{}\n", e.region, e.offset));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn save_load_roundtrip() {
+        let mut log = SiteLog::new("/usr/bin/ls-sim");
+        log.entries.insert(SiteEntry {
+            region: "/usr/lib/libc-sim.so.6".into(),
+            offset: 1153562,
+        });
+        log.entries.insert(SiteEntry {
+            region: "/usr/lib/libc-sim.so.6".into(),
+            offset: 943685,
+        });
+        let mut vfs = Vfs::new();
+        log.save(&mut vfs).unwrap();
+        let back = SiteLog::load(&vfs, "/usr/bin/ls-sim").unwrap();
+        assert_eq!(back, log);
+        assert_eq!(back.len(), 2);
+    }
+
+    #[test]
+    fn entries_deduplicate() {
+        let mut log = SiteLog::new("x");
+        for _ in 0..5 {
+            log.entries.insert(SiteEntry {
+                region: "libc".into(),
+                offset: 7,
+            });
+        }
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn render_matches_figure3_shape() {
+        let mut log = SiteLog::new("ls");
+        log.entries.insert(SiteEntry {
+            region: "/usr/lib/libc-sim.so.6".into(),
+            offset: 11536,
+        });
+        let r = log.render();
+        assert_eq!(r, "/usr/lib/libc-sim.so.6,11536\n");
+    }
+
+    #[test]
+    fn immutable_dir_blocks_save() {
+        let mut vfs = Vfs::new();
+        let log = SiteLog::new("app");
+        log.save(&mut vfs).unwrap();
+        vfs.set_immutable(LOG_DIR, true).unwrap();
+        assert!(log.save(&mut vfs).is_err());
+    }
+}

@@ -1,0 +1,184 @@
+//! K23's online-phase ptracer (paper §5.2, §5.3) and the LD_PRELOAD
+//! enforcement logic shared with the offline phase's injector guard.
+//!
+//! The ptracer interposes **every** syscall from the program's first
+//! instruction until libK23 announces itself — the only way to cover
+//! startup and loader syscalls without OS modifications (addressing P2b) —
+//! and rewrites `execve` environments so the interposition library can
+//! never be silently dropped (addressing P1a). It then hands its
+//! accumulated state to libK23 through *fake syscalls* (numbers 600/601)
+//! and detaches.
+
+use crate::K23_LIB;
+use interpose::env_with_preload;
+use sim_isa::Reg;
+use sim_kernel::{nr, Kernel, Pid, Stop, Tid, Tracer, TracerAction};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Builds a corrected environment block for a pending `execve` such that
+/// `LD_PRELOAD` contains `lib`, placed in scratch space far below the
+/// tracee's stack pointer (the standard cross-process fixup a real ptracer
+/// performs with `process_vm_writev`).
+///
+/// Returns the guest address of the new `envp` array, or `None` when the
+/// existing environment already contains the library (or on error). The
+/// caller decides where to apply it: the live `rdx` (fast path / ptracer
+/// stop) or the saved `rdx` slot of a signal frame (SUD fallback path).
+pub fn build_fixed_envp(k: &mut Kernel, pid: Pid, tid: Tid, envp: u64, lib: &str) -> Option<u64> {
+    // Read the existing environment.
+    let mut env: Vec<String> = Vec::new();
+    if envp != 0 {
+        for i in 0..256 {
+            let Ok(b) = k.tr_read(pid, envp + i * 8, 8) else {
+                break;
+            };
+            let ptr = u64::from_le_bytes(b.try_into().expect("8 bytes"));
+            if ptr == 0 {
+                break;
+            }
+            let Some(s) = k.tr_read_cstr(pid, ptr) else {
+                break;
+            };
+            env.push(s);
+        }
+    }
+    let fixed = env_with_preload(&env, lib);
+    if fixed == env && envp != 0 {
+        return None; // already present
+    }
+
+    // Write the corrected block below the tracee's stack.
+    let cpu = k.tr_getregs(pid, tid)?;
+    let mut cursor = (cpu.get(Reg::Rsp) - 0x8000) & !7;
+    let mut ptrs = Vec::new();
+    for s in &fixed {
+        let mut bytes = s.clone().into_bytes();
+        bytes.push(0);
+        cursor -= bytes.len() as u64;
+        k.tr_write(pid, cursor, &bytes).ok()?;
+        ptrs.push(cursor);
+    }
+    cursor &= !7;
+    cursor -= 8;
+    k.tr_write(pid, cursor, &0u64.to_le_bytes()).ok()?;
+    for p in ptrs.iter().rev() {
+        cursor -= 8;
+        k.tr_write(pid, cursor, &p.to_le_bytes()).ok()?;
+    }
+    Some(cursor)
+}
+
+/// [`build_fixed_envp`] + repointing the *live* `rdx` at the new array
+/// (for ptracer syscall-enter stops and the fast-path guard).
+pub fn force_preload_in_execve(k: &mut Kernel, pid: Pid, tid: Tid, envp: u64, lib: &str) {
+    if let Some(new_envp) = build_fixed_envp(k, pid, tid, envp, lib) {
+        if let Some(mut cpu) = k.tr_getregs(pid, tid) {
+            cpu.set(Reg::Rdx, new_envp);
+            k.tr_setregs(pid, tid, cpu);
+        }
+    }
+}
+
+/// Shared state of a [`K23Ptracer`], observable by the host side of K23.
+#[derive(Debug, Default)]
+pub struct PtracerState {
+    /// Syscalls interposed during startup (before detach) — handed off to
+    /// libK23 via the fake syscall.
+    pub startup_syscalls: u64,
+    /// Fake handoff syscalls served.
+    pub handoffs: u64,
+    /// Times the tracer had to force `LD_PRELOAD` back into an `execve`.
+    pub preload_fixes: u64,
+    /// Fake syscalls rejected because they did not originate from libK23
+    /// (the §5.3 security check).
+    pub rejected_fakes: u64,
+}
+
+/// The online-phase ptracer.
+#[derive(Debug, Default)]
+pub struct K23Ptracer {
+    /// Observable state.
+    pub state: Rc<RefCell<PtracerState>>,
+}
+
+impl K23Ptracer {
+    /// A fresh ptracer sharing `state`.
+    pub fn with_state(state: Rc<RefCell<PtracerState>>) -> K23Ptracer {
+        K23Ptracer { state }
+    }
+
+    fn site_in_libk23(k: &Kernel, pid: Pid, site: u64) -> bool {
+        k.process(pid)
+            .and_then(|p| p.space.mapping_at(site))
+            .map(|m| m.name == K23_LIB)
+            .unwrap_or(false)
+    }
+}
+
+impl Tracer for K23Ptracer {
+    fn on_stop(&mut self, k: &mut Kernel, pid: Pid, tid: Tid, stop: &Stop) -> TracerAction {
+        match stop {
+            Stop::SyscallEnter { nr: n, args, site } => match *n {
+                nr::SYS_EXECVE => {
+                    // P1a defense: the new image must preload libK23.
+                    self.state.borrow_mut().preload_fixes += 1;
+                    force_preload_in_execve(k, pid, tid, args[2], K23_LIB);
+                    self.state.borrow_mut().startup_syscalls += 1;
+                    TracerAction::Continue
+                }
+                nr::SYS_K23_HANDOFF => {
+                    // §5.3 security check: fake syscalls must originate from
+                    // libK23 itself, not from compromised code.
+                    if !Self::site_in_libk23(k, pid, *site) {
+                        self.state.borrow_mut().rejected_fakes += 1;
+                        return TracerAction::Kill;
+                    }
+                    let st = self.state.borrow().startup_syscalls;
+                    // process_vm_writev-style transfer into libK23's state
+                    // area (address passed in the fake syscall's first arg).
+                    let _ = k.tr_write(pid, args[0], &st.to_le_bytes());
+                    self.state.borrow_mut().handoffs += 1;
+                    TracerAction::SkipSyscall { ret: 0 }
+                }
+                nr::SYS_K23_DETACH => {
+                    if !Self::site_in_libk23(k, pid, *site) {
+                        self.state.borrow_mut().rejected_fakes += 1;
+                        return TracerAction::Kill;
+                    }
+                    TracerAction::Detach
+                }
+                _ => {
+                    // The empty interposition function: observe and forward.
+                    self.state.borrow_mut().startup_syscalls += 1;
+                    TracerAction::Continue
+                }
+            },
+            _ => TracerAction::Continue,
+        }
+    }
+}
+
+/// A minimal injector guard for the *offline* phase: its sole job is to keep
+/// the logger library in `LD_PRELOAD` across `execve` (paper §5.3 — "purely
+/// to maximize coverage, not for security enforcement").
+#[derive(Debug)]
+pub struct PreloadGuard {
+    /// Library to keep injected.
+    pub lib: String,
+}
+
+impl Tracer for PreloadGuard {
+    fn on_stop(&mut self, k: &mut Kernel, pid: Pid, tid: Tid, stop: &Stop) -> TracerAction {
+        if let Stop::SyscallEnter {
+            nr: n, args, ..
+        } = stop
+        {
+            if *n == nr::SYS_EXECVE {
+                let lib = self.lib.clone();
+                force_preload_in_execve(k, pid, tid, args[2], &lib);
+            }
+        }
+        TracerAction::Continue
+    }
+}

@@ -1,0 +1,149 @@
+//! Shared guest-assembly emitters for SUD-based interposition.
+//!
+//! These produce the in-guest code paths every SUD-using interposer needs:
+//! the SIGSYS handler that performs interposer logic by *modifying the
+//! signal context directly* (paper §2.1), and the constructor that installs
+//! the handler and arms Syscall User Dispatch.
+
+use sim_isa::Reg;
+use sim_kernel::signal::{uc_reg, SI_CALL_ADDR, SI_SIGNO};
+use sim_kernel::nr;
+use sim_loader::ImageBuilder;
+
+/// Configuration for [`emit_sigsys_handler`].
+#[derive(Debug, Clone, Default)]
+pub struct SigsysHandlerOpts {
+    /// Label of the guest data byte used as the SUD selector.
+    pub selector_label: String,
+    /// Label the handler is defined at.
+    pub handler_label: String,
+    /// Optional code label called *before* emulating the syscall, with
+    /// `rdi = si_call_addr` (the trapping instruction's address) and
+    /// `rsi = saved rax` (the syscall number). lazypoline points this at its
+    /// rewrite hostcall; libLogger at its logging hostcall.
+    pub pre_call: Option<String>,
+    /// Skip the selector toggling (for handlers whose own syscalls are
+    /// covered by the SUD allowlist, like libK23's).
+    pub no_selector_toggle: bool,
+    /// Label placed on the forwarding `syscall` instruction so executions at
+    /// that exact site can be counted as interposed. Defaults to
+    /// `__interpose_forward` when empty.
+    pub forward_label: String,
+}
+
+/// Emits the standard SIGSYS interposition handler.
+///
+/// On entry (per the kernel's signal ABI): `rdi` = signo, `rsi` = siginfo*,
+/// `rdx` = ucontext*. The handler:
+///
+/// 1. sets the selector to ALLOW (unless covered by an allowlist),
+/// 2. optionally calls `pre_call(si_call_addr, nr)`,
+/// 3. reloads the trapped syscall's registers from the saved context and
+///    re-issues the syscall (the *empty interposition function*),
+/// 4. stores the result into the saved `rax`,
+/// 5. restores the selector to BLOCK and `rt_sigreturn`s.
+pub fn emit_sigsys_handler(b: &mut ImageBuilder, opts: &SigsysHandlerOpts) {
+    let a = &mut b.asm;
+    a.label(&opts.handler_label);
+    // Stash siginfo/ucontext in callee-ish scratch (everything is restored
+    // by sigreturn anyway).
+    a.mov_reg(Reg::R14, Reg::Rdx);
+    a.mov_reg(Reg::R13, Reg::Rsi);
+    if !opts.no_selector_toggle {
+        a.lea_label(Reg::R11, &opts.selector_label);
+        a.mov_imm(Reg::Rcx, nr::SYSCALL_DISPATCH_FILTER_ALLOW as u64);
+        a.store_byte(Reg::R11, 0, Reg::Rcx);
+    }
+    if let Some(pre) = opts.pre_call.clone() {
+        // rdi = si_call_addr; rsi = saved rax (the syscall number).
+        a.load(Reg::Rdi, Reg::R13, (SI_CALL_ADDR - SI_SIGNO) as i32);
+        a.load(Reg::Rsi, Reg::R14, uc_reg(Reg::Rax) as i32);
+        a.call(&pre);
+    }
+    // Reload the trapped call's registers from the saved context.
+    a.load(Reg::Rax, Reg::R14, uc_reg(Reg::Rax) as i32);
+    a.load(Reg::Rdi, Reg::R14, uc_reg(Reg::Rdi) as i32);
+    a.load(Reg::Rsi, Reg::R14, uc_reg(Reg::Rsi) as i32);
+    a.load(Reg::Rdx, Reg::R14, uc_reg(Reg::Rdx) as i32);
+    a.load(Reg::R10, Reg::R14, uc_reg(Reg::R10) as i32);
+    a.load(Reg::R8, Reg::R14, uc_reg(Reg::R8) as i32);
+    a.load(Reg::R9, Reg::R14, uc_reg(Reg::R9) as i32);
+    // Hook point (empty interposition function) + forward the syscall.
+    if opts.forward_label.is_empty() {
+        a.label("__interpose_forward");
+    } else {
+        let label = opts.forward_label.clone();
+        a.label(&label);
+    }
+    a.syscall();
+    a.store(Reg::R14, uc_reg(Reg::Rax) as i32, Reg::Rax);
+    if !opts.no_selector_toggle {
+        a.lea_label(Reg::R11, &opts.selector_label);
+        a.mov_imm(Reg::Rcx, nr::SYSCALL_DISPATCH_FILTER_BLOCK as u64);
+        a.store_byte(Reg::R11, 0, Reg::Rcx);
+    }
+    a.mov_imm(Reg::Rax, nr::SYS_RT_SIGRETURN);
+    let sigreturn_label = if opts.forward_label.is_empty() {
+        "__interpose_forward_sigreturn".to_string()
+    } else {
+        format!("{}_sigreturn", opts.forward_label)
+    };
+    a.label(&sigreturn_label);
+    a.syscall();
+}
+
+/// Configuration for [`emit_sud_ctor`].
+#[derive(Debug, Clone)]
+pub struct SudCtorOpts {
+    /// Constructor label to define.
+    pub ctor_label: String,
+    /// SIGSYS handler label (already emitted).
+    pub handler_label: String,
+    /// Selector byte data label.
+    pub selector_label: String,
+    /// Arm SUD with an allowlist covering this library (from the label at
+    /// offset 0, `lib_start_label`, for `allowlist_len` bytes). `None` arms
+    /// with an empty allowlist.
+    pub allowlist: Option<(String, u64)>,
+    /// Initial selector value (BLOCK enables interposition; ALLOW arms SUD
+    /// without interposition — the paper's "SUD-no-interposition" row).
+    pub initial_selector: u8,
+    /// Hostcall label invoked at the end of the constructor (init hook).
+    pub init_hostcall: Option<String>,
+}
+
+/// Emits a constructor that registers the SIGSYS handler, arms SUD via
+/// `prctl`, sets the selector, and invokes the init hostcall.
+pub fn emit_sud_ctor(b: &mut ImageBuilder, opts: &SudCtorOpts) {
+    let a = &mut b.asm;
+    a.label(&opts.ctor_label);
+    // rt_sigaction(SIGSYS, handler)
+    a.mov_imm(Reg::Rdi, nr::SIGSYS);
+    a.lea_label(Reg::Rsi, &opts.handler_label);
+    a.mov_imm(Reg::Rax, nr::SYS_RT_SIGACTION);
+    a.syscall();
+    // prctl(PR_SET_SYSCALL_USER_DISPATCH, ON, start, len, selector)
+    a.mov_imm(Reg::Rdi, nr::PR_SET_SYSCALL_USER_DISPATCH);
+    a.mov_imm(Reg::Rsi, nr::PR_SYS_DISPATCH_ON);
+    match &opts.allowlist {
+        Some((start_label, len)) => {
+            a.lea_label(Reg::Rdx, start_label);
+            a.mov_imm(Reg::R10, *len);
+        }
+        None => {
+            a.mov_imm(Reg::Rdx, 0);
+            a.mov_imm(Reg::R10, 0);
+        }
+    }
+    a.lea_label(Reg::R8, &opts.selector_label);
+    a.mov_imm(Reg::Rax, nr::SYS_PRCTL);
+    a.syscall();
+    // Selector: from here on, syscalls outside the allowlist dispatch.
+    a.lea_label(Reg::R11, &opts.selector_label);
+    a.mov_imm(Reg::Rcx, opts.initial_selector as u64);
+    a.store_byte(Reg::R11, 0, Reg::Rcx);
+    if let Some(hc) = opts.init_hostcall.clone() {
+        a.call(&hc);
+    }
+    a.ret();
+}

@@ -1,0 +1,129 @@
+//! # interpose — the common interposition API and baseline interposers
+//!
+//! Defines the [`Interposer`] trait every mechanism in this reproduction
+//! implements (native, SUD, ptrace, zpoline, lazypoline, K23), plus the
+//! shared guest-assembly emitters for SUD signal handlers and constructors
+//! ([`handler_asm`]).
+//!
+//! Per the paper's methodology (§6.2), every interposer's hook is the
+//! *empty interposition function*: it simply forwards the original syscall
+//! and returns its result, isolating the cost of the mechanism itself.
+
+pub mod handler_asm;
+pub mod ptrace;
+pub mod sud;
+
+pub use ptrace::PtraceInterposer;
+pub use sud::{SudInterposer, SudMode};
+
+use sim_kernel::{Kernel, Pid};
+
+/// A system call interposition mechanism.
+pub trait Interposer {
+    /// Short display name (matches the paper's configuration labels).
+    fn label(&self) -> String;
+
+    /// Installs guest libraries into the VFS and registers hostcalls.
+    /// Must be called once per kernel before [`Interposer::spawn`].
+    fn prepare(&self, k: &mut Kernel);
+
+    /// Spawns `path` under this interposer.
+    ///
+    /// # Errors
+    ///
+    /// Returns `-errno` when the image cannot be loaded.
+    fn spawn(
+        &self,
+        k: &mut Kernel,
+        path: &str,
+        argv: &[String],
+        env: &[String],
+    ) -> Result<Pid, i64>;
+
+    /// The guest region containing this mechanism's handler library, if any.
+    fn handler_region(&self) -> Option<String> {
+        None
+    }
+
+    /// Fully-qualified symbol names (`"lib basename:symbol"`) of the
+    /// handler's *forwarding* `syscall` instructions. Every interposed call
+    /// is re-issued from one of these exact sites, so counting executions at
+    /// them measures interposition precisely (setup syscalls excluded).
+    fn forward_symbols(&self) -> Vec<String> {
+        Vec::new()
+    }
+
+    /// How many of `pid`'s executed syscalls were demonstrably interposed.
+    fn interposed_count(&self, k: &Kernel, pid: Pid) -> u64 {
+        let Some(p) = k.process(pid) else {
+            return 0;
+        };
+        self.forward_symbols()
+            .iter()
+            .filter_map(|s| p.symbols.get(s))
+            .map(|addr| p.stats.syscalls_at_site(*addr))
+            .sum()
+    }
+}
+
+/// No interposition at all — the native baseline.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Native;
+
+impl Interposer for Native {
+    fn label(&self) -> String {
+        "native".to_string()
+    }
+
+    fn prepare(&self, _k: &mut Kernel) {}
+
+    fn spawn(
+        &self,
+        k: &mut Kernel,
+        path: &str,
+        argv: &[String],
+        env: &[String],
+    ) -> Result<Pid, i64> {
+        k.spawn(path, argv, env, None)
+    }
+}
+
+/// Adds (or extends) `LD_PRELOAD` in an environment vector.
+pub fn env_with_preload(env: &[String], lib: &str) -> Vec<String> {
+    let mut out = Vec::with_capacity(env.len() + 1);
+    let mut done = false;
+    for e in env {
+        if let Some(v) = e.strip_prefix("LD_PRELOAD=") {
+            if v.split(':').any(|p| p == lib) {
+                out.push(e.clone());
+            } else {
+                out.push(format!("LD_PRELOAD={v}:{lib}"));
+            }
+            done = true;
+        } else {
+            out.push(e.clone());
+        }
+    }
+    if !done {
+        out.push(format!("LD_PRELOAD={lib}"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_with_preload_inserts_and_extends() {
+        assert_eq!(env_with_preload(&[], "/lib/a.so"), vec!["LD_PRELOAD=/lib/a.so"]);
+        let e = vec!["PATH=/bin".to_string(), "LD_PRELOAD=/lib/a.so".to_string()];
+        assert_eq!(
+            env_with_preload(&e, "/lib/b.so"),
+            vec!["PATH=/bin", "LD_PRELOAD=/lib/a.so:/lib/b.so"]
+        );
+        // Idempotent.
+        let e2 = env_with_preload(&e, "/lib/a.so");
+        assert_eq!(e2[1], "LD_PRELOAD=/lib/a.so");
+    }
+}

@@ -1,0 +1,135 @@
+//! # pitfalls — PoC programs and the Table 3 evaluation matrix
+//!
+//! Executable reproductions of the paper's System Call Interposition
+//! Pitfalls (§4): each PoC ([`pocs`]) triggers one scenario; the matrix
+//! ([`matrix`]) runs every PoC under zpoline, lazypoline, and K23 and
+//! records who defends what — regenerating Table 3.
+
+pub mod matrix;
+pub mod pocs;
+
+pub use matrix::{
+    evaluate, full_matrix, p4b_footprint, render_matrix, P4bFootprint, Pitfall, Subject, Verdict,
+    P4B_THRESHOLD_BYTES,
+};
+pub use pocs::install_pocs;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matrix::{Pitfall::*, Subject::*, Verdict::*};
+
+    /// The paper's Table 3, as ground truth.
+    fn expected(s: Subject, p: Pitfall) -> Verdict {
+        match (s, p) {
+            (Zpoline, P1a) => Vulnerable,
+            (Zpoline, P1b) => Handled,
+            (Zpoline, P2a) => Vulnerable,
+            (Zpoline, P2b) => Vulnerable,
+            (Zpoline, P3a) => Vulnerable,
+            (Zpoline, P3b) => Handled,
+            (Zpoline, P4a) => Handled,
+            (Zpoline, P4b) => Vulnerable,
+            (Zpoline, P5) => Handled,
+            (Lazypoline, P1a) => Vulnerable,
+            (Lazypoline, P1b) => Vulnerable,
+            (Lazypoline, P2a) => Handled,
+            (Lazypoline, P2b) => Vulnerable,
+            (Lazypoline, P3a) => Handled,
+            (Lazypoline, P3b) => Vulnerable,
+            (Lazypoline, P4a) => Vulnerable,
+            (Lazypoline, P4b) => Handled,
+            (Lazypoline, P5) => Vulnerable,
+            (K23, _) => Handled,
+        }
+    }
+
+    #[test]
+    fn p1a_matches_table3() {
+        for s in Subject::ALL {
+            assert_eq!(evaluate(s, P1a), expected(s, P1a), "{}", s.label());
+        }
+    }
+
+    #[test]
+    fn p1b_matches_table3() {
+        for s in Subject::ALL {
+            assert_eq!(evaluate(s, P1b), expected(s, P1b), "{}", s.label());
+        }
+    }
+
+    #[test]
+    fn p2a_matches_table3() {
+        for s in Subject::ALL {
+            assert_eq!(evaluate(s, P2a), expected(s, P2a), "{}", s.label());
+        }
+    }
+
+    #[test]
+    fn p2b_matches_table3() {
+        for s in Subject::ALL {
+            assert_eq!(evaluate(s, P2b), expected(s, P2b), "{}", s.label());
+        }
+    }
+
+    #[test]
+    fn p3a_matches_table3() {
+        for s in Subject::ALL {
+            assert_eq!(evaluate(s, P3a), expected(s, P3a), "{}", s.label());
+        }
+    }
+
+    #[test]
+    fn p3b_matches_table3() {
+        for s in Subject::ALL {
+            assert_eq!(evaluate(s, P3b), expected(s, P3b), "{}", s.label());
+        }
+    }
+
+    #[test]
+    fn p4a_matches_table3() {
+        for s in Subject::ALL {
+            assert_eq!(evaluate(s, P4a), expected(s, P4a), "{}", s.label());
+        }
+    }
+
+    #[test]
+    fn p4b_matches_table3_and_footprints_contrast() {
+        for s in Subject::ALL {
+            assert_eq!(evaluate(s, P4b), expected(s, P4b), "{}", s.label());
+        }
+        let zp = p4b_footprint(Zpoline);
+        let k = p4b_footprint(K23);
+        // zpoline reserves TiBs; K23 needs KiBs.
+        assert!(zp.reserved > (1 << 40), "zpoline reserved {}", zp.reserved);
+        assert!(k.reserved <= (1 << 20), "K23 reserved {}", k.reserved);
+        assert!(zp.reserved / k.reserved.max(1) > 1_000_000);
+    }
+
+    #[test]
+    fn p5_matches_table3() {
+        for s in Subject::ALL {
+            assert_eq!(evaluate(s, P5), expected(s, P5), "{}", s.label());
+        }
+    }
+
+    #[test]
+    fn render_produces_all_cells() {
+        // Render a synthetic matrix (avoid re-running everything).
+        let matrix: Vec<(Subject, Vec<(Pitfall, Verdict)>)> = Subject::ALL
+            .iter()
+            .map(|s| {
+                (
+                    *s,
+                    Pitfall::ALL.iter().map(|p| (*p, expected(*s, *p))).collect(),
+                )
+            })
+            .collect();
+        let text = render_matrix(&matrix);
+        assert_eq!(text.lines().count(), 10);
+        assert!(text.contains("zpoline"));
+        assert!(text.contains("K23"));
+        assert!(text.contains('✗'));
+        assert!(text.contains('✓'));
+    }
+}

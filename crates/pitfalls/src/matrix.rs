@@ -1,0 +1,407 @@
+//! The pitfall evaluation matrix (paper Table 3): run every PoC under every
+//! interposer and record who defends what.
+
+use crate::pocs::{self, EXIT_CORRUPT};
+use interpose::Interposer;
+use k23::{OfflineSession, Variant, K23};
+use lazypoline::Lazypoline;
+use sim_kernel::{Kernel, Pid};
+use sim_loader::boot_kernel;
+use zpoline::Zpoline;
+
+/// The interposers under evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Subject {
+    /// zpoline (ultra for the P4 rows — the variant that offers the check).
+    Zpoline,
+    /// lazypoline (stretched torn window for P5).
+    Lazypoline,
+    /// K23 (ultra for the P4 rows; offline phase run on the PoC first).
+    K23,
+}
+
+impl Subject {
+    /// All subjects, in Table 3 column order.
+    pub const ALL: [Subject; 3] = [Subject::Zpoline, Subject::Lazypoline, Subject::K23];
+
+    /// Display name.
+    pub fn label(self) -> &'static str {
+        match self {
+            Subject::Zpoline => "zpoline",
+            Subject::Lazypoline => "lazypoline",
+            Subject::K23 => "K23",
+        }
+    }
+}
+
+/// One pitfall scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Pitfall {
+    /// Interposition bypass via environment clearing (Listing 1).
+    P1a,
+    /// Interposition bypass via `prctl` SUD-disable (Listing 2).
+    P1b,
+    /// Overlooked syscalls: dynamically generated code.
+    P2a,
+    /// Overlooked syscalls: startup + vDSO.
+    P2b,
+    /// Misidentification by static disassembly.
+    P3a,
+    /// Attack-induced misidentification (runtime rewriting of data).
+    P3b,
+    /// NULL-execution without a check.
+    P4a,
+    /// Check-structure memory overhead.
+    P4b,
+    /// Runtime rewriting races (torn writes).
+    P5,
+}
+
+impl Pitfall {
+    /// All pitfalls, in Table 3 row order.
+    pub const ALL: [Pitfall; 9] = [
+        Pitfall::P1a,
+        Pitfall::P1b,
+        Pitfall::P2a,
+        Pitfall::P2b,
+        Pitfall::P3a,
+        Pitfall::P3b,
+        Pitfall::P4a,
+        Pitfall::P4b,
+        Pitfall::P5,
+    ];
+
+    /// Display name.
+    pub fn label(self) -> &'static str {
+        match self {
+            Pitfall::P1a => "P1a",
+            Pitfall::P1b => "P1b",
+            Pitfall::P2a => "P2a",
+            Pitfall::P2b => "P2b",
+            Pitfall::P3a => "P3a",
+            Pitfall::P3b => "P3b",
+            Pitfall::P4a => "P4a",
+            Pitfall::P4b => "P4b",
+            Pitfall::P5 => "P5",
+        }
+    }
+}
+
+/// Whether the interposer defended the scenario (✓) or not (✗).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Pitfall handled or not relevant to the design.
+    Handled,
+    /// Pitfall triggered: bypass, blind spot, corruption, or crash.
+    Vulnerable,
+}
+
+impl Verdict {
+    /// Table 3 glyph.
+    pub fn glyph(self) -> &'static str {
+        match self {
+            Verdict::Handled => "✓",
+            Verdict::Vulnerable => "✗",
+        }
+    }
+}
+
+const BUDGET: u64 = 500_000_000_000;
+
+fn fresh_kernel() -> Kernel {
+    let mut k = boot_kernel();
+    pocs::install_pocs(&mut k.vfs);
+    k
+}
+
+fn make_interposer(s: Subject, p: Pitfall) -> Box<dyn Interposer> {
+    match s {
+        Subject::Zpoline => {
+            if matches!(p, Pitfall::P4a | Pitfall::P4b) {
+                Box::new(Zpoline::ultra())
+            } else {
+                Box::new(Zpoline::default_variant())
+            }
+        }
+        Subject::Lazypoline => {
+            if p == Pitfall::P5 {
+                Box::new(Lazypoline::with_torn_window(200_000))
+            } else {
+                Box::new(Lazypoline::new())
+            }
+        }
+        Subject::K23 => {
+            if matches!(p, Pitfall::P4a | Pitfall::P4b) {
+                Box::new(K23::new(Variant::Ultra))
+            } else {
+                Box::new(K23::new(Variant::Default))
+            }
+        }
+    }
+}
+
+/// Runs K23's offline phase for `app` on `k` (no-op for other subjects).
+fn maybe_offline(k: &mut Kernel, s: Subject, app: &str) {
+    if s != Subject::K23 {
+        return;
+    }
+    let session = OfflineSession::new(k, app);
+    // PoCs that trigger aborts/crashes still terminate; budget-bounded.
+    let _ = session.run_once(k, &[app.to_string()], &[], BUDGET);
+    session.finish(k);
+}
+
+fn spawn_and_run(k: &mut Kernel, ip: &dyn Interposer, app: &str) -> Pid {
+    spawn_and_run_args(k, ip, app, &[app.to_string()])
+}
+
+fn spawn_and_run_args(k: &mut Kernel, ip: &dyn Interposer, app: &str, argv: &[String]) -> Pid {
+    let pid = ip
+        .spawn(k, app, argv, &[])
+        .unwrap_or_else(|e| panic!("spawn {app}: {e}"));
+    k.run(BUDGET);
+    pid
+}
+
+fn exit_of(k: &Kernel, pid: Pid) -> Option<i64> {
+    k.process(pid).and_then(|p| p.exit_status)
+}
+
+/// Evaluates one (subject, pitfall) cell.
+pub fn evaluate(s: Subject, p: Pitfall) -> Verdict {
+    match p {
+        Pitfall::P1a => {
+            let mut k = fresh_kernel();
+            maybe_offline(&mut k, s, "/usr/bin/p1a-parent");
+            let ip = make_interposer(s, p);
+            ip.prepare(&mut k);
+            spawn_and_run(&mut k, ip.as_ref(), "/usr/bin/p1a-parent");
+            // Find the exec'd victim and check whether its known site ran
+            // natively.
+            let native = k
+                .pids()
+                .into_iter()
+                .filter_map(|pid| k.process(pid))
+                .filter(|pr| pr.exe == "/usr/bin/p1-victim")
+                .map(|pr| {
+                    pr.symbols
+                        .get("p1-victim:victim_site")
+                        .map(|site| pr.stats.syscalls_at_site(*site))
+                        .unwrap_or(0)
+                })
+                .sum::<u64>();
+            if native == 0 {
+                Verdict::Handled
+            } else {
+                Verdict::Vulnerable
+            }
+        }
+        Pitfall::P1b => {
+            let mut k = fresh_kernel();
+            maybe_offline(&mut k, s, "/usr/bin/p1b-poc");
+            let ip = make_interposer(s, p);
+            ip.prepare(&mut k);
+            let pid = spawn_and_run(&mut k, ip.as_ref(), "/usr/bin/p1b-poc");
+            let aborted = exit_of(&k, pid) == Some(134);
+            let native = k
+                .process(pid)
+                .map(|pr| {
+                    pr.symbols
+                        .get("p1b-poc:bypass_site")
+                        .map(|site| pr.stats.syscalls_at_site(*site))
+                        .unwrap_or(0)
+                })
+                .unwrap_or(0);
+            if aborted || native == 0 {
+                Verdict::Handled
+            } else {
+                Verdict::Vulnerable
+            }
+        }
+        Pitfall::P2a => {
+            let mut k = fresh_kernel();
+            maybe_offline(&mut k, s, "/usr/bin/p2a-jit");
+            let ip = make_interposer(s, p);
+            ip.prepare(&mut k);
+            let pid = spawn_and_run(&mut k, ip.as_ref(), "/usr/bin/p2a-jit");
+            let native = k
+                .process(pid)
+                .map(|pr| pr.stats.syscalls_via_region("[anon]"))
+                .unwrap_or(u64::MAX);
+            if exit_of(&k, pid) == Some(0) && native == 0 {
+                Verdict::Handled
+            } else {
+                Verdict::Vulnerable
+            }
+        }
+        Pitfall::P2b => {
+            let mut k = fresh_kernel();
+            maybe_offline(&mut k, s, "/usr/bin/p2b-poc");
+            let ip = make_interposer(s, p);
+            ip.prepare(&mut k);
+            let pid = spawn_and_run(&mut k, ip.as_ref(), "/usr/bin/p2b-poc");
+            let Some(pr) = k.process(pid) else {
+                return Verdict::Vulnerable;
+            };
+            let exhaustive = ip.interposed_count(&k, pid) == pr.stats.syscalls;
+            let vdso_blind = pr.stats.vdso_calls > 0;
+            if exhaustive && !vdso_blind {
+                Verdict::Handled
+            } else {
+                Verdict::Vulnerable
+            }
+        }
+        Pitfall::P3a | Pitfall::P3b => {
+            let app = if p == Pitfall::P3a {
+                "/usr/bin/p3a-poc"
+            } else {
+                "/usr/bin/p3b-poc"
+            };
+            let mut k = fresh_kernel();
+            maybe_offline(&mut k, s, app);
+            let ip = make_interposer(s, p);
+            ip.prepare(&mut k);
+            // The attack path is argv-gated so the offline run stays benign.
+            let pid = spawn_and_run_args(
+                &mut k,
+                ip.as_ref(),
+                app,
+                &[app.to_string(), "-attack".to_string()],
+            );
+            match exit_of(&k, pid) {
+                Some(0) => Verdict::Handled,
+                Some(e) if e == EXIT_CORRUPT => Verdict::Vulnerable,
+                _ => Verdict::Vulnerable, // crash = corruption went further
+            }
+        }
+        Pitfall::P4a => {
+            let mut k = fresh_kernel();
+            maybe_offline(&mut k, s, "/usr/bin/p4a-poc");
+            let ip = make_interposer(s, p);
+            ip.prepare(&mut k);
+            let pid = spawn_and_run(&mut k, ip.as_ref(), "/usr/bin/p4a-poc");
+            // Defended = the stray NULL execution was detected and aborted.
+            if exit_of(&k, pid) == Some(134) {
+                Verdict::Handled
+            } else {
+                Verdict::Vulnerable
+            }
+        }
+        Pitfall::P4b => evaluate_p4b(s),
+        Pitfall::P5 => {
+            let mut k = fresh_kernel();
+            maybe_offline(&mut k, s, "/usr/bin/p5-mt");
+            let ip = make_interposer(s, p);
+            ip.prepare(&mut k);
+            let pid = spawn_and_run_args(
+                &mut k,
+                ip.as_ref(),
+                "/usr/bin/p5-mt",
+                &["p5-mt".to_string(), "-mt".to_string()],
+            );
+            match exit_of(&k, pid) {
+                Some(0) => Verdict::Handled,
+                _ => Verdict::Vulnerable,
+            }
+        }
+    }
+}
+
+/// Memory-overhead threshold for the P4b verdict: a check structure must
+/// not reserve more than this per process.
+pub const P4B_THRESHOLD_BYTES: u64 = 1 << 20;
+
+/// Measured check-structure footprints for one subject.
+#[derive(Debug, Clone, Copy)]
+pub struct P4bFootprint {
+    /// Virtual bytes reserved for the validity-check structure.
+    pub reserved: u64,
+    /// Bytes actually materialized/committed.
+    pub committed: u64,
+}
+
+/// Measures the P4b footprint for `s` by running the stress PoC.
+pub fn p4b_footprint(s: Subject) -> P4bFootprint {
+    let mut k = fresh_kernel();
+    match s {
+        Subject::Zpoline => {
+            let ip = Zpoline::ultra();
+            ip.prepare(&mut k);
+            let pid = ip
+                .spawn(&mut k, "/usr/bin/p-stress", &[], &[])
+                .expect("spawn");
+            k.run(BUDGET);
+            let st = ip.stats();
+            let _ = pid;
+            P4bFootprint {
+                reserved: st.bitmap_reserved,
+                committed: st.bitmap_resident,
+            }
+        }
+        Subject::Lazypoline => {
+            let ip = Lazypoline::new();
+            ip.prepare(&mut k);
+            ip.spawn(&mut k, "/usr/bin/p-stress", &[], &[]).expect("spawn");
+            k.run(BUDGET);
+            // lazypoline keeps no validity structure at all.
+            P4bFootprint {
+                reserved: 0,
+                committed: 0,
+            }
+        }
+        Subject::K23 => {
+            maybe_offline(&mut k, Subject::K23, "/usr/bin/p-stress");
+            let ip = K23::new(Variant::Ultra);
+            ip.prepare(&mut k);
+            ip.spawn(&mut k, "/usr/bin/p-stress", &[], &[]).expect("spawn");
+            k.run(BUDGET);
+            let st = ip.stats();
+            P4bFootprint {
+                reserved: st.table_bytes,
+                committed: st.table_bytes,
+            }
+        }
+    }
+}
+
+fn evaluate_p4b(s: Subject) -> Verdict {
+    let f = p4b_footprint(s);
+    if f.reserved <= P4B_THRESHOLD_BYTES {
+        Verdict::Handled
+    } else {
+        Verdict::Vulnerable
+    }
+}
+
+/// Evaluates the full Table 3 matrix.
+pub fn full_matrix() -> Vec<(Subject, Vec<(Pitfall, Verdict)>)> {
+    Subject::ALL
+        .iter()
+        .map(|s| {
+            (
+                *s,
+                Pitfall::ALL.iter().map(|p| (*p, evaluate(*s, *p))).collect(),
+            )
+        })
+        .collect()
+}
+
+/// Renders the matrix as the paper's Table 3 layout (pitfall rows,
+/// interposer columns).
+pub fn render_matrix(matrix: &[(Subject, Vec<(Pitfall, Verdict)>)]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:<10}", "Pitfall"));
+    for (s, _) in matrix {
+        out.push_str(&format!("{:>12}", s.label()));
+    }
+    out.push('\n');
+    for (i, p) in Pitfall::ALL.iter().enumerate() {
+        out.push_str(&format!("{:<10}", p.label()));
+        for (_, cells) in matrix {
+            out.push_str(&format!("{:>12}", cells[i].1.glyph()));
+        }
+        out.push('\n');
+    }
+    out
+}
+

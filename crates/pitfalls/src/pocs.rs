@@ -1,0 +1,317 @@
+//! Proof-of-Concept guest programs for the System Call Interposition
+//! Pitfalls (paper §4). Each PoC's exit status / observable state encodes
+//! whether the interposer under test defended the scenario.
+
+use sim_isa::Reg;
+use sim_kernel::nr;
+use sim_loader::{ImageBuilder, SimElf, LIBC_PATH};
+
+/// Exit code a PoC uses to report detected corruption.
+pub const EXIT_CORRUPT: i64 = 7;
+
+/// P1a (Listing 1): fork, then exec the victim with a **NULL environment**,
+/// silently dropping `LD_PRELOAD`.
+pub fn build_p1a_parent() -> SimElf {
+    let mut b = ImageBuilder::new("/usr/bin/p1a-parent");
+    b.entry("main");
+    b.needs(LIBC_PATH);
+    b.asm.label("main");
+    b.call_import("fork");
+    b.asm.test_reg(Reg::Rax, Reg::Rax);
+    b.asm.jz("child");
+    // parent: wait for the child
+    b.asm.mov_imm(Reg::Rdi, 0);
+    b.asm.mov_imm(Reg::Rsi, 0);
+    b.call_import("wait4");
+    b.asm.mov_imm(Reg::Rax, 0);
+    b.asm.ret();
+    b.asm.label("child");
+    // execve(victim, NULL, NULL): empty environment, as in Listing 1.
+    b.asm.lea_label(Reg::Rdi, "victim_path");
+    b.asm.mov_imm(Reg::Rsi, 0);
+    b.asm.mov_imm(Reg::Rdx, 0);
+    b.call_import("execve");
+    b.asm.mov_imm(Reg::Rdi, 1);
+    b.call_import("exit_group"); // exec failed
+    b.data_object("victim_path", b"/usr/bin/p1-victim\0");
+    b.finish()
+}
+
+/// The P1 victim: issues ten syscalls from a known site; if those execute
+/// natively, interposition was bypassed.
+pub fn build_p1_victim() -> SimElf {
+    let mut b = ImageBuilder::new("/usr/bin/p1-victim");
+    b.entry("main");
+    b.needs(LIBC_PATH);
+    b.asm.label("main");
+    b.asm.mov_imm(Reg::Rcx, 10);
+    b.asm.label("loop");
+    b.asm.push(Reg::Rcx);
+    b.asm.mov_imm(Reg::Rax, nr::SYS_NONEXISTENT);
+    b.asm.label("victim_site");
+    b.asm.syscall();
+    b.asm.pop(Reg::Rcx);
+    b.asm.sub_imm(Reg::Rcx, 1);
+    b.asm.jnz("loop");
+    b.asm.mov_imm(Reg::Rax, 0);
+    b.asm.ret();
+    b.finish()
+}
+
+/// P1b (Listing 2): disable SUD via `prctl`, then issue syscalls from a
+/// fresh site.
+pub fn build_p1b() -> SimElf {
+    let mut b = ImageBuilder::new("/usr/bin/p1b-poc");
+    b.entry("main");
+    b.needs(LIBC_PATH);
+    b.asm.label("main");
+    b.asm.mov_imm(Reg::Rdi, nr::PR_SET_SYSCALL_USER_DISPATCH);
+    b.asm.mov_imm(Reg::Rsi, nr::PR_SYS_DISPATCH_OFF);
+    b.asm.mov_imm(Reg::Rdx, 0);
+    b.asm.mov_imm(Reg::R10, 0);
+    b.asm.mov_imm(Reg::R8, 0);
+    b.asm.mov_imm(Reg::Rax, nr::SYS_PRCTL);
+    b.asm.label("prctl_site");
+    b.asm.syscall();
+    b.asm.mov_imm(Reg::Rcx, 10);
+    b.asm.label("loop");
+    b.asm.push(Reg::Rcx);
+    b.asm.mov_imm(Reg::Rax, nr::SYS_NONEXISTENT);
+    b.asm.label("bypass_site");
+    b.asm.syscall();
+    b.asm.pop(Reg::Rcx);
+    b.asm.sub_imm(Reg::Rcx, 1);
+    b.asm.jnz("loop");
+    b.asm.mov_imm(Reg::Rax, 0);
+    b.asm.ret();
+    b.finish()
+}
+
+/// P2a: mmap fresh executable memory, synthesize a syscall there at
+/// runtime (from immediates, like a JIT), and call it twice.
+pub fn build_p2a_jit() -> SimElf {
+    let mut b = ImageBuilder::new("/usr/bin/p2a-jit");
+    b.entry("main");
+    b.needs(LIBC_PATH);
+    b.asm.label("main");
+    b.asm.mov_imm(Reg::Rdi, 0);
+    b.asm.mov_imm(Reg::Rsi, 4096);
+    b.asm.mov_imm(Reg::Rdx, 7);
+    b.asm.mov_imm(Reg::R10, 0);
+    b.asm.mov_imm(Reg::Rax, nr::SYS_MMAP);
+    b.asm.syscall();
+    b.asm.mov_reg(Reg::Rbx, Reg::Rax);
+    let blob: [u8; 16] = {
+        let mut v = sim_isa::Inst::MovImm(Reg::Rax, nr::SYS_NONEXISTENT).encode();
+        v.extend_from_slice(&sim_isa::SYSCALL_BYTES);
+        v.push(0xc3);
+        v.resize(16, 0x90);
+        v.try_into().expect("16 bytes")
+    };
+    b.asm
+        .mov_imm(Reg::Rdx, u64::from_le_bytes(blob[..8].try_into().expect("8")));
+    b.asm.store(Reg::Rbx, 0, Reg::Rdx);
+    b.asm
+        .mov_imm(Reg::Rdx, u64::from_le_bytes(blob[8..].try_into().expect("8")));
+    b.asm.store(Reg::Rbx, 8, Reg::Rdx);
+    b.asm.call_reg(Reg::Rbx);
+    b.asm.call_reg(Reg::Rbx);
+    b.asm.mov_imm(Reg::Rax, 0);
+    b.asm.ret();
+    b.finish()
+}
+
+/// P2b: the startup-and-vDSO blind spot. Calls `clock_gettime` through the
+/// vDSO once; the startup syscalls come for free from the loader stub.
+pub fn build_p2b() -> SimElf {
+    let mut b = ImageBuilder::new("/usr/bin/p2b-poc");
+    b.entry("main");
+    b.needs(LIBC_PATH);
+    for f in sim_loader::FILLER_LIBS {
+        b.needs(f);
+    }
+    b.asm.label("main");
+    b.asm.mov_imm(Reg::Rdi, 0);
+    b.asm.mov_imm(Reg::Rsi, 0);
+    b.call_import("clock_gettime_vdso");
+    b.asm.mov_imm(Reg::Rax, 0);
+    b.asm.ret();
+    b.finish()
+}
+
+/// P3a: data embedded in an executable page whose bytes *look like* a
+/// syscall instruction. The program never executes it — it only checks, at
+/// the end, that the bytes are intact. A static rewriter corrupts them.
+pub fn build_p3a() -> SimElf {
+    let mut b = ImageBuilder::new("/usr/bin/p3a-poc");
+    b.entry("main");
+    b.needs(LIBC_PATH);
+    b.asm.label("main");
+    // One legitimate syscall so the scanner has real work too.
+    b.asm.mov_imm(Reg::Rax, nr::SYS_NONEXISTENT);
+    b.asm.syscall();
+    // Verify the embedded constant (a "jump table" entry whose low bytes
+    // encode 0f 05) is still what the compiler put there.
+    b.asm.lea_label(Reg::R11, "table");
+    b.asm.load(Reg::Rbx, Reg::R11, 0);
+    // The expected value is reconstructed via XOR so the check's own
+    // immediate cannot contain the 0f 05 pattern (a byte-pattern rewriter
+    // would otherwise corrupt data and expectation identically and blind
+    // the check).
+    b.asm.mov_imm(Reg::Rcx, P3A_MAGIC ^ u64::MAX);
+    b.asm.mov_imm(Reg::Rdx, u64::MAX);
+    b.asm.xor_reg(Reg::Rcx, Reg::Rdx);
+    b.asm.cmp_reg(Reg::Rbx, Reg::Rcx);
+    b.asm.jnz("corrupt");
+    b.asm.mov_imm(Reg::Rax, 0);
+    b.asm.ret();
+    b.asm.label("corrupt");
+    b.asm.mov_imm(Reg::Rdi, EXIT_CORRUPT as u64);
+    b.call_import("exit_group");
+    // Embedded data in the code region: bytes `de c0 0f 05 ...`.
+    b.asm.label("table");
+    b.asm.quad(P3A_MAGIC);
+    b.finish()
+}
+
+/// The P3a magic constant: little-endian bytes contain `0f 05`.
+pub const P3A_MAGIC: u64 = 0x1122_3344_050f_c0de;
+
+/// P3b: a control-flow hijack executes *data* that happens to encode
+/// `syscall; ret`. The data is hidden from static sweeps behind a mov
+/// prefix, so only runtime rewriters touch it. The program then verifies
+/// the data survived.
+pub fn build_p3b() -> SimElf {
+    let mut b = ImageBuilder::new("/usr/bin/p3b-poc");
+    b.entry("main");
+    b.needs(LIBC_PATH);
+    b.asm.label("main");
+    // The attack only fires with an extra argv entry — the offline phase
+    // runs the benign path (a controlled environment, §5.1).
+    b.asm.cmp_imm(Reg::Rdi, 1);
+    b.asm.jcc(sim_isa::Cond::Le, "benign");
+    // "Hijacked" indirect call into the middle of the data blob.
+    b.asm.mov_imm(Reg::Rax, nr::SYS_NONEXISTENT);
+    b.asm.lea_label(Reg::R12, "gadget");
+    b.asm.add_imm(Reg::R12, 2); // skip the 48 b8 camouflage prefix
+    b.asm.call_reg(Reg::R12);
+    b.asm.jmp("verify");
+    b.asm.label("benign");
+    b.asm.mov_imm(Reg::Rax, nr::SYS_NONEXISTENT);
+    b.asm.syscall();
+    b.asm.label("verify");
+    // Verify the blob is intact.
+    b.asm.lea_label(Reg::R11, "gadget");
+    b.asm.load(Reg::Rbx, Reg::R11, 0);
+    // XOR-masked expectation (see build_p3a).
+    b.asm.mov_imm(Reg::Rcx, P3B_BLOB ^ u64::MAX);
+    b.asm.mov_imm(Reg::Rdx, u64::MAX);
+    b.asm.xor_reg(Reg::Rcx, Reg::Rdx);
+    b.asm.cmp_reg(Reg::Rbx, Reg::Rcx);
+    b.asm.jnz("corrupt");
+    b.asm.mov_imm(Reg::Rax, 0);
+    b.asm.ret();
+    b.asm.label("corrupt");
+    b.asm.mov_imm(Reg::Rdi, EXIT_CORRUPT as u64);
+    b.call_import("exit_group");
+    // Data: 48 b8 | 0f 05 | c3 | padding. A linear sweep decodes one long
+    // mov and sees nothing; executing offset +2 runs syscall; ret.
+    b.asm.label("gadget");
+    b.asm.quad(P3B_BLOB);
+    b.finish()
+}
+
+/// The P3b gadget: bytes `48 b8 0f 05 c3 90 90 90`.
+pub const P3B_BLOB: u64 = u64::from_le_bytes([0x48, 0xb8, 0x0f, 0x05, 0xc3, 0x90, 0x90, 0x90]);
+
+/// P4a: a NULL function-pointer call (`call *%rax` with rax = 0).
+pub fn build_p4a() -> SimElf {
+    let mut b = ImageBuilder::new("/usr/bin/p4a-poc");
+    b.entry("main");
+    b.needs(LIBC_PATH);
+    b.asm.label("main");
+    b.asm.mov_imm(Reg::Rax, 0);
+    b.asm.call_reg(Reg::Rax);
+    b.asm.mov_imm(Reg::Rax, 0);
+    b.asm.ret();
+    b.finish()
+}
+
+/// P4b uses the stress app (memory is measured host-side).
+pub fn build_stress() -> SimElf {
+    let mut b = ImageBuilder::new("/usr/bin/p-stress");
+    b.entry("main");
+    b.needs(LIBC_PATH);
+    b.asm.label("main");
+    b.asm.mov_imm(Reg::Rcx, 50);
+    b.asm.label("loop");
+    b.asm.push(Reg::Rcx);
+    b.asm.mov_imm(Reg::Rax, nr::SYS_NONEXISTENT);
+    b.asm.syscall();
+    b.asm.pop(Reg::Rcx);
+    b.asm.sub_imm(Reg::Rcx, 1);
+    b.asm.jnz("loop");
+    b.asm.mov_imm(Reg::Rax, 0);
+    b.asm.ret();
+    b.finish()
+}
+
+/// P5: two threads, one hammering a syscall site while the first execution
+/// triggers any on-the-fly rewriting. A torn rewrite kills the process.
+pub fn build_p5_mt() -> SimElf {
+    let mut b = ImageBuilder::new("/usr/bin/p5-mt");
+    b.entry("main");
+    b.needs(LIBC_PATH);
+    b.asm.label("main");
+    // Benign (offline) mode: a single syscall, then exit.
+    b.asm.cmp_imm(Reg::Rdi, 1);
+    b.asm.jcc(sim_isa::Cond::G, "mt_mode");
+    b.asm.mov_imm(Reg::Rax, nr::SYS_NONEXISTENT);
+    b.asm.syscall();
+    b.asm.mov_imm(Reg::Rax, 0);
+    b.asm.ret();
+    b.asm.label("mt_mode");
+    // Child stack.
+    b.asm.mov_imm(Reg::Rdi, 0);
+    b.asm.mov_imm(Reg::Rsi, 0x10000);
+    b.asm.mov_imm(Reg::Rdx, 3);
+    b.asm.mov_imm(Reg::R10, 0);
+    b.asm.mov_imm(Reg::Rax, nr::SYS_MMAP);
+    b.asm.syscall();
+    b.asm.mov_reg(Reg::Rsi, Reg::Rax);
+    b.asm.add_imm(Reg::Rsi, 0xfff0);
+    b.asm.lea_label(Reg::Rcx, "hammer");
+    b.asm.store(Reg::Rsi, 0, Reg::Rcx);
+    b.asm.mov_imm(Reg::Rdi, 0);
+    b.asm.mov_imm(Reg::Rax, nr::SYS_CLONE);
+    b.asm.syscall();
+    b.asm.test_reg(Reg::Rax, Reg::Rax);
+    b.asm.jz("hammer"); // raw-clone child has no seeded return: jump directly
+    // Parent: spin, then exit 0.
+    b.asm.mov_imm(Reg::Rcx, 5000);
+    b.asm.label("spin");
+    b.asm.sub_imm(Reg::Rcx, 1);
+    b.asm.jnz("spin");
+    b.asm.mov_imm(Reg::Rax, 0);
+    b.asm.ret();
+    b.asm.label("hammer");
+    b.asm.mov_imm(Reg::Rax, nr::SYS_NONEXISTENT);
+    b.asm.label("shared_site");
+    b.asm.syscall();
+    b.asm.jmp("hammer");
+    b.finish()
+}
+
+/// Installs every PoC program.
+pub fn install_pocs(vfs: &mut sim_kernel::Vfs) {
+    build_p1a_parent().install(vfs);
+    build_p1_victim().install(vfs);
+    build_p1b().install(vfs);
+    build_p2a_jit().install(vfs);
+    build_p2b().install(vfs);
+    build_p3a().install(vfs);
+    build_p3b().install(vfs);
+    build_p4a().install(vfs);
+    build_stress().install(vfs);
+    build_p5_mt().install(vfs);
+}

@@ -1,0 +1,842 @@
+//! A single guest CPU core.
+
+use crate::cost::CostModel;
+use sim_isa::{decode, Cond, Inst, Reg};
+use sim_mem::{AddressSpace, Fault, Pkru};
+use std::collections::HashMap;
+
+/// Arithmetic flags.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Flags {
+    /// Zero.
+    pub zf: bool,
+    /// Sign.
+    pub sf: bool,
+    /// Carry (unsigned overflow / borrow).
+    pub cf: bool,
+    /// Signed overflow.
+    pub of: bool,
+}
+
+impl Flags {
+    fn pack(self) -> u64 {
+        (self.zf as u64) | (self.sf as u64) << 1 | (self.cf as u64) << 2 | (self.of as u64) << 3
+    }
+
+    fn unpack(v: u64) -> Flags {
+        Flags {
+            zf: v & 1 != 0,
+            sf: v & 2 != 0,
+            cf: v & 4 != 0,
+            of: v & 8 != 0,
+        }
+    }
+
+    fn test(self, c: Cond) -> bool {
+        match c {
+            Cond::E => self.zf,
+            Cond::Ne => !self.zf,
+            Cond::B => self.cf,
+            Cond::Ae => !self.cf,
+            Cond::Be => self.cf || self.zf,
+            Cond::A => !self.cf && !self.zf,
+            Cond::S => self.sf,
+            Cond::Ns => !self.sf,
+            Cond::L => self.sf != self.of,
+            Cond::Ge => self.sf == self.of,
+            Cond::Le => self.zf || (self.sf != self.of),
+            Cond::G => !self.zf && (self.sf == self.of),
+        }
+    }
+}
+
+/// What a [`Cpu::step`] produced beyond plain execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepEvent {
+    /// Instruction retired normally.
+    Executed,
+    /// A `syscall`/`sysenter` was fetched at `site`. The CPU does **not**
+    /// advance `rip` or touch registers — the kernel decides (execute, SUD
+    /// SIGSYS, ptrace stop, ...).
+    Syscall {
+        /// Address of the first opcode byte.
+        site: u64,
+        /// True for `sysenter` (`0f 34`).
+        sysenter: bool,
+    },
+    /// `hlt` executed (threads normally exit via `exit` syscalls; `hlt` is a
+    /// hard stop used by bare tests).
+    Hlt,
+    /// `int3` breakpoint.
+    Int3,
+    /// A fetch or data access faulted; `rip` still points at the faulting
+    /// instruction.
+    Fault(Fault),
+}
+
+/// The result of one step: the event, the cycles consumed, and the decoded
+/// instruction (when fetch succeeded) for tracing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Step {
+    /// Outcome.
+    pub event: StepEvent,
+    /// Cycles consumed by this step.
+    pub cycles: u64,
+    /// The decoded instruction, if any.
+    pub inst: Option<Inst>,
+}
+
+/// One guest core: registers + flags + PKRU + a decoded-instruction cache.
+#[derive(Debug, Clone)]
+pub struct Cpu {
+    /// General-purpose registers, indexed by [`Reg::index`].
+    pub regs: [u64; 16],
+    /// Instruction pointer.
+    pub rip: u64,
+    /// Arithmetic flags.
+    pub flags: Flags,
+    /// Protection-key rights register (thread-local, as on real hardware).
+    pub pkru: Pkru,
+    icache: HashMap<u64, (Inst, usize)>,
+    /// Retired instruction count (for debugging and run limits).
+    pub retired: u64,
+}
+
+impl Default for Cpu {
+    fn default() -> Self {
+        Cpu::new()
+    }
+}
+
+impl Cpu {
+    /// A zeroed core.
+    pub fn new() -> Cpu {
+        Cpu {
+            regs: [0; 16],
+            rip: 0,
+            flags: Flags::default(),
+            pkru: Pkru::ALL_ACCESS,
+            icache: HashMap::new(),
+            retired: 0,
+        }
+    }
+
+    /// Register read.
+    #[inline]
+    pub fn get(&self, r: Reg) -> u64 {
+        self.regs[r.index()]
+    }
+
+    /// Register write.
+    #[inline]
+    pub fn set(&mut self, r: Reg, v: u64) {
+        self.regs[r.index()] = v;
+    }
+
+    /// Flushes the decoded-instruction cache (serializing event: `cpuid`,
+    /// `fence`, or any kernel entry on this core).
+    pub fn flush_icache(&mut self) {
+        self.icache.clear();
+    }
+
+    /// Number of decoded entries currently cached (observability for P5
+    /// experiments).
+    pub fn icache_len(&self) -> usize {
+        self.icache.len()
+    }
+
+    /// Applies the x86-64 syscall-entry register clobbers: the kernel leaves
+    /// the return address in `rcx` and saved flags in `r11` — which is why
+    /// K23's trampoline may reuse them without saving (paper §6.2.1).
+    pub fn apply_syscall_clobbers(&mut self, return_rip: u64) {
+        self.set(Reg::Rcx, return_rip);
+        self.set(Reg::R11, self.flags.pack());
+    }
+
+    /// Restores flags from the packed `r11` form (used by sigreturn paths).
+    pub fn flags_from_packed(&mut self, v: u64) {
+        self.flags = Flags::unpack(v);
+    }
+
+    /// Packs current flags (for signal frames).
+    pub fn packed_flags(&self) -> u64 {
+        self.flags.pack()
+    }
+
+    fn invalidate_icache_range(&mut self, addr: u64, len: u64) {
+        // Any cached decode whose bytes overlap [addr, addr+len). Decodes are
+        // at most 10 bytes, so only keys in (addr-9 ..= addr+len-1) matter.
+        let lo = addr.saturating_sub(9);
+        let hi = addr.saturating_add(len);
+        let keys: Vec<u64> = self
+            .icache
+            .keys()
+            .copied()
+            .filter(|k| *k >= lo && *k < hi)
+            .collect();
+        for k in keys {
+            self.icache.remove(&k);
+        }
+    }
+
+    fn fetch_decode(&mut self, mem: &mut AddressSpace) -> Result<(Inst, usize), StepEvent> {
+        if let Some(&(inst, len)) = self.icache.get(&self.rip) {
+            return Ok((inst, len));
+        }
+        let mut buf = [0u8; 10];
+        let n = match mem.fetch(self.rip, &mut buf, self.pkru) {
+            Ok(n) => n,
+            Err(f) => return Err(StepEvent::Fault(f)),
+        };
+        match decode(&buf[..n]) {
+            Ok((inst, len)) => {
+                self.icache.insert(self.rip, (inst, len));
+                Ok((inst, len))
+            }
+            Err(_) => Err(StepEvent::Fault(Fault {
+                addr: self.rip,
+                access: sim_mem::Access::Fetch,
+                reason: sim_mem::FaultReason::Protection,
+            })),
+        }
+    }
+
+    fn push(&mut self, mem: &mut AddressSpace, v: u64) -> Result<(), Fault> {
+        let rsp = self.get(Reg::Rsp).wrapping_sub(8);
+        mem.write_u64(rsp, v, self.pkru)?;
+        self.set(Reg::Rsp, rsp);
+        Ok(())
+    }
+
+    fn pop(&mut self, mem: &mut AddressSpace) -> Result<u64, Fault> {
+        let rsp = self.get(Reg::Rsp);
+        let v = mem.read_u64(rsp, self.pkru)?;
+        self.set(Reg::Rsp, rsp.wrapping_add(8));
+        Ok(v)
+    }
+
+    fn flags_add(&mut self, a: u64, b: u64) -> u64 {
+        let (res, cf) = a.overflowing_add(b);
+        let of = ((a ^ res) & (b ^ res)) >> 63 != 0;
+        self.flags = Flags {
+            zf: res == 0,
+            sf: (res as i64) < 0,
+            cf,
+            of,
+        };
+        res
+    }
+
+    fn flags_sub(&mut self, a: u64, b: u64) -> u64 {
+        let (res, cf) = a.overflowing_sub(b);
+        let of = ((a ^ b) & (a ^ res)) >> 63 != 0;
+        self.flags = Flags {
+            zf: res == 0,
+            sf: (res as i64) < 0,
+            cf,
+            of,
+        };
+        res
+    }
+
+    fn flags_logic(&mut self, res: u64) -> u64 {
+        self.flags = Flags {
+            zf: res == 0,
+            sf: (res as i64) < 0,
+            cf: false,
+            of: false,
+        };
+        res
+    }
+
+    /// Executes one instruction.
+    ///
+    /// `clock` is the current global cycle counter (consumed by the
+    /// `vsyscall` fast time path). Kernel-entering instructions are *not*
+    /// executed — they surface as [`StepEvent::Syscall`] with state
+    /// untouched, and the kernel performs the architectural effects.
+    pub fn step(&mut self, mem: &mut AddressSpace, clock: u64, cost: &CostModel) -> Step {
+        let (inst, len) = match self.fetch_decode(mem) {
+            Ok(x) => x,
+            Err(event) => {
+                return Step {
+                    event,
+                    cycles: cost.alu,
+                    inst: None,
+                }
+            }
+        };
+        let cycles = cost.inst_cost(&inst);
+        let next = self.rip.wrapping_add(len as u64);
+
+        macro_rules! fault {
+            ($f:expr) => {
+                return Step {
+                    event: StepEvent::Fault($f),
+                    cycles,
+                    inst: Some(inst),
+                }
+            };
+        }
+
+        match inst {
+            Inst::Syscall | Inst::Sysenter => {
+                return Step {
+                    event: StepEvent::Syscall {
+                        site: self.rip,
+                        sysenter: matches!(inst, Inst::Sysenter),
+                    },
+                    cycles,
+                    inst: Some(inst),
+                };
+            }
+            Inst::Hlt => {
+                return Step {
+                    event: StepEvent::Hlt,
+                    cycles,
+                    inst: Some(inst),
+                };
+            }
+            Inst::Int3 => {
+                self.rip = next;
+                self.retired += 1;
+                return Step {
+                    event: StepEvent::Int3,
+                    cycles,
+                    inst: Some(inst),
+                };
+            }
+            Inst::Nop => {
+                // Batch-consume nop runs (the trampoline sled): zero-cost
+                // single-byte nops with no architectural effect, so skipping
+                // the whole run in one step is semantically identical and
+                // keeps sled traversal cheap for the host.
+                let mut end = next;
+                let mut buf = [0u8; 64];
+                #[allow(clippy::while_let_loop)] // labeled break from the inner scan
+                'scan: loop {
+                    let n = match mem.fetch(end, &mut buf, self.pkru) {
+                        Ok(n) => n,
+                        Err(_) => break,
+                    };
+                    for &b in &buf[..n] {
+                        if b != 0x90 {
+                            break 'scan;
+                        }
+                        end += 1;
+                        self.retired += 1;
+                    }
+                    if n < buf.len() {
+                        break;
+                    }
+                }
+                self.rip = end;
+                self.retired += 1;
+                return Step {
+                    event: StepEvent::Executed,
+                    cycles,
+                    inst: Some(inst),
+                };
+            }
+            Inst::Cpuid | Inst::Fence => self.flush_icache(),
+            Inst::Vsyscall => self.set(Reg::Rax, clock),
+            Inst::Rdpkru => self.set(Reg::Rax, self.pkru.0 as u64),
+            Inst::Wrpkru => self.pkru = Pkru(self.get(Reg::Rax) as u32),
+            Inst::Push(r) => {
+                if let Err(f) = self.push(mem, self.get(r)) {
+                    fault!(f);
+                }
+            }
+            Inst::Pop(r) => match self.pop(mem) {
+                Ok(v) => self.set(r, v),
+                Err(f) => fault!(f),
+            },
+            Inst::MovImm(r, v) => self.set(r, v),
+            Inst::MovReg(d, s) => self.set(d, self.get(s)),
+            Inst::Load(d, b, off) => {
+                let addr = self.get(b).wrapping_add(off as i64 as u64);
+                match mem.read_u64(addr, self.pkru) {
+                    Ok(v) => self.set(d, v),
+                    Err(f) => fault!(f),
+                }
+            }
+            Inst::Store(b, off, s) => {
+                let addr = self.get(b).wrapping_add(off as i64 as u64);
+                if let Err(f) = mem.write_u64(addr, self.get(s), self.pkru) {
+                    fault!(f);
+                }
+                self.invalidate_icache_range(addr, 8);
+            }
+            Inst::LoadByte(d, b, off) => {
+                let addr = self.get(b).wrapping_add(off as i64 as u64);
+                match mem.read_u8(addr, self.pkru) {
+                    Ok(v) => self.set(d, v as u64),
+                    Err(f) => fault!(f),
+                }
+            }
+            Inst::StoreByte(b, off, s) => {
+                let addr = self.get(b).wrapping_add(off as i64 as u64);
+                if let Err(f) = mem.write_u8(addr, self.get(s) as u8, self.pkru) {
+                    fault!(f);
+                }
+                self.invalidate_icache_range(addr, 1);
+            }
+            Inst::Lea(d, off) => self.set(d, next.wrapping_add(off as i64 as u64)),
+            Inst::AddReg(d, s) => {
+                let v = self.flags_add(self.get(d), self.get(s));
+                self.set(d, v);
+            }
+            Inst::SubReg(d, s) => {
+                let v = self.flags_sub(self.get(d), self.get(s));
+                self.set(d, v);
+            }
+            Inst::AndReg(d, s) => {
+                let v = self.flags_logic(self.get(d) & self.get(s));
+                self.set(d, v);
+            }
+            Inst::OrReg(d, s) => {
+                let v = self.flags_logic(self.get(d) | self.get(s));
+                self.set(d, v);
+            }
+            Inst::XorReg(d, s) => {
+                let v = self.flags_logic(self.get(d) ^ self.get(s));
+                self.set(d, v);
+            }
+            Inst::CmpReg(d, s) => {
+                self.flags_sub(self.get(d), self.get(s));
+            }
+            Inst::TestReg(d, s) => {
+                self.flags_logic(self.get(d) & self.get(s));
+            }
+            Inst::ImulReg(d, s) => {
+                let v = self.get(d).wrapping_mul(self.get(s));
+                self.flags_logic(v);
+                self.set(d, v);
+            }
+            Inst::AddImm(r, i) => {
+                let v = self.flags_add(self.get(r), i as i64 as u64);
+                self.set(r, v);
+            }
+            Inst::SubImm(r, i) => {
+                let v = self.flags_sub(self.get(r), i as i64 as u64);
+                self.set(r, v);
+            }
+            Inst::AndImm(r, i) => {
+                let v = self.flags_logic(self.get(r) & (i as i64 as u64));
+                self.set(r, v);
+            }
+            Inst::OrImm(r, i) => {
+                let v = self.flags_logic(self.get(r) | (i as i64 as u64));
+                self.set(r, v);
+            }
+            Inst::XorImm(r, i) => {
+                let v = self.flags_logic(self.get(r) ^ (i as i64 as u64));
+                self.set(r, v);
+            }
+            Inst::CmpImm(r, i) => {
+                self.flags_sub(self.get(r), i as i64 as u64);
+            }
+            Inst::ShlImm(r, i) => {
+                let v = self.flags_logic(self.get(r) << (i & 63));
+                self.set(r, v);
+            }
+            Inst::ShrImm(r, i) => {
+                let v = self.flags_logic(self.get(r) >> (i & 63));
+                self.set(r, v);
+            }
+            Inst::ShlCl(r) => {
+                let c = self.get(Reg::Rcx) & 63;
+                let v = self.flags_logic(self.get(r) << c);
+                self.set(r, v);
+            }
+            Inst::ShrCl(r) => {
+                let c = self.get(Reg::Rcx) & 63;
+                let v = self.flags_logic(self.get(r) >> c);
+                self.set(r, v);
+            }
+            Inst::BtMem(b, i) => {
+                let idx = self.get(i);
+                let addr = self.get(b).wrapping_add(idx / 8);
+                match mem.read_u8(addr, self.pkru) {
+                    Ok(byte) => {
+                        // Only CF is affected, as on x86.
+                        self.flags.cf = byte & (1 << (idx % 8)) != 0;
+                    }
+                    Err(f) => fault!(f),
+                }
+            }
+            Inst::Jmp(rel) => {
+                self.rip = next.wrapping_add(rel as i64 as u64);
+                self.retired += 1;
+                return Step {
+                    event: StepEvent::Executed,
+                    cycles,
+                    inst: Some(inst),
+                };
+            }
+            Inst::Call(rel) => {
+                if let Err(f) = self.push(mem, next) {
+                    fault!(f);
+                }
+                self.rip = next.wrapping_add(rel as i64 as u64);
+                self.retired += 1;
+                return Step {
+                    event: StepEvent::Executed,
+                    cycles,
+                    inst: Some(inst),
+                };
+            }
+            Inst::Jcc(c, rel) => {
+                self.rip = if self.flags.test(c) {
+                    next.wrapping_add(rel as i64 as u64)
+                } else {
+                    next
+                };
+                self.retired += 1;
+                return Step {
+                    event: StepEvent::Executed,
+                    cycles,
+                    inst: Some(inst),
+                };
+            }
+            Inst::CallReg(r) => {
+                let target = self.get(r);
+                if let Err(f) = self.push(mem, next) {
+                    fault!(f);
+                }
+                self.rip = target;
+                self.retired += 1;
+                return Step {
+                    event: StepEvent::Executed,
+                    cycles,
+                    inst: Some(inst),
+                };
+            }
+            Inst::JmpReg(r) => {
+                self.rip = self.get(r);
+                self.retired += 1;
+                return Step {
+                    event: StepEvent::Executed,
+                    cycles,
+                    inst: Some(inst),
+                };
+            }
+            Inst::Ret => match self.pop(mem) {
+                Ok(v) => {
+                    self.rip = v;
+                    self.retired += 1;
+                    return Step {
+                        event: StepEvent::Executed,
+                        cycles,
+                        inst: Some(inst),
+                    };
+                }
+                Err(f) => fault!(f),
+            },
+        }
+
+        self.rip = next;
+        self.retired += 1;
+        Step {
+            event: StepEvent::Executed,
+            cycles,
+            inst: Some(inst),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_isa::Asm;
+    use sim_mem::Perms;
+
+    fn setup(code: &[u8]) -> (Cpu, AddressSpace) {
+        let mut mem = AddressSpace::new();
+        mem.map(0x1000, 0x1000, Perms::RX, "code").unwrap();
+        mem.write_raw(0x1000, code).unwrap();
+        mem.map(0x8000, 0x1000, Perms::RW, "[stack]").unwrap();
+        let mut cpu = Cpu::new();
+        cpu.rip = 0x1000;
+        cpu.set(Reg::Rsp, 0x9000);
+        (cpu, mem)
+    }
+
+    fn run_until_hlt(cpu: &mut Cpu, mem: &mut AddressSpace) -> u64 {
+        let cost = CostModel::DEFAULT;
+        let mut cycles = 0;
+        for _ in 0..10_000 {
+            let s = cpu.step(mem, cycles, &cost);
+            cycles += s.cycles;
+            match s.event {
+                StepEvent::Executed => {}
+                StepEvent::Hlt => return cycles,
+                e => panic!("unexpected event {e:?} at rip {:#x}", cpu.rip),
+            }
+        }
+        panic!("did not halt");
+    }
+
+    #[test]
+    fn arithmetic_loop() {
+        let mut a = Asm::new();
+        a.mov_imm(Reg::Rax, 0);
+        a.mov_imm(Reg::Rcx, 10);
+        a.label("loop");
+        a.add_imm(Reg::Rax, 3);
+        a.sub_imm(Reg::Rcx, 1);
+        a.jnz("loop");
+        a.inst(Inst::Hlt);
+        let (mut cpu, mut mem) = setup(&a.finish());
+        run_until_hlt(&mut cpu, &mut mem);
+        assert_eq!(cpu.get(Reg::Rax), 30);
+        assert_eq!(cpu.get(Reg::Rcx), 0);
+    }
+
+    #[test]
+    fn call_ret_stack_discipline() {
+        let mut a = Asm::new();
+        a.call("f");
+        a.inst(Inst::Hlt);
+        a.label("f");
+        a.mov_imm(Reg::Rbx, 77);
+        a.ret();
+        let (mut cpu, mut mem) = setup(&a.finish());
+        run_until_hlt(&mut cpu, &mut mem);
+        assert_eq!(cpu.get(Reg::Rbx), 77);
+        assert_eq!(cpu.get(Reg::Rsp), 0x9000);
+    }
+
+    #[test]
+    fn syscall_event_preserves_state() {
+        let mut a = Asm::new();
+        a.mov_imm(Reg::Rax, 500);
+        a.syscall();
+        let (mut cpu, mut mem) = setup(&a.finish());
+        let cost = CostModel::DEFAULT;
+        cpu.step(&mut mem, 0, &cost);
+        let before_rip = cpu.rip;
+        let s = cpu.step(&mut mem, 0, &cost);
+        assert_eq!(
+            s.event,
+            StepEvent::Syscall {
+                site: 0x100a,
+                sysenter: false
+            }
+        );
+        // rip unchanged: kernel owns the architectural effect.
+        assert_eq!(cpu.rip, before_rip);
+        assert_eq!(cpu.get(Reg::Rax), 500);
+    }
+
+    #[test]
+    fn signed_and_unsigned_conditions() {
+        // rax = -1 (signed) compared with 1: jl taken, jb not taken
+        let mut a = Asm::new();
+        a.mov_imm(Reg::Rax, u64::MAX); // -1
+        a.cmp_imm(Reg::Rax, 1);
+        a.jl("signed_less");
+        a.inst(Inst::Hlt); // not reached
+        a.label("signed_less");
+        a.mov_imm(Reg::Rbx, 1);
+        // unsigned: -1 is huge, so jb must NOT be taken
+        a.cmp_imm(Reg::Rax, 1);
+        a.jcc(Cond::B, "bad");
+        a.mov_imm(Reg::Rcx, 2);
+        a.inst(Inst::Hlt);
+        a.label("bad");
+        a.mov_imm(Reg::Rcx, 99);
+        a.inst(Inst::Hlt);
+        let (mut cpu, mut mem) = setup(&a.finish());
+        run_until_hlt(&mut cpu, &mut mem);
+        assert_eq!(cpu.get(Reg::Rbx), 1);
+        assert_eq!(cpu.get(Reg::Rcx), 2);
+    }
+
+    #[test]
+    fn load_store_roundtrip() {
+        let mut a = Asm::new();
+        a.mov_imm(Reg::Rdi, 0x8000);
+        a.mov_imm(Reg::Rax, 0xdead_beef);
+        a.store(Reg::Rdi, 0x10, Reg::Rax);
+        a.load(Reg::Rbx, Reg::Rdi, 0x10);
+        a.load_byte(Reg::Rcx, Reg::Rdi, 0x10);
+        a.inst(Inst::Hlt);
+        let (mut cpu, mut mem) = setup(&a.finish());
+        run_until_hlt(&mut cpu, &mut mem);
+        assert_eq!(cpu.get(Reg::Rbx), 0xdead_beef);
+        assert_eq!(cpu.get(Reg::Rcx), 0xef);
+    }
+
+    #[test]
+    fn call_reg_pushes_return_address() {
+        // The zpoline primitive: rax holds a small number, call *%rax lands
+        // in the trampoline page; the return address (site + 2) is on the
+        // stack.
+        let mut a = Asm::new();
+        a.mov_imm(Reg::Rax, 0x2000);
+        a.call_reg(Reg::Rax);
+        let code = a.finish();
+        let (mut cpu, mut mem) = setup(&code);
+        mem.map(0x2000, 0x1000, Perms::RX, "tramp").unwrap();
+        mem.write_raw(0x2000, &[0xf4]).unwrap(); // hlt
+        let cost = CostModel::DEFAULT;
+        cpu.step(&mut mem, 0, &cost); // mov
+        cpu.step(&mut mem, 0, &cost); // call *rax
+        assert_eq!(cpu.rip, 0x2000);
+        let ret = mem.read_u64(0x8ff8, Pkru::ALL_ACCESS).unwrap();
+        assert_eq!(ret, 0x1000 + 12); // mov(10) + call_reg(2)
+    }
+
+    #[test]
+    fn fault_on_unmapped_leaves_rip() {
+        let mut a = Asm::new();
+        a.mov_imm(Reg::Rdi, 0x5_0000);
+        a.load(Reg::Rax, Reg::Rdi, 0);
+        let (mut cpu, mut mem) = setup(&a.finish());
+        let cost = CostModel::DEFAULT;
+        cpu.step(&mut mem, 0, &cost);
+        let rip = cpu.rip;
+        let s = cpu.step(&mut mem, 0, &cost);
+        match s.event {
+            StepEvent::Fault(f) => {
+                assert_eq!(f.addr, 0x5_0000);
+                assert_eq!(cpu.rip, rip);
+            }
+            e => panic!("expected fault, got {e:?}"),
+        }
+    }
+
+    #[test]
+    fn own_writes_invalidate_own_icache() {
+        // Self-modifying code on the same core takes effect immediately
+        // (x86 coherent SMC): overwrite an upcoming `mov rbx, 1` with nops.
+        let mut a = Asm::new();
+        a.jmp("start"); // warm the icache by jumping over the target once
+        a.label("target");
+        a.mov_imm(Reg::Rbx, 1);
+        a.inst(Inst::Hlt);
+        a.label("start");
+        // nop out all 10 bytes of `target`'s mov with two overlapping
+        // 8-byte stores… then jump there.
+        a.mov_imm(Reg::Rdi, 0); // patched below to target addr
+        a.mov_imm(Reg::Rax, u64::from_le_bytes([0x90; 8]));
+        a.store(Reg::Rdi, 0, Reg::Rax);
+        a.store(Reg::Rdi, 2, Reg::Rax);
+        a.jmp("target");
+        let prog = a.finish_program();
+        let target = 0x1000 + prog.sym("target");
+        let mut bytes = prog.bytes.clone();
+        // patch the first mov_imm rdi immediate (it is at offset start+2)
+        let start = prog.sym("start") as usize;
+        bytes[start + 2..start + 10].copy_from_slice(&target.to_le_bytes());
+
+        let mut mem = AddressSpace::new();
+        mem.map(0x1000, 0x1000, Perms::RWX, "code").unwrap();
+        mem.write_raw(0x1000, &bytes).unwrap();
+        mem.map(0x8000, 0x1000, Perms::RW, "[stack]").unwrap();
+        let mut cpu = Cpu::new();
+        cpu.rip = 0x1000;
+        cpu.set(Reg::Rsp, 0x9000);
+        let cost = CostModel::DEFAULT;
+        let mut clock = 0;
+        for _ in 0..100 {
+            let s = cpu.step(&mut mem, clock, &cost);
+            clock += s.cycles;
+            match s.event {
+                StepEvent::Executed => {}
+                StepEvent::Hlt => break,
+                e => panic!("unexpected {e:?}"),
+            }
+        }
+        // The mov was overwritten before execution: rbx stays 0. The mov
+        // *would* have run from a stale icache if self-writes didn't
+        // invalidate.
+        assert_eq!(cpu.get(Reg::Rbx), 0);
+    }
+
+    #[test]
+    fn cross_core_icache_staleness_until_serialize() {
+        // Core B caches a decode; core A (modeled as a raw memory write +
+        // *no* fence on B) rewrites it. B keeps executing the stale decode
+        // until it serializes — the P5 hazard.
+        let mut mem = AddressSpace::new();
+        mem.map(0x1000, 0x1000, Perms::RWX, "code").unwrap();
+        let mut a = Asm::new();
+        a.mov_imm(Reg::Rbx, 1);
+        a.inst(Inst::Hlt);
+        mem.write_raw(0x1000, &a.finish()).unwrap();
+
+        let mut b = Cpu::new();
+        b.rip = 0x1000;
+        let cost = CostModel::DEFAULT;
+        // B decodes (and caches) the mov by executing it once; rewind rip.
+        b.step(&mut mem, 0, &cost);
+        b.rip = 0x1000;
+        assert!(b.icache_len() > 0);
+
+        // "Core A" rewrites the mov's immediate to 2 via a raw write.
+        let mut patch = Inst::MovImm(Reg::Rbx, 2).encode();
+        patch.push(0xf4);
+        mem.write_raw(0x1000, &patch).unwrap();
+
+        // B still executes the stale decode…
+        b.step(&mut mem, 0, &cost);
+        assert_eq!(b.get(Reg::Rbx), 1, "stale icache should win");
+
+        // …until it serializes.
+        b.rip = 0x1000;
+        b.flush_icache();
+        b.step(&mut mem, 0, &cost);
+        assert_eq!(b.get(Reg::Rbx), 2);
+    }
+
+    #[test]
+    fn vsyscall_reads_clock_without_kernel() {
+        let mut a = Asm::new();
+        a.vsyscall();
+        a.inst(Inst::Hlt);
+        let (mut cpu, mut mem) = setup(&a.finish());
+        let cost = CostModel::DEFAULT;
+        let s = cpu.step(&mut mem, 123456, &cost);
+        assert_eq!(s.event, StepEvent::Executed);
+        assert_eq!(cpu.get(Reg::Rax), 123456);
+    }
+
+    #[test]
+    fn wrpkru_controls_data_access() {
+        let mut a = Asm::new();
+        // deny key 1, then try to read a key-1 page
+        a.mov_imm(Reg::Rax, 1 << 2); // AD for key 1
+        a.wrpkru();
+        a.mov_imm(Reg::Rdi, 0x3000);
+        a.load(Reg::Rbx, Reg::Rdi, 0);
+        let code = a.finish();
+        let (mut cpu, mut mem) = setup(&code);
+        mem.map(0x3000, 0x1000, Perms::RW, "secret").unwrap();
+        mem.set_pkey(0x3000, 0x1000, 1).unwrap();
+        let cost = CostModel::DEFAULT;
+        cpu.step(&mut mem, 0, &cost);
+        cpu.step(&mut mem, 0, &cost);
+        cpu.step(&mut mem, 0, &cost);
+        let s = cpu.step(&mut mem, 0, &cost);
+        match s.event {
+            StepEvent::Fault(f) => assert_eq!(f.reason, sim_mem::FaultReason::PkuDenied),
+            e => panic!("expected PKU fault, got {e:?}"),
+        }
+    }
+
+    #[test]
+    fn syscall_clobbers_rcx_r11() {
+        let mut cpu = Cpu::new();
+        cpu.flags = Flags {
+            zf: true,
+            sf: false,
+            cf: true,
+            of: false,
+        };
+        cpu.apply_syscall_clobbers(0xabcd);
+        assert_eq!(cpu.get(Reg::Rcx), 0xabcd);
+        assert_eq!(cpu.get(Reg::R11), 0b101);
+    }
+}

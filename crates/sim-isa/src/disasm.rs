@@ -1,0 +1,198 @@
+//! Static disassembly — with the same fundamental imprecision as the real
+//! tooling zpoline depends on.
+//!
+//! Two strategies are provided:
+//!
+//! * [`scan_syscall_bytes`] — a naive byte-pattern scan for `0f 05` / `0f 34`.
+//!   It finds every true syscall instruction but also every *partial* syscall
+//!   (opcode bytes inside a larger instruction) and every match inside
+//!   embedded data: the raw material of pitfall **P3a**.
+//! * [`linear_sweep`] — sequential decoding from a starting offset. It is
+//!   correct only if the start is instruction-aligned and the region contains
+//!   no embedded data; a jump table or string constant desynchronizes it,
+//!   after which it may *miss* true syscalls (**P2a**) or fabricate false
+//!   ones (**P3a**).
+//!
+//! Neither problem is an implementation bug — they are the documented
+//! limitations of static disassembly on variable-length ISAs (paper §2.2,
+//! §4.2, §4.3, and the SoK literature it cites).
+
+use crate::inst::{decode, DecodeError, Inst};
+use serde::{Deserialize, Serialize};
+
+/// Which syscall-entry instruction a site uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SyscallKind {
+    /// `0f 05`
+    Syscall,
+    /// `0f 34`
+    Sysenter,
+}
+
+/// One linear-sweep result: an address and either a decoded instruction or
+/// the byte that could not be decoded (the sweep then resynchronizes at the
+/// next byte, as objdump-style tools do).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DisasmItem {
+    /// Address of the first byte.
+    pub addr: u64,
+    /// Decoded instruction, or the undecodable error.
+    pub inst: Result<Inst, DecodeError>,
+    /// Bytes consumed (1 if undecodable).
+    pub len: usize,
+}
+
+/// Linear-sweep disassembly of `bytes` mapped at `base`.
+///
+/// On an undecodable byte the sweep advances by one byte and tries again —
+/// the classic error-recovery strategy that causes desynchronization.
+pub fn linear_sweep(bytes: &[u8], base: u64) -> Vec<DisasmItem> {
+    let mut out = Vec::new();
+    let mut off = 0usize;
+    while off < bytes.len() {
+        match decode(&bytes[off..]) {
+            Ok((inst, len)) => {
+                out.push(DisasmItem {
+                    addr: base + off as u64,
+                    inst: Ok(inst),
+                    len,
+                });
+                off += len;
+            }
+            Err(e) => {
+                out.push(DisasmItem {
+                    addr: base + off as u64,
+                    inst: Err(e),
+                    len: 1,
+                });
+                off += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Addresses (relative to `base`) where a linear sweep believes a syscall
+/// or sysenter instruction starts.
+pub fn sweep_syscall_sites(bytes: &[u8], base: u64) -> Vec<(u64, SyscallKind)> {
+    linear_sweep(bytes, base)
+        .into_iter()
+        .filter_map(|item| match item.inst {
+            Ok(Inst::Syscall) => Some((item.addr, SyscallKind::Syscall)),
+            Ok(Inst::Sysenter) => Some((item.addr, SyscallKind::Sysenter)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Byte-pattern scan: every offset where `0f 05` or `0f 34` appears,
+/// regardless of instruction alignment. Over-approximates the true syscall
+/// sites (finds partial instructions and data matches too).
+pub fn scan_syscall_bytes(bytes: &[u8], base: u64) -> Vec<(u64, SyscallKind)> {
+    let mut out = Vec::new();
+    for (i, w) in bytes.windows(2).enumerate() {
+        match w {
+            [0x0f, 0x05] => out.push((base + i as u64, SyscallKind::Syscall)),
+            [0x0f, 0x34] => out.push((base + i as u64, SyscallKind::Sysenter)),
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+    use crate::reg::Reg;
+
+    /// Code with one true syscall, one partial syscall (inside an imm64), and
+    /// one data match (a jump-table quad containing 0f 05).
+    fn ambiguous_image() -> (Vec<u8>, u64) {
+        let mut a = Asm::new();
+        a.mov_imm(Reg::Rax, 60);
+        a.label("true_syscall");
+        a.syscall();
+        // Partial: the imm64 contains the syscall opcode bytes.
+        a.mov_imm(Reg::Rbx, u64::from_le_bytes([1, 2, 0x0f, 0x05, 3, 4, 5, 6]));
+        a.ret();
+        // Embedded data: a "jump table" whose entry happens to contain 0f 05.
+        a.label("table");
+        // Little-endian: memory bytes `de c0 0f 05 ...` contain `0f 05`.
+        a.quad(0x0000_0000_050f_c0de);
+        let prog = a.finish_program();
+        let true_site = prog.sym("true_syscall");
+        (prog.bytes, true_site)
+    }
+
+    #[test]
+    fn byte_scan_overapproximates() {
+        let (bytes, true_site) = ambiguous_image();
+        let hits = scan_syscall_bytes(&bytes, 0);
+        // Finds the true site...
+        assert!(hits.iter().any(|(a, _)| *a == true_site));
+        // ...and at least two false positives (partial inst + data).
+        assert!(
+            hits.len() >= 3,
+            "expected over-approximation, got {hits:?}"
+        );
+    }
+
+    #[test]
+    fn linear_sweep_finds_true_sites_in_clean_code() {
+        let mut a = Asm::new();
+        a.mov_imm(Reg::Rax, 1);
+        a.syscall();
+        a.mov_imm(Reg::Rax, 60);
+        a.syscall();
+        a.ret();
+        let bytes = a.finish();
+        let sites = sweep_syscall_sites(&bytes, 0x1000);
+        assert_eq!(sites.len(), 2);
+        assert_eq!(sites[0], (0x1000 + 10, SyscallKind::Syscall));
+        assert_eq!(sites[1], (0x1000 + 22, SyscallKind::Syscall));
+    }
+
+    #[test]
+    fn linear_sweep_desyncs_on_embedded_data() {
+        // Data that *starts* with a valid-looking long instruction prefix
+        // followed by a true syscall: the sweep eats the syscall bytes as part
+        // of the bogus instruction and misses the real site (P2a).
+        let mut a = Asm::new();
+        a.label("data");
+        // 0x48 0xb8: looks like `mov rax, imm64` and swallows the next 8
+        // bytes, which include the real syscall below.
+        a.bytes(&[0x48, 0xb8]);
+        a.label("real_code");
+        a.syscall();
+        a.ret();
+        a.nops(8);
+        let prog = a.finish_program();
+
+        let swept = sweep_syscall_sites(&prog.bytes, 0);
+        let scanned = scan_syscall_bytes(&prog.bytes, 0);
+        // The byte scan sees the true site at offset 2 ...
+        assert!(scanned.iter().any(|(a, _)| *a == prog.sym("real_code")));
+        // ... but the sweep decoded it away as immediate bytes (P2a).
+        assert!(swept.is_empty(), "sweep should miss the site: {swept:?}");
+    }
+
+    #[test]
+    fn sweep_items_cover_every_byte() {
+        let (bytes, _) = ambiguous_image();
+        let items = linear_sweep(&bytes, 0);
+        let total: usize = items.iter().map(|i| i.len).sum();
+        assert_eq!(total, bytes.len());
+        // Addresses are strictly increasing.
+        for w in items.windows(2) {
+            assert!(w[0].addr + w[0].len as u64 == w[1].addr);
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(linear_sweep(&[], 0).is_empty());
+        assert!(scan_syscall_bytes(&[], 0).is_empty());
+        assert!(scan_syscall_bytes(&[0x0f], 0).is_empty());
+    }
+}

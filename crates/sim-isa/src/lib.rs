@@ -1,0 +1,53 @@
+//! # sim-isa — an x86-64-like variable-length instruction set
+//!
+//! This crate defines the guest instruction set used by the whole K23
+//! reproduction. The encoding deliberately mirrors the properties of x86-64
+//! that the paper's analysis depends on:
+//!
+//! * `SYSCALL` is the two-byte sequence `0x0f 0x05` and `SYSENTER` is
+//!   `0x0f 0x34`, exactly as on real hardware.
+//! * `callq *%rax` is the two-byte sequence `0xff 0xd0` — the same length as
+//!   `SYSCALL`, which is the key fact zpoline-style rewriting exploits.
+//! * Instructions are variable length (1–10 bytes) and immediates may contain
+//!   arbitrary bytes, so the `0x0f 0x05` pattern can appear *inside* another
+//!   instruction (a "partial syscall instruction") or inside data embedded in
+//!   a code page — the root cause of pitfalls P2a/P3a/P3b.
+//!
+//! The crate provides:
+//!
+//! * [`Reg`] — the sixteen general-purpose registers.
+//! * [`Inst`] — the instruction enum, with [`Inst::encode`] / [`decode`].
+//! * [`Asm`] — a small assembler with labels, used to author guest programs.
+//! * [`disasm`] — a linear-sweep disassembler with the same imprecision as
+//!   the static tooling zpoline relies on, plus a naive byte-pattern scanner.
+//!
+//! ## Example
+//!
+//! ```
+//! use sim_isa::{Asm, Reg, Inst, decode};
+//!
+//! let mut a = Asm::new();
+//! a.mov_imm(Reg::Rax, 60); // exit
+//! a.syscall();
+//! let code = a.finish();
+//! let (inst, len) = decode(&code).unwrap();
+//! assert_eq!(len, 10);
+//! assert_eq!(inst, Inst::MovImm(Reg::Rax, 60));
+//! ```
+
+pub mod asm;
+pub mod disasm;
+pub mod inst;
+pub mod reg;
+
+pub use asm::{Asm, Program};
+pub use disasm::{linear_sweep, scan_syscall_bytes, DisasmItem, SyscallKind};
+pub use inst::{decode, Cond, DecodeError, Inst};
+pub use reg::Reg;
+
+/// Opcode bytes for `SYSCALL` (`0x0f 0x05`).
+pub const SYSCALL_BYTES: [u8; 2] = [0x0f, 0x05];
+/// Opcode bytes for `SYSENTER` (`0x0f 0x34`).
+pub const SYSENTER_BYTES: [u8; 2] = [0x0f, 0x34];
+/// Opcode bytes for `callq *%rax` (`0xff 0xd0`), the zpoline replacement.
+pub const CALL_RAX_BYTES: [u8; 2] = [0xff, 0xd0];

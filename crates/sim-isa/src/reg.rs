@@ -1,0 +1,137 @@
+//! General-purpose register file layout.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The sixteen 64-bit general-purpose registers, numbered as on x86-64.
+///
+/// The numbering matters: the Linux syscall ABI places the system-call number
+/// in [`Reg::Rax`] and arguments in `rdi, rsi, rdx, r10, r8, r9`; the kernel
+/// clobbers `rcx` and `r11` on syscall entry — a fact K23's trampoline
+/// exploits (paper §6.2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Reg {
+    Rax = 0,
+    Rcx = 1,
+    Rdx = 2,
+    Rbx = 3,
+    Rsp = 4,
+    Rbp = 5,
+    Rsi = 6,
+    Rdi = 7,
+    R8 = 8,
+    R9 = 9,
+    R10 = 10,
+    R11 = 11,
+    R12 = 12,
+    R13 = 13,
+    R14 = 14,
+    R15 = 15,
+}
+
+impl Reg {
+    /// All registers in numeric order.
+    pub const ALL: [Reg; 16] = [
+        Reg::Rax,
+        Reg::Rcx,
+        Reg::Rdx,
+        Reg::Rbx,
+        Reg::Rsp,
+        Reg::Rbp,
+        Reg::Rsi,
+        Reg::Rdi,
+        Reg::R8,
+        Reg::R9,
+        Reg::R10,
+        Reg::R11,
+        Reg::R12,
+        Reg::R13,
+        Reg::R14,
+        Reg::R15,
+    ];
+
+    /// The six syscall-argument registers in ABI order.
+    pub const SYSCALL_ARGS: [Reg; 6] = [Reg::Rdi, Reg::Rsi, Reg::Rdx, Reg::R10, Reg::R8, Reg::R9];
+
+    /// Registers a called function may clobber (caller-saved), per the ABI.
+    pub const CALLER_SAVED: [Reg; 9] = [
+        Reg::Rax,
+        Reg::Rcx,
+        Reg::Rdx,
+        Reg::Rsi,
+        Reg::Rdi,
+        Reg::R8,
+        Reg::R9,
+        Reg::R10,
+        Reg::R11,
+    ];
+
+    /// Numeric register id in `0..16`.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Decodes a register id. Returns `None` for values outside `0..16`.
+    #[inline]
+    pub fn from_index(idx: u8) -> Option<Reg> {
+        if (idx as usize) < Self::ALL.len() {
+            Some(Self::ALL[idx as usize])
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Reg::Rax => "rax",
+            Reg::Rcx => "rcx",
+            Reg::Rdx => "rdx",
+            Reg::Rbx => "rbx",
+            Reg::Rsp => "rsp",
+            Reg::Rbp => "rbp",
+            Reg::Rsi => "rsi",
+            Reg::Rdi => "rdi",
+            Reg::R8 => "r8",
+            Reg::R9 => "r9",
+            Reg::R10 => "r10",
+            Reg::R11 => "r11",
+            Reg::R12 => "r12",
+            Reg::R13 => "r13",
+            Reg::R14 => "r14",
+            Reg::R15 => "r15",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_indices() {
+        for r in Reg::ALL {
+            assert_eq!(Reg::from_index(r.index() as u8), Some(r));
+        }
+        assert_eq!(Reg::from_index(16), None);
+        assert_eq!(Reg::from_index(255), None);
+    }
+
+    #[test]
+    fn abi_register_numbers_match_x86_64() {
+        assert_eq!(Reg::Rax.index(), 0);
+        assert_eq!(Reg::Rsp.index(), 4);
+        assert_eq!(Reg::Rdi.index(), 7);
+        assert_eq!(Reg::R11.index(), 11);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Reg::Rax.to_string(), "rax");
+        assert_eq!(Reg::R15.to_string(), "r15");
+    }
+}

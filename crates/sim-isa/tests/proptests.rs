@@ -1,0 +1,110 @@
+//! Property-based tests for the instruction codec and disassembler.
+
+use proptest::prelude::*;
+use sim_isa::{decode, linear_sweep, Cond, Inst, Reg};
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..16).prop_map(|i| Reg::from_index(i).unwrap())
+}
+
+fn arb_cond() -> impl Strategy<Value = Cond> {
+    prop::sample::select(Cond::ALL.to_vec())
+}
+
+fn arb_inst() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        Just(Inst::Nop),
+        Just(Inst::Syscall),
+        Just(Inst::Sysenter),
+        Just(Inst::Ret),
+        Just(Inst::Hlt),
+        Just(Inst::Int3),
+        Just(Inst::Cpuid),
+        Just(Inst::Fence),
+        Just(Inst::Vsyscall),
+        Just(Inst::Rdpkru),
+        Just(Inst::Wrpkru),
+        arb_reg().prop_map(Inst::CallReg),
+        arb_reg().prop_map(Inst::JmpReg),
+        arb_reg().prop_map(Inst::Push),
+        arb_reg().prop_map(Inst::Pop),
+        (arb_reg(), any::<u64>()).prop_map(|(r, v)| Inst::MovImm(r, v)),
+        (arb_reg(), arb_reg()).prop_map(|(a, b)| Inst::MovReg(a, b)),
+        (arb_reg(), arb_reg(), any::<i32>()).prop_map(|(a, b, d)| Inst::Load(a, b, d)),
+        (arb_reg(), any::<i32>(), arb_reg()).prop_map(|(b, d, s)| Inst::Store(b, d, s)),
+        (arb_reg(), arb_reg(), any::<i32>()).prop_map(|(a, b, d)| Inst::LoadByte(a, b, d)),
+        (arb_reg(), any::<i32>(), arb_reg()).prop_map(|(b, d, s)| Inst::StoreByte(b, d, s)),
+        (arb_reg(), any::<i32>()).prop_map(|(r, d)| Inst::Lea(r, d)),
+        (arb_reg(), arb_reg()).prop_map(|(a, b)| Inst::AddReg(a, b)),
+        (arb_reg(), arb_reg()).prop_map(|(a, b)| Inst::SubReg(a, b)),
+        (arb_reg(), arb_reg()).prop_map(|(a, b)| Inst::AndReg(a, b)),
+        (arb_reg(), arb_reg()).prop_map(|(a, b)| Inst::OrReg(a, b)),
+        (arb_reg(), arb_reg()).prop_map(|(a, b)| Inst::XorReg(a, b)),
+        (arb_reg(), arb_reg()).prop_map(|(a, b)| Inst::CmpReg(a, b)),
+        (arb_reg(), arb_reg()).prop_map(|(a, b)| Inst::TestReg(a, b)),
+        (arb_reg(), arb_reg()).prop_map(|(a, b)| Inst::ImulReg(a, b)),
+        (arb_reg(), arb_reg()).prop_map(|(a, b)| Inst::BtMem(a, b)),
+        (arb_reg(), any::<i32>()).prop_map(|(r, i)| Inst::AddImm(r, i)),
+        (arb_reg(), any::<i32>()).prop_map(|(r, i)| Inst::SubImm(r, i)),
+        (arb_reg(), any::<i32>()).prop_map(|(r, i)| Inst::AndImm(r, i)),
+        (arb_reg(), any::<i32>()).prop_map(|(r, i)| Inst::OrImm(r, i)),
+        (arb_reg(), any::<i32>()).prop_map(|(r, i)| Inst::XorImm(r, i)),
+        (arb_reg(), any::<i32>()).prop_map(|(r, i)| Inst::CmpImm(r, i)),
+        (arb_reg(), any::<u8>()).prop_map(|(r, i)| Inst::ShlImm(r, i)),
+        (arb_reg(), any::<u8>()).prop_map(|(r, i)| Inst::ShrImm(r, i)),
+        arb_reg().prop_map(Inst::ShlCl),
+        arb_reg().prop_map(Inst::ShrCl),
+        any::<i32>().prop_map(Inst::Jmp),
+        any::<i32>().prop_map(Inst::Call),
+        (arb_cond(), any::<i32>()).prop_map(|(c, r)| Inst::Jcc(c, r)),
+    ]
+}
+
+proptest! {
+    /// encode → decode is the identity, and the reported length matches.
+    #[test]
+    fn encode_decode_roundtrip(inst in arb_inst()) {
+        let bytes = inst.encode();
+        prop_assert!(bytes.len() <= 10);
+        let (back, len) = decode(&bytes).expect("decodes");
+        prop_assert_eq!(back, inst);
+        prop_assert_eq!(len, bytes.len());
+    }
+
+    /// Decoding arbitrary byte soup never panics and never over-consumes.
+    #[test]
+    fn decode_total_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..32)) {
+        if let Ok((_, len)) = decode(&bytes) { prop_assert!(len >= 1 && len <= bytes.len()) }
+    }
+
+    /// A linear sweep partitions the byte stream exactly.
+    #[test]
+    fn sweep_partitions_stream(bytes in proptest::collection::vec(any::<u8>(), 0..256), base in any::<u32>()) {
+        let base = base as u64;
+        let items = linear_sweep(&bytes, base);
+        let mut cursor = base;
+        for item in &items {
+            prop_assert_eq!(item.addr, cursor);
+            prop_assert!(item.len >= 1);
+            cursor += item.len as u64;
+        }
+        prop_assert_eq!(cursor, base + bytes.len() as u64);
+    }
+
+    /// Appended instruction streams decode back in order (self-synchronizing
+    /// when starting at an instruction boundary).
+    #[test]
+    fn stream_of_instructions_decodes_in_order(insts in proptest::collection::vec(arb_inst(), 1..24)) {
+        let mut bytes = Vec::new();
+        for i in &insts {
+            i.encode_into(&mut bytes);
+        }
+        let mut off = 0usize;
+        for expected in &insts {
+            let (got, len) = decode(&bytes[off..]).expect("stream decodes");
+            prop_assert_eq!(&got, expected);
+            off += len;
+        }
+        prop_assert_eq!(off, bytes.len());
+    }
+}

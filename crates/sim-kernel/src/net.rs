@@ -1,0 +1,170 @@
+//! Loopback networking: byte channels and listening ports.
+//!
+//! All benchmark clients and servers run on the same simulated machine and
+//! talk over these channels — mirroring the paper's localhost evaluation
+//! setup ("we run both clients and servers on the same physical machine",
+//! §6.2.2).
+
+use std::collections::{HashMap, VecDeque};
+
+/// Which end of a channel a descriptor holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum End {
+    /// The connecting/client side.
+    A,
+    /// The accepting/server side.
+    B,
+}
+
+impl End {
+    /// The opposite end.
+    pub fn peer(self) -> End {
+        match self {
+            End::A => End::B,
+            End::B => End::A,
+        }
+    }
+}
+
+/// A bidirectional in-kernel byte channel (socketpair / pipe / TCP-over-
+/// loopback stand-in).
+#[derive(Debug, Clone, Default)]
+pub struct Channel {
+    /// Bytes travelling A → B.
+    pub a_to_b: VecDeque<u8>,
+    /// Bytes travelling B → A.
+    pub b_to_a: VecDeque<u8>,
+    /// Open descriptor count on end A.
+    pub refs_a: u32,
+    /// Open descriptor count on end B.
+    pub refs_b: u32,
+}
+
+impl Channel {
+    fn rx(&mut self, end: End) -> &mut VecDeque<u8> {
+        match end {
+            End::A => &mut self.b_to_a,
+            End::B => &mut self.a_to_b,
+        }
+    }
+
+    /// Bytes currently readable from `end`.
+    pub fn readable(&self, end: End) -> usize {
+        match end {
+            End::A => self.b_to_a.len(),
+            End::B => self.a_to_b.len(),
+        }
+    }
+
+    /// True if the peer has closed all its descriptors.
+    pub fn peer_closed(&self, end: End) -> bool {
+        match end {
+            End::A => self.refs_b == 0,
+            End::B => self.refs_a == 0,
+        }
+    }
+
+    /// Reads up to `max` bytes from `end`'s receive direction.
+    pub fn read(&mut self, end: End, max: usize) -> Vec<u8> {
+        let q = self.rx(end);
+        let n = max.min(q.len());
+        q.drain(..n).collect()
+    }
+
+    /// Writes bytes toward the peer of `end`.
+    pub fn write(&mut self, end: End, data: &[u8]) {
+        let q = self.rx(end.peer());
+        q.extend(data.iter().copied());
+    }
+}
+
+/// A listening port: a backlog of channels created by `connect`, waiting for
+/// `accept`.
+#[derive(Debug, Clone, Default)]
+pub struct Listener {
+    /// Channel indices waiting to be accepted.
+    pub backlog: VecDeque<usize>,
+    /// Open listener descriptor count.
+    pub refs: u32,
+}
+
+/// The kernel's networking state.
+#[derive(Debug, Clone, Default)]
+pub struct Net {
+    /// All channels ever created (indices are stable).
+    pub channels: Vec<Channel>,
+    /// Listening ports.
+    pub listeners: HashMap<u16, Listener>,
+}
+
+impl Net {
+    /// Creates a channel with one reference on each end; returns its index.
+    pub fn new_channel(&mut self) -> usize {
+        self.channels.push(Channel {
+            refs_a: 1,
+            refs_b: 1,
+            ..Channel::default()
+        });
+        self.channels.len() - 1
+    }
+
+    /// Drops one reference on `end` of channel `chan`.
+    pub fn drop_ref(&mut self, chan: usize, end: End) {
+        let c = &mut self.channels[chan];
+        match end {
+            End::A => c.refs_a = c.refs_a.saturating_sub(1),
+            End::B => c.refs_b = c.refs_b.saturating_sub(1),
+        }
+    }
+
+    /// Adds one reference on `end` (dup/fork).
+    pub fn add_ref(&mut self, chan: usize, end: End) {
+        let c = &mut self.channels[chan];
+        match end {
+            End::A => c.refs_a += 1,
+            End::B => c.refs_b += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_directions() {
+        let mut c = Channel {
+            refs_a: 1,
+            refs_b: 1,
+            ..Channel::default()
+        };
+        c.write(End::A, b"req");
+        assert_eq!(c.readable(End::B), 3);
+        assert_eq!(c.readable(End::A), 0);
+        assert_eq!(c.read(End::B, 10), b"req");
+        c.write(End::B, b"resp");
+        assert_eq!(c.read(End::A, 2), b"re");
+        assert_eq!(c.read(End::A, 10), b"sp");
+    }
+
+    #[test]
+    fn peer_close_detection() {
+        let mut n = Net::default();
+        let id = n.new_channel();
+        assert!(!n.channels[id].peer_closed(End::A));
+        n.drop_ref(id, End::B);
+        assert!(n.channels[id].peer_closed(End::A));
+        assert!(!n.channels[id].peer_closed(End::B));
+    }
+
+    #[test]
+    fn refcounts_dup() {
+        let mut n = Net::default();
+        let id = n.new_channel();
+        n.add_ref(id, End::A);
+        n.drop_ref(id, End::A);
+        assert!(!n.channels[id].peer_closed(End::B));
+        n.drop_ref(id, End::A);
+        assert!(n.channels[id].peer_closed(End::B));
+    }
+}

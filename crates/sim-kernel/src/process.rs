@@ -1,0 +1,399 @@
+//! Processes, threads, file descriptors, and per-thread SUD state.
+
+use sim_cpu::Cpu;
+use sim_mem::AddressSpace;
+use std::collections::BTreeMap;
+
+/// Process identifier.
+pub type Pid = u64;
+/// Thread identifier (global, not per-process).
+pub type Tid = u64;
+
+/// Per-thread Syscall User Dispatch configuration (the `prctl` interface,
+/// paper §2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sud {
+    /// Guest address of the selector byte (0 = allow, 1 = block).
+    pub selector_addr: u64,
+    /// Start of the allowlisted range that always bypasses dispatch.
+    pub range_start: u64,
+    /// Length of the allowlisted range.
+    pub range_len: u64,
+}
+
+impl Sud {
+    /// True if a syscall issued from `rip` bypasses dispatch regardless of
+    /// the selector.
+    pub fn in_allowlist(&self, rip: u64) -> bool {
+        rip >= self.range_start && rip < self.range_start.saturating_add(self.range_len)
+    }
+}
+
+/// A seccomp filter action for one syscall number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeccompAction {
+    /// Let the syscall run.
+    Allow,
+    /// Fail the syscall with `-errno` without executing it.
+    Errno(i64),
+    /// Kill the process (SECCOMP_RET_KILL_PROCESS).
+    Kill,
+}
+
+/// A minimal seccomp filter: per-number actions plus a default.
+#[derive(Debug, Clone)]
+pub struct SeccompFilter {
+    /// Actions for specific syscall numbers.
+    pub rules: std::collections::BTreeMap<u64, SeccompAction>,
+    /// Action for numbers not in `rules`.
+    pub default: SeccompAction,
+}
+
+impl SeccompFilter {
+    /// The action for syscall `nr`.
+    pub fn action(&self, nr: u64) -> SeccompAction {
+        self.rules.get(&nr).copied().unwrap_or(self.default)
+    }
+}
+
+/// A registered signal handler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SigAction {
+    /// Guest address of the handler entry point.
+    pub handler: u64,
+}
+
+/// What a blocked thread is waiting for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Wait {
+    /// Readable data (or EOF) on a channel end.
+    ChannelReadable {
+        /// Channel index in the kernel's channel table.
+        chan: usize,
+        /// Which end this thread reads from.
+        end: crate::net::End,
+    },
+    /// A connection arriving on a listening port.
+    Accept {
+        /// The listening port.
+        port: u16,
+    },
+    /// Any child to exit (`wait4`).
+    Child,
+    /// The global clock to reach a deadline (`nanosleep`).
+    Sleep {
+        /// Absolute cycle deadline.
+        until: u64,
+    },
+    /// A futex wake on the given guest address.
+    Futex {
+        /// The futex word address.
+        addr: u64,
+    },
+}
+
+/// Thread run state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadState {
+    /// Eligible to run.
+    Runnable,
+    /// Waiting on [`Wait`].
+    Blocked(Wait),
+    /// Finished.
+    Exited,
+}
+
+/// A guest thread: one CPU core's worth of state plus kernel bookkeeping.
+#[derive(Debug, Clone)]
+pub struct Thread {
+    /// Global thread id.
+    pub tid: Tid,
+    /// Architectural state.
+    pub cpu: Cpu,
+    /// Run state.
+    pub state: ThreadState,
+    /// SUD configuration, if armed. Arming puts *every* kernel entry by this
+    /// thread on the slow path (paper §6.2.1).
+    pub sud: Option<Sud>,
+    /// Stack of live signal-frame base addresses (innermost last).
+    pub sig_frames: Vec<u64>,
+    /// Set while the thread is re-executing a syscall it blocked in: the
+    /// retry resumes *in-kernel* (no second entry cost, no re-dispatch).
+    pub restarting: bool,
+}
+
+impl Thread {
+    /// A fresh runnable thread.
+    pub fn new(tid: Tid) -> Thread {
+        Thread {
+            tid,
+            cpu: Cpu::new(),
+            state: ThreadState::Runnable,
+            sud: None,
+            sig_frames: Vec::new(),
+            restarting: false,
+        }
+    }
+}
+
+/// One open file description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FdEntry {
+    /// Console (stdin reads EOF; stdout/stderr append to the process's
+    /// captured output).
+    Console,
+    /// A VFS-backed file.
+    File {
+        /// Absolute path.
+        path: String,
+        /// Read/write offset.
+        offset: u64,
+    },
+    /// A snapshot pseudo-file (e.g. `/proc/$PID/maps` captured at open).
+    Snapshot {
+        /// Contents frozen at open time.
+        data: Vec<u8>,
+        /// Read offset.
+        offset: u64,
+    },
+    /// Read end of a pipe/socketpair channel.
+    ChannelRead {
+        /// Channel index.
+        chan: usize,
+        /// Which end.
+        end: crate::net::End,
+    },
+    /// Write end of a channel.
+    ChannelWrite {
+        /// Channel index.
+        chan: usize,
+        /// Which end.
+        end: crate::net::End,
+    },
+    /// A connected socket (bidirectional channel end).
+    Socket {
+        /// Channel index.
+        chan: usize,
+        /// Which end.
+        end: crate::net::End,
+    },
+    /// An unbound/unconnected socket placeholder.
+    SocketUnbound,
+    /// A listening socket.
+    Listener {
+        /// Bound port.
+        port: u16,
+    },
+}
+
+/// Per-process statistics (observability for tests and experiments).
+#[derive(Debug, Clone, Default)]
+pub struct ProcStats {
+    /// Syscalls the kernel executed on behalf of this process.
+    pub syscalls: u64,
+    /// Executed syscalls broken down by number.
+    pub per_syscall: std::collections::BTreeMap<u64, u64>,
+    /// Executed syscalls broken down by the region containing the issuing
+    /// `syscall` instruction. Syscalls attributed to an interposer library's
+    /// region were, by construction, interposed — the measurement the
+    /// pitfall matrix uses.
+    pub syscalls_via: std::collections::BTreeMap<String, u64>,
+    /// Executed syscalls broken down by exact issuing site address.
+    pub per_site: std::collections::BTreeMap<u64, u64>,
+    /// Syscalls executed before the process's interposer announced itself
+    /// (see [`Process::interposer_live`]); the P2b metric.
+    pub syscalls_before_interposer: u64,
+    /// SIGSYS deliveries (SUD traps).
+    pub sigsys_count: u64,
+    /// vDSO fast-path calls (never enter the kernel).
+    pub vdso_calls: u64,
+    /// Signal deliveries of any kind.
+    pub signals: u64,
+}
+
+impl ProcStats {
+    /// Executed count of one syscall number.
+    pub fn syscall_count_of(&self, nr: u64) -> u64 {
+        self.per_syscall.get(&nr).copied().unwrap_or(0)
+    }
+
+    /// Executed syscalls whose issuing instruction lives in `region`.
+    pub fn syscalls_via_region(&self, region: &str) -> u64 {
+        self.syscalls_via.get(region).copied().unwrap_or(0)
+    }
+
+    /// Executed syscalls issued from the exact instruction at `site`.
+    pub fn syscalls_at_site(&self, site: u64) -> u64 {
+        self.per_site.get(&site).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct `syscall` instruction addresses that executed —
+    /// the Table 2 metric.
+    pub fn unique_sites(&self) -> usize {
+        self.per_site.len()
+    }
+}
+
+/// A guest process.
+#[derive(Debug, Clone)]
+pub struct Process {
+    /// Process id.
+    pub pid: Pid,
+    /// Parent pid (0 for the initial process).
+    pub ppid: Pid,
+    /// Executable path (latest `execve`).
+    pub exe: String,
+    /// Address space (shared by all threads).
+    pub space: AddressSpace,
+    /// Threads (index 0 is the main thread).
+    pub threads: Vec<Thread>,
+    /// Open file descriptors.
+    pub fds: BTreeMap<i64, FdEntry>,
+    next_fd: i64,
+    /// Environment (`KEY=value` strings), as passed to `execve`.
+    pub env: Vec<String>,
+    /// Arguments.
+    pub argv: Vec<String>,
+    /// Working directory.
+    pub cwd: String,
+    /// Registered signal handlers.
+    pub sigactions: BTreeMap<u64, SigAction>,
+    /// Exit status once the process has fully exited.
+    pub exit_status: Option<i64>,
+    /// Children that exited and have not been reaped: (pid, status).
+    pub zombies: Vec<(Pid, i64)>,
+    /// Live children.
+    pub children: Vec<Pid>,
+    /// Captured stdout/stderr bytes.
+    pub output: Vec<u8>,
+    /// Next protection key for `pkey_alloc`.
+    pub next_pkey: u8,
+    /// Statistics.
+    pub stats: ProcStats,
+    /// Set by interposers once their in-process component is initialized;
+    /// used to measure how many syscalls escaped before that point (P2b).
+    pub interposer_live: bool,
+    /// Whether vDSO acceleration is enabled for this image (a tracer can
+    /// disable it at exec so vDSO calls fall back to real syscalls, §5.2).
+    pub vdso_enabled: bool,
+    /// Base address of the mapped vDSO (0 when absent).
+    pub vdso_base: u64,
+    /// Symbol table of the loaded image: `"region:symbol"` → vaddr.
+    pub symbols: BTreeMap<String, u64>,
+    /// Base address of each loaded region, keyed by region name.
+    pub lib_bases: BTreeMap<String, u64>,
+    /// Installed seccomp filter, if any (checked on every dispatch; like
+    /// Linux, it cannot be removed once installed).
+    pub seccomp: Option<SeccompFilter>,
+}
+
+impl Process {
+    /// A new single-threaded process shell (the loader fills the space).
+    pub fn new(pid: Pid, ppid: Pid, main_tid: Tid) -> Process {
+        let mut fds = BTreeMap::new();
+        fds.insert(0, FdEntry::Console);
+        fds.insert(1, FdEntry::Console);
+        fds.insert(2, FdEntry::Console);
+        Process {
+            pid,
+            ppid,
+            exe: String::new(),
+            space: AddressSpace::new(),
+            threads: vec![Thread::new(main_tid)],
+            fds,
+            next_fd: 3,
+            env: Vec::new(),
+            argv: Vec::new(),
+            cwd: "/".to_string(),
+            sigactions: BTreeMap::new(),
+            exit_status: None,
+            zombies: Vec::new(),
+            children: Vec::new(),
+            output: Vec::new(),
+            next_pkey: 1,
+            stats: ProcStats::default(),
+            interposer_live: false,
+            vdso_enabled: true,
+            vdso_base: 0,
+            symbols: BTreeMap::new(),
+            lib_bases: BTreeMap::new(),
+            seccomp: None,
+        }
+    }
+
+    /// Allocates the lowest free fd ≥ 3.
+    pub fn alloc_fd(&mut self, entry: FdEntry) -> i64 {
+        let fd = self.next_fd;
+        self.next_fd += 1;
+        self.fds.insert(fd, entry);
+        fd
+    }
+
+    /// Looks up an environment variable.
+    pub fn getenv(&self, key: &str) -> Option<&str> {
+        let prefix = format!("{key}=");
+        self.env
+            .iter()
+            .find(|e| e.starts_with(&prefix))
+            .map(|e| &e[prefix.len()..])
+    }
+
+    /// The thread with `tid`.
+    pub fn thread(&self, tid: Tid) -> Option<&Thread> {
+        self.threads.iter().find(|t| t.tid == tid)
+    }
+
+    /// The thread with `tid`, mutably.
+    pub fn thread_mut(&mut self, tid: Tid) -> Option<&mut Thread> {
+        self.threads.iter_mut().find(|t| t.tid == tid)
+    }
+
+    /// True when every thread has exited.
+    pub fn all_threads_exited(&self) -> bool {
+        self.threads.iter().all(|t| t.state == ThreadState::Exited)
+    }
+
+    /// Captured output as lossy UTF-8.
+    pub fn output_string(&self) -> String {
+        String::from_utf8_lossy(&self.output).into_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fds_start_after_stdio() {
+        let mut p = Process::new(1, 0, 1);
+        let fd = p.alloc_fd(FdEntry::SocketUnbound);
+        assert_eq!(fd, 3);
+        assert_eq!(p.fds.len(), 4);
+    }
+
+    #[test]
+    fn getenv_finds_exact_key() {
+        let mut p = Process::new(1, 0, 1);
+        p.env = vec![
+            "LD_PRELOAD=/lib/libk23.so".into(),
+            "PATH=/bin".into(),
+            "LD_PRELOAD_EXTRA=x".into(),
+        ];
+        assert_eq!(p.getenv("LD_PRELOAD"), Some("/lib/libk23.so"));
+        assert_eq!(p.getenv("PATH"), Some("/bin"));
+        assert_eq!(p.getenv("HOME"), None);
+    }
+
+    #[test]
+    fn sud_allowlist() {
+        let s = Sud {
+            selector_addr: 0x100,
+            range_start: 0x7000,
+            range_len: 0x1000,
+        };
+        assert!(s.in_allowlist(0x7000));
+        assert!(s.in_allowlist(0x7fff));
+        assert!(!s.in_allowlist(0x8000));
+        assert!(!s.in_allowlist(0x6fff));
+    }
+}

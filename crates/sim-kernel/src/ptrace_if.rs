@@ -1,0 +1,114 @@
+//! The ptrace interface: host-implemented cross-process tracers.
+//!
+//! The paper's `ptracer` (K23's online-phase startup component) is a separate
+//! process that controls the target through the `ptrace(2)` API. We model the
+//! tracer as host code implementing [`Tracer`], attached to a process with
+//! [`TraceOpts`]. The kernel generates the same stop events Linux would
+//! (syscall-enter, syscall-exit, exec, fork, exit) and charges the same kind
+//! of costs: **two context switches per stop** plus one syscall-round-trip
+//! per tracer request — which is precisely why ptrace-based interposition is
+//! prohibitively slow (paper §2.1).
+
+use crate::process::{Pid, Tid};
+use crate::Kernel;
+
+/// Tracing options (the union of `PTRACE_O_*` and our exec-side controls).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceOpts {
+    /// Stop at syscall entry and exit (PTRACE_SYSCALL-style).
+    pub trace_syscalls: bool,
+    /// Stop at successful `execve` (PTRACE_O_TRACEEXEC).
+    pub trace_exec: bool,
+    /// Auto-attach to forked children (PTRACE_O_TRACEFORK).
+    pub trace_fork: bool,
+    /// Disable the vDSO in images exec'd while attached, forcing vDSO users
+    /// onto real `syscall` instructions (paper §5.2).
+    pub disable_vdso: bool,
+}
+
+/// A stop event reported to the tracer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stop {
+    /// About to execute syscall `nr` from instruction address `site`.
+    SyscallEnter {
+        /// Syscall number (`rax`).
+        nr: u64,
+        /// The six argument registers.
+        args: [u64; 6],
+        /// Address of the `syscall`/`sysenter` instruction.
+        site: u64,
+    },
+    /// A syscall completed with `ret`.
+    SyscallExit {
+        /// Syscall number.
+        nr: u64,
+        /// Return value (or `-errno`).
+        ret: u64,
+    },
+    /// The process successfully exec'd `path`.
+    Exec {
+        /// New executable path.
+        path: String,
+    },
+    /// The process forked `child` (already attached if `trace_fork`).
+    Fork {
+        /// The new child pid.
+        child: Pid,
+    },
+    /// The process exited with `status`.
+    Exit {
+        /// Exit status (or 128+signal).
+        status: i64,
+    },
+    /// A fatal signal is about to be delivered.
+    FatalSignal {
+        /// Signal number.
+        sig: u64,
+    },
+}
+
+/// What the tracer wants the kernel to do after a stop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TracerAction {
+    /// Resume normally.
+    Continue,
+    /// (Syscall-enter only) do not execute the syscall; set `rax = ret` and
+    /// continue after the instruction.
+    SkipSyscall {
+        /// The value to place in `rax`.
+        ret: u64,
+    },
+    /// Detach: no further stops are delivered.
+    Detach,
+    /// Kill the tracee.
+    Kill,
+}
+
+/// A host-implemented tracer. Implementations receive `&mut Kernel` so they
+/// can issue tracer requests (read/write tracee memory, registers); each
+/// request is charged like the syscalls a real tracer would make.
+pub trait Tracer {
+    /// Handles one stop event for tracee `(pid, tid)`.
+    fn on_stop(&mut self, k: &mut Kernel, pid: Pid, tid: Tid, stop: &Stop) -> TracerAction;
+}
+
+/// A no-op tracer that counts stops — the "empty interposition function"
+/// baseline for ptrace-based interposition.
+#[derive(Debug, Default)]
+pub struct CountingTracer {
+    /// Number of syscall-enter stops observed.
+    pub syscall_enters: u64,
+    /// Number of syscall-exit stops observed.
+    pub syscall_exits: u64,
+}
+
+impl Tracer for CountingTracer {
+    fn on_stop(&mut self, _k: &mut Kernel, _pid: Pid, _tid: Tid, stop: &Stop) -> TracerAction {
+        match stop {
+            Stop::SyscallEnter { .. } => self.syscall_enters += 1,
+            Stop::SyscallExit { .. } => self.syscall_exits += 1,
+            _ => {}
+        }
+        TracerAction::Continue
+    }
+}

@@ -1,0 +1,76 @@
+//! Signal frame layout.
+//!
+//! When the kernel delivers a signal to a registered handler it pushes a
+//! frame onto the thread's stack containing the saved context (ucontext) and
+//! the siginfo. The handler receives:
+//!
+//! * `rdi` = signal number
+//! * `rsi` = pointer to the siginfo block
+//! * `rdx` = pointer to the ucontext (== frame base)
+//!
+//! Handlers may *modify* the saved context in guest memory before calling
+//! `rt_sigreturn` — this is how SUD-based interposers perform the
+//! "interposer logic entirely outside the signal handler by modifying the
+//! signal context directly" trick (paper §2.1): e.g. writing the emulated
+//! syscall's return value into the saved `rax` slot.
+
+use sim_isa::Reg;
+
+/// Byte offset of the saved resume `rip` within the frame.
+pub const UC_RIP: u64 = 0;
+/// Byte offset of the saved packed flags.
+pub const UC_FLAGS: u64 = 8;
+/// Byte offset of the saved PKRU value.
+pub const UC_PKRU: u64 = 16;
+/// Byte offset of the saved general-purpose registers (16 × u64, indexed by
+/// [`Reg::index`]).
+pub const UC_REGS: u64 = 24;
+/// Byte offset of `si_signo`.
+pub const SI_SIGNO: u64 = 152;
+/// Byte offset of `si_syscall` (the syscall number, for SIGSYS).
+pub const SI_SYSCALL: u64 = 160;
+/// Byte offset of `si_call_addr` (address of the trapping `syscall`
+/// instruction, for SIGSYS — what lazypoline rewrites).
+pub const SI_CALL_ADDR: u64 = 168;
+/// Byte offset of `si_fault_addr` (for SIGSEGV).
+pub const SI_FAULT_ADDR: u64 = 176;
+/// Total frame size (16-byte aligned).
+pub const FRAME_SIZE: u64 = 192;
+
+/// Offset of a specific saved register within the frame.
+pub const fn uc_reg(r: Reg) -> u64 {
+    UC_REGS + 8 * r.index() as u64
+}
+
+/// The siginfo payload stored in a frame.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SigInfo {
+    /// Signal number.
+    pub signo: u64,
+    /// Trapping syscall number (SIGSYS).
+    pub syscall: u64,
+    /// Address of the trapping syscall instruction (SIGSYS).
+    pub call_addr: u64,
+    /// Faulting data address (SIGSEGV).
+    pub fault_addr: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_layout_is_disjoint_and_fits() {
+        // Bind through locals so the layout relations are checked as values
+        // (and clippy does not fold them away as constant assertions).
+        let (rip, flags) = (UC_RIP, UC_FLAGS);
+        assert!(rip < flags);
+        assert_eq!(uc_reg(Reg::Rax), 24);
+        assert_eq!(uc_reg(Reg::R15), 24 + 8 * 15);
+        let (last_reg_end, signo) = (uc_reg(Reg::R15) + 8, SI_SIGNO);
+        assert!(last_reg_end <= signo);
+        let (fault_end, size) = (SI_FAULT_ADDR + 8, FRAME_SIZE);
+        assert!(fault_end <= size);
+        assert_eq!(size % 16, 0);
+    }
+}

@@ -1,0 +1,337 @@
+//! An in-memory virtual filesystem.
+//!
+//! Holds guest binaries (serialized SimElf images), configuration, workload
+//! data, and K23's offline log directory — which can be marked **immutable**
+//! once the offline phase completes, exactly as the paper hardens its logs
+//! (§5.3).
+
+use crate::nr::{self, err};
+use std::collections::BTreeMap;
+
+/// Node identifier within a [`Vfs`].
+pub type NodeId = usize;
+
+#[derive(Debug, Clone)]
+enum Node {
+    File { data: Vec<u8>, immutable: bool },
+    Dir { entries: BTreeMap<String, NodeId>, immutable: bool },
+}
+
+/// The in-memory filesystem.
+#[derive(Debug, Clone)]
+pub struct Vfs {
+    nodes: Vec<Node>,
+}
+
+impl Default for Vfs {
+    fn default() -> Self {
+        Vfs::new()
+    }
+}
+
+fn split_path(path: &str) -> Vec<&str> {
+    path.split('/').filter(|c| !c.is_empty() && *c != ".").collect()
+}
+
+impl Vfs {
+    /// A filesystem containing only the root directory.
+    pub fn new() -> Vfs {
+        Vfs {
+            nodes: vec![Node::Dir {
+                entries: BTreeMap::new(),
+                immutable: false,
+            }],
+        }
+    }
+
+    fn resolve(&self, path: &str) -> Option<NodeId> {
+        let mut cur = 0;
+        for comp in split_path(path) {
+            match &self.nodes[cur] {
+                Node::Dir { entries, .. } => cur = *entries.get(comp)?,
+                Node::File { .. } => return None,
+            }
+        }
+        Some(cur)
+    }
+
+    fn resolve_parent(&self, path: &str) -> Option<(NodeId, String)> {
+        let comps = split_path(path);
+        let (last, dirs) = comps.split_last()?;
+        let mut cur = 0;
+        for comp in dirs {
+            match &self.nodes[cur] {
+                Node::Dir { entries, .. } => cur = *entries.get(*comp)?,
+                Node::File { .. } => return None,
+            }
+        }
+        Some((cur, last.to_string()))
+    }
+
+    /// True if `path` exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.resolve(path).is_some()
+    }
+
+    /// True if `path` is a directory.
+    pub fn is_dir(&self, path: &str) -> bool {
+        matches!(
+            self.resolve(path).map(|id| &self.nodes[id]),
+            Some(Node::Dir { .. })
+        )
+    }
+
+    /// Creates a directory (and any missing ancestors).
+    ///
+    /// # Errors
+    ///
+    /// Returns `-ENOTDIR` if a path component already exists as a file.
+    pub fn mkdir_p(&mut self, path: &str) -> Result<(), u64> {
+        let mut cur = 0;
+        for comp in split_path(path) {
+            let next = match &self.nodes[cur] {
+                Node::Dir { entries, .. } => entries.get(comp).copied(),
+                Node::File { .. } => return Err(err(nr::ENOTDIR)),
+            };
+            cur = match next {
+                Some(id) => id,
+                None => {
+                    let id = self.nodes.len();
+                    self.nodes.push(Node::Dir {
+                        entries: BTreeMap::new(),
+                        immutable: false,
+                    });
+                    match &mut self.nodes[cur] {
+                        Node::Dir { entries, .. } => {
+                            entries.insert(comp.to_string(), id);
+                        }
+                        Node::File { .. } => unreachable!(),
+                    }
+                    id
+                }
+            };
+        }
+        Ok(())
+    }
+
+    /// Writes (creates or truncates) a file, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Returns `-EPERM` if the file or its directory is immutable.
+    pub fn write_file(&mut self, path: &str, data: &[u8]) -> Result<(), u64> {
+        if let Some((dir, _)) = self.resolve_parent(path) {
+            if let Node::Dir { immutable: true, .. } = &self.nodes[dir] {
+                return Err(err(nr::EPERM));
+            }
+        } else {
+            // Create ancestors then retry parent resolution.
+            let comps = split_path(path);
+            if comps.len() > 1 {
+                let parent = comps[..comps.len() - 1].join("/");
+                self.mkdir_p(&parent)?;
+            }
+        }
+        let (dir, name) = self.resolve_parent(path).ok_or(err(nr::ENOENT))?;
+        if let Node::Dir { immutable: true, .. } = &self.nodes[dir] {
+            return Err(err(nr::EPERM));
+        }
+        if let Some(id) = self.resolve(path) {
+            match &mut self.nodes[id] {
+                Node::File { data: d, immutable } => {
+                    if *immutable {
+                        return Err(err(nr::EPERM));
+                    }
+                    *d = data.to_vec();
+                    return Ok(());
+                }
+                Node::Dir { .. } => return Err(err(nr::EISDIR)),
+            }
+        }
+        let id = self.nodes.len();
+        self.nodes.push(Node::File {
+            data: data.to_vec(),
+            immutable: false,
+        });
+        match &mut self.nodes[dir] {
+            Node::Dir { entries, .. } => {
+                entries.insert(name, id);
+            }
+            Node::File { .. } => return Err(err(nr::ENOTDIR)),
+        }
+        Ok(())
+    }
+
+    /// Appends to a file, creating it if missing.
+    ///
+    /// # Errors
+    ///
+    /// Returns `-EPERM` on immutable targets.
+    pub fn append_file(&mut self, path: &str, data: &[u8]) -> Result<(), u64> {
+        if let Some(id) = self.resolve(path) {
+            match &mut self.nodes[id] {
+                Node::File { data: d, immutable } => {
+                    if *immutable {
+                        return Err(err(nr::EPERM));
+                    }
+                    d.extend_from_slice(data);
+                    Ok(())
+                }
+                Node::Dir { .. } => Err(err(nr::EISDIR)),
+            }
+        } else {
+            self.write_file(path, data)
+        }
+    }
+
+    /// Reads a file's contents.
+    ///
+    /// # Errors
+    ///
+    /// `-ENOENT` if missing, `-EISDIR` for directories.
+    pub fn read_file(&self, path: &str) -> Result<&[u8], u64> {
+        let id = self.resolve(path).ok_or(err(nr::ENOENT))?;
+        match &self.nodes[id] {
+            Node::File { data, .. } => Ok(data),
+            Node::Dir { .. } => Err(err(nr::EISDIR)),
+        }
+    }
+
+    /// Directory entries (names) of `path`.
+    ///
+    /// # Errors
+    ///
+    /// `-ENOENT`/`-ENOTDIR`.
+    pub fn read_dir(&self, path: &str) -> Result<Vec<String>, u64> {
+        let id = self.resolve(path).ok_or(err(nr::ENOENT))?;
+        match &self.nodes[id] {
+            Node::Dir { entries, .. } => Ok(entries.keys().cloned().collect()),
+            Node::File { .. } => Err(err(nr::ENOTDIR)),
+        }
+    }
+
+    /// Removes a file.
+    ///
+    /// # Errors
+    ///
+    /// `-ENOENT`, `-EPERM` (immutable), `-EISDIR`.
+    pub fn unlink(&mut self, path: &str) -> Result<(), u64> {
+        let (dir, name) = self.resolve_parent(path).ok_or(err(nr::ENOENT))?;
+        let id = match &self.nodes[dir] {
+            Node::Dir {
+                entries,
+                immutable,
+            } => {
+                if *immutable {
+                    return Err(err(nr::EPERM));
+                }
+                *entries.get(&name).ok_or(err(nr::ENOENT))?
+            }
+            Node::File { .. } => return Err(err(nr::ENOTDIR)),
+        };
+        match &self.nodes[id] {
+            Node::File { immutable: true, .. } => return Err(err(nr::EPERM)),
+            Node::Dir { .. } => return Err(err(nr::EISDIR)),
+            Node::File { .. } => {}
+        }
+        match &mut self.nodes[dir] {
+            Node::Dir { entries, .. } => {
+                entries.remove(&name);
+            }
+            Node::File { .. } => unreachable!(),
+        }
+        Ok(())
+    }
+
+    /// Marks a file or directory (recursively) immutable — the `chattr +i`
+    /// K23 applies to its offline log directory (§5.3).
+    pub fn set_immutable(&mut self, path: &str, value: bool) -> Result<(), u64> {
+        let id = self.resolve(path).ok_or(err(nr::ENOENT))?;
+        let mut stack = vec![id];
+        while let Some(id) = stack.pop() {
+            match &mut self.nodes[id] {
+                Node::File { immutable, .. } => *immutable = value,
+                Node::Dir {
+                    immutable,
+                    entries,
+                } => {
+                    *immutable = value;
+                    stack.extend(entries.values().copied());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// File length.
+    ///
+    /// # Errors
+    ///
+    /// `-ENOENT`/`-EISDIR`.
+    pub fn file_len(&self, path: &str) -> Result<u64, u64> {
+        Ok(self.read_file(path)?.len() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut v = Vfs::new();
+        v.write_file("/etc/nginx/nginx.conf", b"worker_processes 1;")
+            .unwrap();
+        assert_eq!(v.read_file("/etc/nginx/nginx.conf").unwrap(), b"worker_processes 1;");
+        assert!(v.is_dir("/etc/nginx"));
+        assert!(v.exists("/etc"));
+    }
+
+    #[test]
+    fn missing_file_enoent() {
+        let v = Vfs::new();
+        assert_eq!(v.read_file("/nope").unwrap_err(), err(nr::ENOENT));
+    }
+
+    #[test]
+    fn append_creates_and_extends() {
+        let mut v = Vfs::new();
+        v.append_file("/log", b"a").unwrap();
+        v.append_file("/log", b"b").unwrap();
+        assert_eq!(v.read_file("/log").unwrap(), b"ab");
+    }
+
+    #[test]
+    fn immutable_blocks_writes_unlink_and_creation() {
+        let mut v = Vfs::new();
+        v.write_file("/k23/logs/ls.log", b"x").unwrap();
+        v.set_immutable("/k23/logs", true).unwrap();
+        assert_eq!(v.write_file("/k23/logs/ls.log", b"y").unwrap_err(), err(nr::EPERM));
+        assert_eq!(v.append_file("/k23/logs/ls.log", b"y").unwrap_err(), err(nr::EPERM));
+        assert_eq!(v.unlink("/k23/logs/ls.log").unwrap_err(), err(nr::EPERM));
+        assert_eq!(v.write_file("/k23/logs/new.log", b"z").unwrap_err(), err(nr::EPERM));
+        // Contents untouched.
+        assert_eq!(v.read_file("/k23/logs/ls.log").unwrap(), b"x");
+        // And can be lifted.
+        v.set_immutable("/k23/logs", false).unwrap();
+        assert!(v.write_file("/k23/logs/ls.log", b"y").is_ok());
+    }
+
+    #[test]
+    fn read_dir_lists() {
+        let mut v = Vfs::new();
+        v.write_file("/dir/a", b"").unwrap();
+        v.write_file("/dir/b", b"").unwrap();
+        assert_eq!(v.read_dir("/dir").unwrap(), vec!["a", "b"]);
+        assert_eq!(v.read_dir("/dir/a").unwrap_err(), err(nr::ENOTDIR));
+    }
+
+    #[test]
+    fn unlink_removes() {
+        let mut v = Vfs::new();
+        v.write_file("/f", b"1").unwrap();
+        v.unlink("/f").unwrap();
+        assert!(!v.exists("/f"));
+        assert_eq!(v.unlink("/f").unwrap_err(), err(nr::ENOENT));
+    }
+}

@@ -1,0 +1,307 @@
+//! The `SimElf` image format and its builder.
+//!
+//! A SimElf is one loadable module: a code+data byte image with symbols,
+//! imports (GOT-style slots the loader patches with absolute addresses),
+//! absolute relocations, declared constructor, dependencies, and hostcall
+//! symbols (guest `int3` sites wired to registered host handlers at load).
+//!
+//! Everything before `data_offset` is mapped read+execute; the rest
+//! read+write. Like real binaries, images may *embed data in executable
+//! pages* (jump tables via [`ImageBuilder::jump_table`]), which is the raw
+//! material of pitfall P3.
+
+use serde::{Deserialize, Serialize};
+use sim_isa::{Asm, Reg};
+use sim_kernel::Vfs;
+use std::collections::BTreeMap;
+
+/// Page size used for section alignment (matches `sim_mem::PAGE_SIZE`).
+const PAGE: u64 = sim_mem::PAGE_SIZE;
+
+/// A loadable module.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimElf {
+    /// Install path, e.g. `/usr/lib/libc-sim.so.6`.
+    pub name: String,
+    /// The raw image (code then data).
+    pub bytes: Vec<u8>,
+    /// Byte offset where the writable data section begins (page-aligned;
+    /// equals `bytes.len()` when there is no data section).
+    pub data_offset: u64,
+    /// Extra zero-initialized bytes mapped after `bytes` (bss).
+    pub bss: u64,
+    /// Symbol table: name → image offset.
+    pub symbols: BTreeMap<String, u64>,
+    /// Offsets of u64 slots holding image-relative values that the loader
+    /// rebases by the final load address.
+    pub abs_relocs: Vec<u64>,
+    /// Imports: (symbol name, offset of the u64 GOT slot to patch).
+    pub imports: Vec<(String, u64)>,
+    /// Constructor symbol run by the startup stub after loading (in load
+    /// order; preload constructors are where interposers initialize).
+    pub init: Option<String>,
+    /// Entry symbol (executables only).
+    pub entry: Option<String>,
+    /// Library dependencies (paths), loaded before this image's init runs.
+    pub needed: Vec<String>,
+    /// Symbols that are hostcall sites: their address is wired to the host
+    /// handler registered under the same name.
+    pub hostcall_syms: Vec<String>,
+    /// Loaded via `dlmopen` semantics: symbols are *not* entered into the
+    /// global resolution namespace (paper §5.3 — prevents recursive
+    /// redirection through shared libraries).
+    pub isolated_namespace: bool,
+}
+
+impl SimElf {
+    /// Serializes and installs the image into the VFS at its `name` path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the VFS rejects the write (immutable target).
+    pub fn install(&self, vfs: &mut Vfs) {
+        let data = serde_json::to_vec(self).expect("SimElf serializes");
+        vfs.write_file(&self.name, &data)
+            .unwrap_or_else(|e| panic!("installing {} failed: {e}", self.name));
+    }
+
+    /// Loads an image previously installed at `path`.
+    ///
+    /// # Errors
+    ///
+    /// `None` when the file is missing or not a SimElf.
+    pub fn load_from(vfs: &Vfs, path: &str) -> Option<SimElf> {
+        let data = vfs.read_file(path).ok()?;
+        serde_json::from_slice(data).ok()
+    }
+
+    /// Total mapped size (code + data + bss), page-rounded.
+    pub fn mapped_len(&self) -> u64 {
+        (self.bytes.len() as u64 + self.bss).div_ceil(PAGE) * PAGE
+    }
+}
+
+/// Builds a [`SimElf`] from assembly.
+///
+/// The builder wraps [`Asm`] and adds the module-level concepts: imports,
+/// a data section, hostcall sites, constructor/entry declarations.
+pub struct ImageBuilder {
+    name: String,
+    /// The underlying assembler — exposed for direct instruction emission.
+    pub asm: Asm,
+    imports: Vec<String>,
+    init: Option<String>,
+    entry: Option<String>,
+    needed: Vec<String>,
+    hostcall_syms: Vec<String>,
+    isolated_namespace: bool,
+    data: Vec<(String, Vec<u8>)>,
+}
+
+impl ImageBuilder {
+    /// Starts building an image to be installed at `name`.
+    pub fn new(name: &str) -> ImageBuilder {
+        ImageBuilder {
+            name: name.to_string(),
+            asm: Asm::new(),
+            imports: Vec::new(),
+            init: None,
+            entry: None,
+            needed: Vec::new(),
+            hostcall_syms: Vec::new(),
+            isolated_namespace: false,
+            data: Vec::new(),
+        }
+    }
+
+    /// Declares the constructor symbol (must be defined in the code).
+    pub fn init(&mut self, sym: &str) -> &mut Self {
+        self.init = Some(sym.to_string());
+        self
+    }
+
+    /// Declares the entry symbol (executables).
+    pub fn entry(&mut self, sym: &str) -> &mut Self {
+        self.entry = Some(sym.to_string());
+        self
+    }
+
+    /// Adds a library dependency by path.
+    pub fn needs(&mut self, path: &str) -> &mut Self {
+        self.needed.push(path.to_string());
+        self
+    }
+
+    /// Marks this image for dlmopen-style namespace isolation.
+    pub fn isolated(&mut self) -> &mut Self {
+        self.isolated_namespace = true;
+        self
+    }
+
+    /// Defines a named writable data object; returns nothing (address is
+    /// reachable via `lea_label` on the same name).
+    pub fn data_object(&mut self, label: &str, bytes: &[u8]) -> &mut Self {
+        self.data.push((label.to_string(), bytes.to_vec()));
+        self
+    }
+
+    /// Defines a hostcall function: `label: int3; ret`. At load time the
+    /// `int3` address is wired to the host handler registered under `label`.
+    pub fn hostcall_fn(&mut self, label: &str) -> &mut Self {
+        self.asm.label(label);
+        self.asm.int3();
+        self.asm.ret();
+        self.hostcall_syms.push(label.to_string());
+        self
+    }
+
+    /// Emits a call through an import: `lea got; load; call *reg` (3
+    /// instructions, like a PLT stub). Clobbers `scratch`.
+    pub fn call_import_via(&mut self, sym: &str, scratch: Reg) -> &mut Self {
+        let got = format!("__got_{sym}");
+        if !self.imports.contains(&sym.to_string()) {
+            self.imports.push(sym.to_string());
+        }
+        self.asm.lea_label(scratch, &got);
+        self.asm.load(scratch, scratch, 0);
+        self.asm.call_reg(scratch);
+        self
+    }
+
+    /// [`ImageBuilder::call_import_via`] with the conventional scratch `r15`.
+    pub fn call_import(&mut self, sym: &str) -> &mut Self {
+        self.call_import_via(sym, Reg::R15)
+    }
+
+    /// Embeds a jump table (quads of label offsets) directly in the code
+    /// stream — data in an executable page, as compilers emit (paper §4.3).
+    pub fn jump_table(&mut self, label: &str, targets: &[&str]) -> &mut Self {
+        self.asm.label(label);
+        for t in targets {
+            self.asm.quad_label(t);
+        }
+        self
+    }
+
+    /// Finalizes the image: appends the data section (page-aligned) with the
+    /// named data objects and one GOT slot per import.
+    pub fn finish(mut self) -> SimElf {
+        // Pad code to a page boundary, then lay out data objects + GOT.
+        let code_end = self.asm.here() as u64;
+        let data_offset = code_end.div_ceil(PAGE) * PAGE;
+        let pad = (data_offset - code_end) as usize;
+        self.asm.bytes(&vec![0u8; pad]);
+        for (label, bytes) in std::mem::take(&mut self.data) {
+            self.asm.label(&label);
+            self.asm.bytes(&bytes);
+            // Keep u64 alignment for the next object.
+            let here = self.asm.here();
+            let aligned = here.div_ceil(8) * 8;
+            self.asm.bytes(&vec![0u8; aligned - here]);
+        }
+        let mut import_slots = Vec::new();
+        for sym in self.imports.clone() {
+            let got = format!("__got_{sym}");
+            self.asm.label(&got);
+            import_slots.push((sym, self.asm.here() as u64));
+            self.asm.quad(0);
+        }
+        let (prog, relocs) = self.asm.finish_with_relocs();
+        SimElf {
+            name: self.name,
+            bytes: prog.bytes,
+            data_offset,
+            bss: 0,
+            symbols: prog.symbols,
+            abs_relocs: relocs.into_iter().map(|r| r as u64).collect(),
+            imports: import_slots,
+            init: self.init,
+            entry: self.entry,
+            needed: self.needed,
+            hostcall_syms: self.hostcall_syms,
+            isolated_namespace: self.isolated_namespace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_install_load_roundtrip() {
+        let mut b = ImageBuilder::new("/usr/bin/demo");
+        b.entry("_start");
+        b.asm.label("_start");
+        b.asm.mov_imm(Reg::Rax, 60);
+        b.asm.syscall();
+        let img = b.finish();
+
+        let mut vfs = Vfs::new();
+        img.install(&mut vfs);
+        let back = SimElf::load_from(&vfs, "/usr/bin/demo").expect("load");
+        assert_eq!(back.bytes, img.bytes);
+        assert_eq!(back.entry.as_deref(), Some("_start"));
+        assert_eq!(back.symbols["_start"], 0);
+    }
+
+    #[test]
+    fn data_section_is_page_aligned_after_code() {
+        let mut b = ImageBuilder::new("/lib/x.so");
+        b.asm.label("f");
+        b.asm.ret();
+        b.data_object("state", &[1, 2, 3, 4]);
+        let img = b.finish();
+        assert_eq!(img.data_offset % PAGE, 0);
+        assert_eq!(img.symbols["state"], img.data_offset);
+        assert_eq!(
+            &img.bytes[img.symbols["state"] as usize..img.symbols["state"] as usize + 4],
+            &[1, 2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn imports_create_got_slots_in_data() {
+        let mut b = ImageBuilder::new("/bin/app");
+        b.entry("_start");
+        b.asm.label("_start");
+        b.call_import("write");
+        b.asm.ret();
+        let img = b.finish();
+        assert_eq!(img.imports.len(), 1);
+        let (sym, slot) = &img.imports[0];
+        assert_eq!(sym, "write");
+        assert!(*slot >= img.data_offset, "GOT lives in the data section");
+        assert_eq!(img.symbols[&format!("__got_{sym}")], *slot);
+    }
+
+    #[test]
+    fn jump_table_records_relocs() {
+        let mut b = ImageBuilder::new("/bin/jt");
+        b.asm.label("a");
+        b.asm.ret();
+        b.asm.label("b");
+        b.asm.ret();
+        b.jump_table("table", &["a", "b"]);
+        let img = b.finish();
+        let t = img.symbols["table"] as usize;
+        assert_eq!(
+            u64::from_le_bytes(img.bytes[t..t + 8].try_into().unwrap()),
+            img.symbols["a"]
+        );
+        // Both table entries need rebasing at load.
+        assert!(img.abs_relocs.contains(&(t as u64)));
+        assert!(img.abs_relocs.contains(&(t as u64 + 8)));
+    }
+
+    #[test]
+    fn hostcall_fn_emits_int3() {
+        let mut b = ImageBuilder::new("/lib/i.so");
+        b.hostcall_fn("__host_probe");
+        let img = b.finish();
+        let at = img.symbols["__host_probe"] as usize;
+        assert_eq!(img.bytes[at], 0xcc);
+        assert_eq!(img.bytes[at + 1], 0xc3);
+        assert_eq!(img.hostcall_syms, vec!["__host_probe"]);
+    }
+}

@@ -1,0 +1,214 @@
+//! # sim-loader — SimElf images and the dynamic loader
+//!
+//! Provides the module format ([`SimElf`], [`ImageBuilder`]), the standard
+//! guest libraries ([`libc`]: one `syscall` instruction per wrapper, as in
+//! glibc), and the [`Ld`] loader implementing [`sim_kernel::ExecLoader`]:
+//! dependency resolution, `LD_PRELOAD`, dlmopen-style namespace isolation,
+//! ASLR with stable intra-region offsets, vDSO mapping (with a tracer-
+//! controlled syscall fallback), and a startup stub that issues a realistic
+//! `ld.so` syscall sequence *before* any preloaded interposer initializes
+//! (pitfall P2b).
+
+pub mod image;
+pub mod libc;
+pub mod loader;
+
+pub use image::{ImageBuilder, SimElf};
+pub use libc::{build_libc, install_standard_libs, FILLER_LIBS, LIBC_PATH, LIBC_WRAPPERS};
+pub use loader::{boot_kernel, Ld};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_isa::Reg;
+    use sim_kernel::{nr, RunExit};
+
+    /// A minimal app: writes "hi\n" to stdout via the libc wrapper, exits 0.
+    fn hello_app() -> SimElf {
+        let mut b = ImageBuilder::new("/usr/bin/hello");
+        b.entry("main");
+        b.needs(LIBC_PATH);
+        b.asm.label("main");
+        b.asm.mov_imm(Reg::Rdi, 1);
+        b.asm.lea_label(Reg::Rsi, "msg");
+        b.asm.mov_imm(Reg::Rdx, 3);
+        b.call_import("write");
+        b.asm.mov_imm(Reg::Rax, 0);
+        b.asm.ret();
+        b.data_object("msg", b"hi\n");
+        b.finish()
+    }
+
+    #[test]
+    fn end_to_end_hello() {
+        let mut k = boot_kernel();
+        hello_app().install(&mut k.vfs);
+        let pid = k
+            .spawn("/usr/bin/hello", &["hello".into()], &[], None)
+            .expect("spawn");
+        let exit = k.run(500_000_000);
+        assert_eq!(exit, RunExit::AllExited);
+        let p = k.process(pid).expect("proc");
+        assert_eq!(p.exit_status, Some(0));
+        assert_eq!(p.output_string(), "hi\n");
+    }
+
+    #[test]
+    fn startup_issues_many_syscalls_before_interposer() {
+        // The P2b measurement: a library-injection interposer cannot see any
+        // of these.
+        let mut k = boot_kernel();
+        let mut app = ImageBuilder::new("/usr/bin/ls-ish");
+        app.entry("main");
+        app.needs(LIBC_PATH);
+        for f in FILLER_LIBS {
+            app.needs(f);
+        }
+        app.asm.label("main");
+        app.asm.mov_imm(Reg::Rax, 0);
+        app.asm.ret();
+        app.finish().install(&mut k.vfs);
+        let pid = k.spawn("/usr/bin/ls-ish", &[], &[], None).expect("spawn");
+        k.run(500_000_000);
+        let p = k.process(pid).expect("proc");
+        // interposer_live was never set, so everything counted as "before".
+        assert!(
+            p.stats.syscalls_before_interposer > 100,
+            "expected >100 startup syscalls, got {}",
+            p.stats.syscalls_before_interposer
+        );
+    }
+
+    #[test]
+    fn aslr_slides_whole_images_keeping_offsets() {
+        let mut k1 = boot_kernel();
+        let mut k2 = boot_kernel();
+        k2.seed = 0x1234_5678;
+        // Force differing ASLR seeds by advancing k2's RNG.
+        for _ in 0..3 {
+            k2.next_random();
+        }
+        hello_app().install(&mut k1.vfs);
+        hello_app().install(&mut k2.vfs);
+        let p1 = k1.spawn("/usr/bin/hello", &[], &[], None).unwrap();
+        let p2 = k2.spawn("/usr/bin/hello", &[], &[], None).unwrap();
+        let b1 = k1.process(p1).unwrap().lib_bases[LIBC_PATH];
+        let b2 = k2.process(p2).unwrap().lib_bases[LIBC_PATH];
+        let s1 = k1.process(p1).unwrap().symbols["libc-sim.so.6:write"];
+        let s2 = k2.process(p2).unwrap().symbols["libc-sim.so.6:write"];
+        // Bases differ, offsets match.
+        assert_ne!(b1, b2);
+        assert_eq!(s1 - b1, s2 - b2);
+    }
+
+    #[test]
+    fn ld_preload_injects_and_runs_ctor() {
+        let mut k = boot_kernel();
+        hello_app().install(&mut k.vfs);
+        // A preload library whose ctor is a hostcall.
+        let mut lib = ImageBuilder::new("/lib/libprobe.so");
+        lib.init("__host_probe_init");
+        lib.hostcall_fn("__host_probe_init");
+        lib.finish().install(&mut k.vfs);
+
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let fired = Rc::new(RefCell::new(0u32));
+        let f2 = fired.clone();
+        k.register_hostcall("__host_probe_init", move |k, pid, _tid| {
+            *f2.borrow_mut() += 1;
+            k.mark_interposer_live(pid);
+        });
+
+        let pid = k
+            .spawn(
+                "/usr/bin/hello",
+                &[],
+                &["LD_PRELOAD=/lib/libprobe.so".into()],
+                None,
+            )
+            .expect("spawn");
+        let exit = k.run(500_000_000);
+        assert_eq!(exit, RunExit::AllExited);
+        assert_eq!(*fired.borrow(), 1);
+        let p = k.process(pid).expect("proc");
+        assert_eq!(p.output_string(), "hi\n");
+        // Startup syscalls happened before the ctor marked the interposer
+        // live, and at least the app's write happened after.
+        assert!(p.stats.syscalls_before_interposer > 50);
+        assert!(p.stats.syscalls > p.stats.syscalls_before_interposer);
+    }
+
+    #[test]
+    fn empty_env_skips_preload() {
+        // Pitfall P1a in substrate form: exec with no environment — the
+        // preload library is simply not loaded.
+        let mut k = boot_kernel();
+        hello_app().install(&mut k.vfs);
+        let mut lib = ImageBuilder::new("/lib/libprobe.so");
+        lib.init("__host_probe_init");
+        lib.hostcall_fn("__host_probe_init");
+        lib.finish().install(&mut k.vfs);
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let fired = Rc::new(RefCell::new(0u32));
+        let f2 = fired.clone();
+        k.register_hostcall("__host_probe_init", move |_k, _pid, _tid| {
+            *f2.borrow_mut() += 1;
+        });
+        k.spawn("/usr/bin/hello", &[], &[], None).expect("spawn");
+        k.run(500_000_000);
+        assert_eq!(*fired.borrow(), 0);
+    }
+
+    #[test]
+    fn vdso_fast_path_vs_disabled() {
+        // An app that calls clock_gettime through the vDSO.
+        let mk_app = || {
+            let mut b = ImageBuilder::new("/usr/bin/clock");
+            b.entry("main");
+            b.needs(LIBC_PATH);
+            b.asm.label("main");
+            b.asm.mov_imm(Reg::Rdi, 0);
+            b.asm.mov_imm(Reg::Rsi, 0);
+            b.call_import("clock_gettime_vdso");
+            b.asm.mov_imm(Reg::Rax, 0);
+            b.asm.ret();
+            b.finish()
+        };
+        // Fast path: no kernel entry for the call.
+        let mut k = boot_kernel();
+        mk_app().install(&mut k.vfs);
+        let pid = k.spawn("/usr/bin/clock", &[], &[], None).unwrap();
+        k.run(500_000_000);
+        let p = k.process(pid).unwrap();
+        assert_eq!(p.stats.vdso_calls, 1);
+        assert_eq!(p.stats.syscall_count_of(nr::SYS_CLOCK_GETTIME), 0);
+
+        // Disabled (tracer-style): the same import becomes a real syscall.
+        let mut k = boot_kernel();
+        mk_app().install(&mut k.vfs);
+        use sim_kernel::{CountingTracer, TraceOpts};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let tracer = Rc::new(RefCell::new(CountingTracer::default()));
+        let pid = k
+            .spawn(
+                "/usr/bin/clock",
+                &[],
+                &[],
+                Some((
+                    tracer,
+                    TraceOpts {
+                        disable_vdso: true,
+                        ..TraceOpts::default()
+                    },
+                )),
+            )
+            .unwrap();
+        k.run(500_000_000);
+        let p = k.process(pid).unwrap();
+        assert_eq!(p.stats.vdso_calls, 0);
+        assert_eq!(p.stats.syscall_count_of(nr::SYS_CLOCK_GETTIME), 1);
+    }
+}

@@ -1,0 +1,120 @@
+//! A lazily-allocated bitmap over the full canonical address space —
+//! zpoline's "NULL execution check" data structure (paper §4.4).
+//!
+//! zpoline validates at the trampoline entry that the call originated from a
+//! known rewritten site, using one bit per byte of virtual address space.
+//! Virtual space is reserved up front; physical memory is committed only for
+//! chunks that are touched. The *reserved* footprint is what pitfall **P4b**
+//! is about: it scales with the address space, not the number of sites, and
+//! is duplicated per process.
+
+use std::collections::HashMap;
+
+/// Bits of canonical user virtual address space covered (47 ⇒ 128 TiB).
+pub const ADDR_BITS: u32 = 47;
+
+/// Chunk granularity: one allocation covers this many *addresses*.
+const CHUNK_ADDRS: u64 = 1 << 15; // 32 Ki addresses -> 4 KiB of bits
+
+/// Sparse bitmap with one bit per virtual address.
+#[derive(Debug, Clone, Default)]
+pub struct Bitmap {
+    chunks: HashMap<u64, Box<[u8]>>,
+}
+
+impl Bitmap {
+    /// Creates an empty bitmap (no chunks committed).
+    pub fn new() -> Bitmap {
+        Bitmap::default()
+    }
+
+    fn locate(addr: u64) -> (u64, usize, u8) {
+        let chunk = addr / CHUNK_ADDRS;
+        let within = addr % CHUNK_ADDRS;
+        ((chunk), (within / 8) as usize, 1u8 << (within % 8))
+    }
+
+    /// Sets the bit for `addr`, committing its chunk if needed.
+    pub fn set(&mut self, addr: u64) {
+        let (chunk, byte, bit) = Self::locate(addr);
+        let c = self
+            .chunks
+            .entry(chunk)
+            .or_insert_with(|| vec![0u8; (CHUNK_ADDRS / 8) as usize].into_boxed_slice());
+        c[byte] |= bit;
+    }
+
+    /// Tests the bit for `addr` (false if the chunk was never committed).
+    pub fn test(&self, addr: u64) -> bool {
+        let (chunk, byte, bit) = Self::locate(addr);
+        self.chunks
+            .get(&chunk)
+            .map(|c| c[byte] & bit != 0)
+            .unwrap_or(false)
+    }
+
+    /// Physical bytes committed to back touched chunks.
+    pub fn committed_bytes(&self) -> u64 {
+        self.chunks.len() as u64 * (CHUNK_ADDRS / 8)
+    }
+
+    /// Virtual bytes the full-address-space reservation requires
+    /// (the P4b overhead: 2^47 addresses / 8 bits-per-byte = 16 TiB of
+    /// reserved virtual space per process).
+    pub const fn reserved_bytes() -> u64 {
+        (1u64 << ADDR_BITS) / 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_test() {
+        let mut b = Bitmap::new();
+        assert!(!b.test(0x1234));
+        b.set(0x1234);
+        assert!(b.test(0x1234));
+        assert!(!b.test(0x1235));
+        assert!(!b.test(0x1233));
+    }
+
+    #[test]
+    fn adjacent_bits_independent() {
+        let mut b = Bitmap::new();
+        for a in 0x7f00_0000_0000u64..0x7f00_0000_0010 {
+            b.set(a);
+        }
+        for a in 0x7f00_0000_0000u64..0x7f00_0000_0010 {
+            assert!(b.test(a));
+        }
+        assert!(!b.test(0x7f00_0000_0010));
+    }
+
+    #[test]
+    fn commitment_is_lazy_and_chunked() {
+        let mut b = Bitmap::new();
+        assert_eq!(b.committed_bytes(), 0);
+        b.set(0);
+        assert_eq!(b.committed_bytes(), CHUNK_ADDRS / 8);
+        b.set(1); // same chunk
+        assert_eq!(b.committed_bytes(), CHUNK_ADDRS / 8);
+        b.set(1 << 40); // far-away chunk
+        assert_eq!(b.committed_bytes(), 2 * (CHUNK_ADDRS / 8));
+    }
+
+    #[test]
+    fn reservation_is_address_space_scaled() {
+        // 16 TiB reserved regardless of how few sites exist — the P4b point.
+        assert_eq!(Bitmap::reserved_bytes(), 1u64 << 44);
+    }
+
+    #[test]
+    fn high_addresses() {
+        let mut b = Bitmap::new();
+        let a = (1u64 << ADDR_BITS) - 1;
+        b.set(a);
+        assert!(b.test(a));
+    }
+}

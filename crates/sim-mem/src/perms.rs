@@ -1,0 +1,204 @@
+//! Page permissions and the PKU rights register.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{BitOr, BitOrAssign};
+
+/// Sentinel protection key meaning "no key assigned" (key 0, which on Linux
+/// is the default key with full rights).
+pub const NO_PKEY: u8 = 0;
+
+/// Page protection bits (a tiny fixed flag set; kept as a custom type rather
+/// than `bitflags` to avoid a dependency for three bits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Perms(u8);
+
+impl Perms {
+    /// No access.
+    pub const NONE: Perms = Perms(0);
+    /// Readable.
+    pub const R: Perms = Perms(1);
+    /// Writable.
+    pub const W: Perms = Perms(2);
+    /// Executable.
+    pub const X: Perms = Perms(4);
+    /// Read + write.
+    pub const RW: Perms = Perms(3);
+    /// Read + execute.
+    pub const RX: Perms = Perms(5);
+    /// Read + write + execute.
+    pub const RWX: Perms = Perms(7);
+
+    /// True if all bits in `other` are present.
+    #[inline]
+    pub const fn contains(self, other: Perms) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// True if readable.
+    #[inline]
+    pub const fn readable(self) -> bool {
+        self.contains(Perms::R)
+    }
+    /// True if writable.
+    #[inline]
+    pub const fn writable(self) -> bool {
+        self.contains(Perms::W)
+    }
+    /// True if executable.
+    #[inline]
+    pub const fn executable(self) -> bool {
+        self.contains(Perms::X)
+    }
+}
+
+impl BitOr for Perms {
+    type Output = Perms;
+    fn bitor(self, rhs: Perms) -> Perms {
+        Perms(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign for Perms {
+    fn bitor_assign(&mut self, rhs: Perms) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl fmt::Display for Perms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}{}",
+            if self.readable() { 'r' } else { '-' },
+            if self.writable() { 'w' } else { '-' },
+            if self.executable() { 'x' } else { '-' },
+        )
+    }
+}
+
+/// The kind of memory access being checked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Access {
+    /// Data read.
+    Read,
+    /// Data write.
+    Write,
+    /// Instruction fetch. Not subject to PKU — the basis of XOM.
+    Fetch,
+}
+
+/// The per-thread PKU rights register (PKRU): two bits per key.
+///
+/// Bit `2k` is *access disable* (blocks reads and writes through key `k`);
+/// bit `2k+1` is *write disable*. Key 0 conventionally stays enabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Pkru(pub u32);
+
+impl Pkru {
+    /// All keys fully accessible.
+    pub const ALL_ACCESS: Pkru = Pkru(0);
+
+    /// Returns a PKRU with every key *except* key 0 access-disabled —
+    /// the hardened default an interposer uses to protect its state.
+    pub fn deny_all_but_key0() -> Pkru {
+        let mut v = 0u32;
+        for k in 1..16 {
+            v |= 1 << (2 * k);
+        }
+        Pkru(v)
+    }
+
+    /// True if data reads through `key` are permitted.
+    #[inline]
+    pub fn may_read(self, key: u8) -> bool {
+        key == NO_PKEY || self.0 & (1 << (2 * key)) == 0
+    }
+
+    /// True if data writes through `key` are permitted.
+    #[inline]
+    pub fn may_write(self, key: u8) -> bool {
+        if key == NO_PKEY {
+            return true;
+        }
+        let ad = self.0 & (1 << (2 * key)) != 0;
+        let wd = self.0 & (1 << (2 * key + 1)) != 0;
+        !(ad || wd)
+    }
+
+    /// Access-disables `key` (blocks reads and writes).
+    pub fn set_access_disable(&mut self, key: u8, disable: bool) {
+        let bit = 1u32 << (2 * key);
+        if disable {
+            self.0 |= bit;
+        } else {
+            self.0 &= !bit;
+        }
+    }
+
+    /// Write-disables `key`.
+    pub fn set_write_disable(&mut self, key: u8, disable: bool) {
+        let bit = 1u32 << (2 * key + 1);
+        if disable {
+            self.0 |= bit;
+        } else {
+            self.0 &= !bit;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perms_contains() {
+        assert!(Perms::RWX.contains(Perms::R));
+        assert!(Perms::RWX.contains(Perms::RW));
+        assert!(!Perms::RX.contains(Perms::W));
+        assert!(Perms::NONE.contains(Perms::NONE));
+        assert_eq!(Perms::R | Perms::W, Perms::RW);
+    }
+
+    #[test]
+    fn perms_display() {
+        assert_eq!(Perms::RX.to_string(), "r-x");
+        assert_eq!(Perms::NONE.to_string(), "---");
+        assert_eq!(Perms::RWX.to_string(), "rwx");
+    }
+
+    #[test]
+    fn pkru_key0_always_allowed() {
+        let p = Pkru(u32::MAX);
+        assert!(p.may_read(0));
+        assert!(p.may_write(0));
+    }
+
+    #[test]
+    fn pkru_access_disable_blocks_read_and_write() {
+        let mut p = Pkru::ALL_ACCESS;
+        p.set_access_disable(3, true);
+        assert!(!p.may_read(3));
+        assert!(!p.may_write(3));
+        assert!(p.may_read(2));
+        p.set_access_disable(3, false);
+        assert!(p.may_read(3));
+    }
+
+    #[test]
+    fn pkru_write_disable_blocks_only_writes() {
+        let mut p = Pkru::ALL_ACCESS;
+        p.set_write_disable(5, true);
+        assert!(p.may_read(5));
+        assert!(!p.may_write(5));
+    }
+
+    #[test]
+    fn deny_all_but_key0() {
+        let p = Pkru::deny_all_but_key0();
+        assert!(p.may_read(0));
+        for k in 1..16 {
+            assert!(!p.may_read(k), "key {k}");
+        }
+    }
+}

@@ -1,0 +1,675 @@
+//! The paged guest address space.
+
+use crate::perms::{Access, Perms, Pkru, NO_PKEY};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Page size in bytes (4 KiB, as on x86-64).
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Why a guest memory access faulted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultReason {
+    /// No mapping covers the address.
+    Unmapped,
+    /// The page permissions forbid the access.
+    Protection,
+    /// The page's protection key is disabled in the active PKRU.
+    PkuDenied,
+}
+
+/// A guest memory fault (becomes SIGSEGV when raised during execution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Fault {
+    /// Faulting guest virtual address.
+    pub addr: u64,
+    /// What kind of access faulted.
+    pub access: Access,
+    /// Why.
+    pub reason: FaultReason,
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:?} fault at {:#x} ({:?})",
+            self.access, self.addr, self.reason
+        )
+    }
+}
+
+impl std::error::Error for Fault {}
+
+/// Errors from mapping operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapError {
+    /// Requested range overlaps an existing mapping.
+    Overlap { addr: u64 },
+    /// Address or length is not page-aligned / is zero.
+    BadRange,
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::Overlap { addr } => write!(f, "mapping overlaps at {addr:#x}"),
+            MapError::BadRange => write!(f, "unaligned or empty range"),
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+/// A named region of the address space — one line of `/proc/$PID/maps`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mapping {
+    /// First address.
+    pub start: u64,
+    /// One past the last address.
+    pub end: u64,
+    /// Permissions the region was mapped/mprotected with.
+    pub perms: Perms,
+    /// Region name, e.g. `/usr/lib/libc-sim.so.6` or `[stack]`.
+    pub name: String,
+    /// Protection key applied to the whole region.
+    pub pkey: u8,
+}
+
+impl Mapping {
+    /// True if `addr` falls inside the region.
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= self.start && addr < self.end
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Page {
+    data: Box<[u8]>, // PAGE_SIZE bytes
+    perms: Perms,
+    pkey: u8,
+}
+
+/// A lazily-materialized paged address space.
+///
+/// `map` records a [`Mapping`] without allocating page frames; frames are
+/// created on first touch. This matches `mmap` semantics and keeps a
+/// 2^44-byte zpoline bitmap reservation affordable (P4b).
+#[derive(Debug, Clone, Default)]
+pub struct AddressSpace {
+    pages: BTreeMap<u64, Page>,
+    mappings: Vec<Mapping>,
+}
+
+impl AddressSpace {
+    /// Creates an empty address space.
+    pub fn new() -> AddressSpace {
+        AddressSpace::default()
+    }
+
+    fn page_base(addr: u64) -> u64 {
+        addr & !(PAGE_SIZE - 1)
+    }
+
+    /// The mapping covering `addr`, if any.
+    pub fn mapping_at(&self, addr: u64) -> Option<&Mapping> {
+        self.mappings.iter().find(|m| m.contains(addr))
+    }
+
+    /// All mappings, sorted by start address (the `/proc/maps` view).
+    pub fn mappings(&self) -> Vec<&Mapping> {
+        let mut v: Vec<&Mapping> = self.mappings.iter().collect();
+        v.sort_by_key(|m| m.start);
+        v
+    }
+
+    /// Renders the `/proc/$PID/maps`-style listing.
+    pub fn render_maps(&self) -> String {
+        let mut s = String::new();
+        for m in self.mappings() {
+            s.push_str(&format!(
+                "{:012x}-{:012x} {} {}\n",
+                m.start, m.end, m.perms, m.name
+            ));
+        }
+        s
+    }
+
+    /// Total bytes of *materialized* page frames (the P4b metric).
+    pub fn resident_bytes(&self) -> u64 {
+        self.pages.len() as u64 * PAGE_SIZE
+    }
+
+    /// Total bytes of *reserved* virtual address space.
+    pub fn reserved_bytes(&self) -> u64 {
+        self.mappings.iter().map(|m| m.end - m.start).sum()
+    }
+
+    /// Materialized bytes within `[start, end)` (the per-structure P4b
+    /// memory metric).
+    pub fn resident_bytes_in(&self, start: u64, end: u64) -> u64 {
+        self.pages.range(start..end).count() as u64 * PAGE_SIZE
+    }
+
+    /// True if some mapping covers `addr`.
+    pub fn is_mapped(&self, addr: u64) -> bool {
+        self.mapping_at(addr).is_some()
+    }
+
+    /// Maps `[addr, addr+len)` with `perms`, named `name`.
+    ///
+    /// # Errors
+    ///
+    /// [`MapError::BadRange`] if `addr`/`len` are unaligned or `len == 0`;
+    /// [`MapError::Overlap`] if the range intersects an existing mapping.
+    pub fn map(&mut self, addr: u64, len: u64, perms: Perms, name: &str) -> Result<(), MapError> {
+        if len == 0 || !addr.is_multiple_of(PAGE_SIZE) || !len.is_multiple_of(PAGE_SIZE) {
+            return Err(MapError::BadRange);
+        }
+        let end = addr.checked_add(len).ok_or(MapError::BadRange)?;
+        for m in &self.mappings {
+            if addr < m.end && m.start < end {
+                return Err(MapError::Overlap { addr: m.start });
+            }
+        }
+        self.mappings.push(Mapping {
+            start: addr,
+            end,
+            perms,
+            name: name.to_string(),
+            pkey: NO_PKEY,
+        });
+        Ok(())
+    }
+
+    /// Finds a free page-aligned range of `len` bytes at or above `hint`.
+    pub fn find_free(&self, hint: u64, len: u64) -> u64 {
+        let len = len.div_ceil(PAGE_SIZE) * PAGE_SIZE;
+        let mut cand = Self::page_base(hint.max(PAGE_SIZE));
+        let mut sorted = self.mappings();
+        sorted.retain(|m| m.end > cand);
+        loop {
+            let conflict = sorted
+                .iter()
+                .find(|m| cand < m.end && m.start < cand + len)
+                .copied();
+            match conflict {
+                None => return cand,
+                Some(m) => cand = m.end,
+            }
+        }
+    }
+
+    /// Unmaps every mapping fully contained in `[addr, addr+len)` and frees
+    /// its page frames. Partial overlaps trim the mapping.
+    pub fn unmap(&mut self, addr: u64, len: u64) {
+        let end = addr.saturating_add(len);
+        let mut keep = Vec::new();
+        for mut m in std::mem::take(&mut self.mappings) {
+            if m.end <= addr || m.start >= end {
+                keep.push(m);
+            } else if m.start >= addr && m.end <= end {
+                // fully covered: drop
+            } else if m.start < addr && m.end > end {
+                // split
+                let tail = Mapping {
+                    start: end,
+                    end: m.end,
+                    perms: m.perms,
+                    name: m.name.clone(),
+                    pkey: m.pkey,
+                };
+                m.end = addr;
+                keep.push(m);
+                keep.push(tail);
+            } else if m.start < addr {
+                m.end = addr;
+                keep.push(m);
+            } else {
+                m.start = end;
+                keep.push(m);
+            }
+        }
+        self.mappings = keep;
+        let bases: Vec<u64> = self
+            .pages
+            .range(Self::page_base(addr)..end)
+            .map(|(b, _)| *b)
+            .collect();
+        for b in bases {
+            self.pages.remove(&b);
+        }
+    }
+
+    /// Changes permissions for all pages in `[addr, addr+len)`.
+    ///
+    /// Pages are materialized so the change sticks; the covering mapping's
+    /// display permissions are updated when fully covered.
+    ///
+    /// # Errors
+    ///
+    /// Faults with [`FaultReason::Unmapped`] if part of the range is
+    /// unmapped.
+    pub fn protect(&mut self, addr: u64, len: u64, perms: Perms) -> Result<(), Fault> {
+        self.for_each_page(addr, len, |page| page.perms = perms)?;
+        for m in &mut self.mappings {
+            if m.start >= addr && m.end <= addr.saturating_add(len) {
+                m.perms = perms;
+            }
+        }
+        Ok(())
+    }
+
+    /// Assigns protection key `pkey` to all pages in the range.
+    ///
+    /// # Errors
+    ///
+    /// Faults if part of the range is unmapped.
+    pub fn set_pkey(&mut self, addr: u64, len: u64, pkey: u8) -> Result<(), Fault> {
+        self.for_each_page(addr, len, |page| page.pkey = pkey)?;
+        for m in &mut self.mappings {
+            if m.start >= addr && m.end <= addr.saturating_add(len) {
+                m.pkey = pkey;
+            }
+        }
+        Ok(())
+    }
+
+    /// Current permissions of the page containing `addr`.
+    pub fn page_perms(&self, addr: u64) -> Option<Perms> {
+        let base = Self::page_base(addr);
+        if let Some(p) = self.pages.get(&base) {
+            return Some(p.perms);
+        }
+        self.mapping_at(addr).map(|m| m.perms)
+    }
+
+    fn for_each_page(
+        &mut self,
+        addr: u64,
+        len: u64,
+        mut f: impl FnMut(&mut Page),
+    ) -> Result<(), Fault> {
+        let start = Self::page_base(addr);
+        let end = addr
+            .checked_add(len)
+            .map(|e| Self::page_base(e + PAGE_SIZE - 1))
+            .unwrap_or(u64::MAX);
+        let mut base = start;
+        while base < end {
+            let page = self.materialize(base).ok_or(Fault {
+                addr: base,
+                access: Access::Write,
+                reason: FaultReason::Unmapped,
+            })?;
+            f(page);
+            base += PAGE_SIZE;
+        }
+        Ok(())
+    }
+
+    fn materialize(&mut self, base: u64) -> Option<&mut Page> {
+        if !self.pages.contains_key(&base) {
+            let m = self.mapping_at(base)?;
+            let page = Page {
+                data: vec![0u8; PAGE_SIZE as usize].into_boxed_slice(),
+                perms: m.perms,
+                pkey: m.pkey,
+            };
+            self.pages.insert(base, page);
+        }
+        self.pages.get_mut(&base)
+    }
+
+    /// Checked byte-wise access used by the CPU and by syscall argument
+    /// copying.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`Fault`] encountered; preceding bytes may have been
+    /// transferred (like a partial hardware access).
+    pub fn access(
+        &mut self,
+        addr: u64,
+        buf: &mut [u8],
+        access: Access,
+        pkru: Pkru,
+        write_src: Option<&[u8]>,
+    ) -> Result<(), Fault> {
+        #[allow(clippy::needless_range_loop)] // i indexes both buf and write_src
+        for i in 0..buf.len() {
+            let a = addr.wrapping_add(i as u64);
+            let base = Self::page_base(a);
+            let off = (a - base) as usize;
+            let page = self.materialize(base).ok_or(Fault {
+                addr: a,
+                access,
+                reason: FaultReason::Unmapped,
+            })?;
+            // Split borrows: check needs &Page, mutation needs &mut.
+            let fault = {
+                let p: &Page = page;
+                Self::check_static(p, a, access, pkru)
+            };
+            fault?;
+            match write_src {
+                Some(src) => page.data[off] = src[i],
+                None => buf[i] = page.data[off],
+            }
+        }
+        Ok(())
+    }
+
+    fn check_static(page: &Page, addr: u64, access: Access, pkru: Pkru) -> Result<(), Fault> {
+        // Delegates to `check` logic without borrowing self.
+        let ok_perms = match access {
+            Access::Read => page.perms.readable(),
+            Access::Write => page.perms.writable(),
+            Access::Fetch => page.perms.executable(),
+        };
+        if !ok_perms {
+            return Err(Fault {
+                addr,
+                access,
+                reason: FaultReason::Protection,
+            });
+        }
+        let ok_pku = match access {
+            Access::Read => pkru.may_read(page.pkey),
+            Access::Write => pkru.may_write(page.pkey),
+            Access::Fetch => true,
+        };
+        if !ok_pku {
+            return Err(Fault {
+                addr,
+                access,
+                reason: FaultReason::PkuDenied,
+            });
+        }
+        Ok(())
+    }
+
+    /// Checked read.
+    ///
+    /// # Errors
+    ///
+    /// Faults on unmapped/unreadable/PKU-denied pages.
+    pub fn read(&mut self, addr: u64, buf: &mut [u8], pkru: Pkru) -> Result<(), Fault> {
+        self.access(addr, buf, Access::Read, pkru, None)
+    }
+
+    /// Checked write.
+    ///
+    /// # Errors
+    ///
+    /// Faults on unmapped/unwritable/PKU-denied pages.
+    pub fn write(&mut self, addr: u64, data: &[u8], pkru: Pkru) -> Result<(), Fault> {
+        let mut scratch = vec![0u8; data.len()];
+        self.access(addr, &mut scratch, Access::Write, pkru, Some(data))
+    }
+
+    /// Checked instruction fetch of up to `buf.len()` bytes; stops early at
+    /// an unmapped/non-executable page boundary and returns how many bytes
+    /// were fetched (≥ 1 on success).
+    ///
+    /// # Errors
+    ///
+    /// Faults if even the first byte cannot be fetched.
+    pub fn fetch(&mut self, addr: u64, buf: &mut [u8], pkru: Pkru) -> Result<usize, Fault> {
+        #[allow(clippy::needless_range_loop)] // early-return index semantics
+        for i in 0..buf.len() {
+            let mut one = [0u8; 1];
+            match self.access(addr.wrapping_add(i as u64), &mut one, Access::Fetch, pkru, None) {
+                Ok(()) => buf[i] = one[0],
+                Err(f) => {
+                    if i == 0 {
+                        return Err(f);
+                    }
+                    return Ok(i);
+                }
+            }
+        }
+        Ok(buf.len())
+    }
+
+    /// Checked u64 read (little-endian).
+    ///
+    /// # Errors
+    ///
+    /// Faults like [`AddressSpace::read`].
+    pub fn read_u64(&mut self, addr: u64, pkru: Pkru) -> Result<u64, Fault> {
+        let mut b = [0u8; 8];
+        self.read(addr, &mut b, pkru)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Checked u64 write (little-endian).
+    ///
+    /// # Errors
+    ///
+    /// Faults like [`AddressSpace::write`].
+    pub fn write_u64(&mut self, addr: u64, v: u64, pkru: Pkru) -> Result<(), Fault> {
+        self.write(addr, &v.to_le_bytes(), pkru)
+    }
+
+    /// Checked u8 read.
+    ///
+    /// # Errors
+    ///
+    /// Faults like [`AddressSpace::read`].
+    pub fn read_u8(&mut self, addr: u64, pkru: Pkru) -> Result<u8, Fault> {
+        let mut b = [0u8; 1];
+        self.read(addr, &mut b, pkru)?;
+        Ok(b[0])
+    }
+
+    /// Checked u8 write.
+    ///
+    /// # Errors
+    ///
+    /// Faults like [`AddressSpace::write`].
+    pub fn write_u8(&mut self, addr: u64, v: u8, pkru: Pkru) -> Result<(), Fault> {
+        self.write(addr, &[v], pkru)
+    }
+
+    /// Kernel-privileged read ignoring permissions and PKU (used by syscall
+    /// argument copying, ptrace peeks, and loaders). Still faults on
+    /// unmapped addresses.
+    ///
+    /// # Errors
+    ///
+    /// Faults with [`FaultReason::Unmapped`] only.
+    pub fn read_raw(&mut self, addr: u64, buf: &mut [u8]) -> Result<(), Fault> {
+        for (i, slot) in buf.iter_mut().enumerate() {
+            let a = addr.wrapping_add(i as u64);
+            let base = Self::page_base(a);
+            let off = (a - base) as usize;
+            let page = self.materialize(base).ok_or(Fault {
+                addr: a,
+                access: Access::Read,
+                reason: FaultReason::Unmapped,
+            })?;
+            *slot = page.data[off];
+        }
+        Ok(())
+    }
+
+    /// Kernel-privileged write, ignoring permissions and PKU.
+    ///
+    /// # Errors
+    ///
+    /// Faults with [`FaultReason::Unmapped`] only.
+    pub fn write_raw(&mut self, addr: u64, data: &[u8]) -> Result<(), Fault> {
+        for (i, &b) in data.iter().enumerate() {
+            let a = addr.wrapping_add(i as u64);
+            let base = Self::page_base(a);
+            let off = (a - base) as usize;
+            let page = self.materialize(base).ok_or(Fault {
+                addr: a,
+                access: Access::Write,
+                reason: FaultReason::Unmapped,
+            })?;
+            page.data[off] = b;
+        }
+        Ok(())
+    }
+
+    /// Kernel-privileged NUL-terminated string read (bounded at 4096 bytes).
+    ///
+    /// # Errors
+    ///
+    /// Faults on unmapped addresses; non-UTF-8 bytes are replaced.
+    pub fn read_cstr(&mut self, addr: u64) -> Result<String, Fault> {
+        let mut out = Vec::new();
+        for i in 0..4096u64 {
+            let mut b = [0u8; 1];
+            self.read_raw(addr + i, &mut b)?;
+            if b[0] == 0 {
+                break;
+            }
+            out.push(b[0]);
+        }
+        Ok(String::from_utf8_lossy(&out).into_owned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space_with(addr: u64, len: u64, perms: Perms) -> AddressSpace {
+        let mut s = AddressSpace::new();
+        s.map(addr, len, perms, "test").unwrap();
+        s
+    }
+
+    #[test]
+    fn map_read_write_roundtrip() {
+        let mut s = space_with(0x1000, 0x2000, Perms::RW);
+        s.write(0x1ffc, &[1, 2, 3, 4, 5, 6, 7, 8], Pkru::ALL_ACCESS)
+            .unwrap(); // crosses a page boundary
+        let mut buf = [0u8; 8];
+        s.read(0x1ffc, &mut buf, Pkru::ALL_ACCESS).unwrap();
+        assert_eq!(buf, [1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn unmapped_access_faults() {
+        let mut s = AddressSpace::new();
+        let err = s.read_u64(0x5000, Pkru::ALL_ACCESS).unwrap_err();
+        assert_eq!(err.reason, FaultReason::Unmapped);
+        assert_eq!(err.addr, 0x5000);
+    }
+
+    #[test]
+    fn permission_checks() {
+        let mut s = space_with(0x1000, 0x1000, Perms::R);
+        assert!(s.read_u8(0x1000, Pkru::ALL_ACCESS).is_ok());
+        let err = s.write_u8(0x1000, 1, Pkru::ALL_ACCESS).unwrap_err();
+        assert_eq!(err.reason, FaultReason::Protection);
+        let mut buf = [0u8; 1];
+        let err = s.fetch(0x1000, &mut buf, Pkru::ALL_ACCESS).unwrap_err();
+        assert_eq!(err.reason, FaultReason::Protection);
+    }
+
+    #[test]
+    fn overlap_rejected() {
+        let mut s = space_with(0x1000, 0x1000, Perms::RW);
+        assert_eq!(
+            s.map(0x1000, 0x1000, Perms::RW, "x"),
+            Err(MapError::Overlap { addr: 0x1000 })
+        );
+        assert_eq!(s.map(0x800, 0x1000, Perms::RW, "x"), Err(MapError::BadRange));
+        assert!(s.map(0x2000, 0x1000, Perms::RW, "x").is_ok());
+    }
+
+    #[test]
+    fn xom_page_executes_but_faults_on_read() {
+        // The P4/P4a scenario: page 0 trampoline is execute-only via PKU.
+        let mut s = space_with(0x0, 0x1000, Perms::RX);
+        s.set_pkey(0x0, 0x1000, 1).unwrap();
+        s.write_raw(0, &[0x90, 0x90]).unwrap(); // kernel-side install
+        let mut pkru = Pkru::ALL_ACCESS;
+        pkru.set_access_disable(1, true);
+        // Fetch succeeds (PKU does not gate execution)…
+        let mut buf = [0u8; 2];
+        assert_eq!(s.fetch(0, &mut buf, pkru).unwrap(), 2);
+        // …but data reads fault.
+        let err = s.read_u8(0, pkru).unwrap_err();
+        assert_eq!(err.reason, FaultReason::PkuDenied);
+    }
+
+    #[test]
+    fn lazy_materialization_tracks_resident_bytes() {
+        // Reserve 1 GiB, touch 3 pages: resident stays tiny (P4b).
+        let mut s = space_with(0x100_0000, 1 << 30, Perms::RW);
+        assert_eq!(s.resident_bytes(), 0);
+        assert_eq!(s.reserved_bytes(), 1 << 30);
+        s.write_u8(0x100_0000, 1, Pkru::ALL_ACCESS).unwrap();
+        s.write_u8(0x100_0000 + (100 << 12), 1, Pkru::ALL_ACCESS).unwrap();
+        s.write_u8(0x100_0000 + (9000 << 12), 1, Pkru::ALL_ACCESS).unwrap();
+        assert_eq!(s.resident_bytes(), 3 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn protect_changes_page_perms() {
+        let mut s = space_with(0x1000, 0x3000, Perms::RW);
+        s.protect(0x2000, 0x1000, Perms::R).unwrap();
+        assert!(s.write_u8(0x1000, 1, Pkru::ALL_ACCESS).is_ok());
+        assert!(s.write_u8(0x2000, 1, Pkru::ALL_ACCESS).is_err());
+        assert!(s.write_u8(0x3000, 1, Pkru::ALL_ACCESS).is_ok());
+        assert_eq!(s.page_perms(0x2000), Some(Perms::R));
+    }
+
+    #[test]
+    fn unmap_full_and_partial() {
+        let mut s = space_with(0x1000, 0x4000, Perms::RW);
+        s.write_u8(0x2000, 7, Pkru::ALL_ACCESS).unwrap();
+        s.unmap(0x2000, 0x1000);
+        assert!(s.read_u8(0x2000, Pkru::ALL_ACCESS).is_err());
+        assert!(s.read_u8(0x1000, Pkru::ALL_ACCESS).is_ok());
+        assert!(s.read_u8(0x3000, Pkru::ALL_ACCESS).is_ok());
+        // The split produced two mappings.
+        assert_eq!(s.mappings().len(), 2);
+    }
+
+    #[test]
+    fn find_free_skips_existing() {
+        let mut s = AddressSpace::new();
+        s.map(0x1000, 0x1000, Perms::RW, "a").unwrap();
+        s.map(0x3000, 0x1000, Perms::RW, "b").unwrap();
+        let f = s.find_free(0x1000, 0x1000);
+        assert_eq!(f, 0x2000);
+        let f2 = s.find_free(0x1000, 0x2000);
+        assert_eq!(f2, 0x4000);
+    }
+
+    #[test]
+    fn render_maps_lists_regions() {
+        let mut s = AddressSpace::new();
+        s.map(0x1000, 0x1000, Perms::RX, "/usr/bin/ls-sim").unwrap();
+        s.map(0x7000, 0x1000, Perms::RW, "[stack]").unwrap();
+        let maps = s.render_maps();
+        assert!(maps.contains("/usr/bin/ls-sim"));
+        assert!(maps.contains("r-x"));
+        assert!(maps.contains("[stack]"));
+    }
+
+    #[test]
+    fn read_cstr() {
+        let mut s = space_with(0x1000, 0x1000, Perms::RW);
+        s.write_raw(0x1100, b"LD_PRELOAD=libk23.so\0").unwrap();
+        assert_eq!(s.read_cstr(0x1100).unwrap(), "LD_PRELOAD=libk23.so");
+    }
+
+    #[test]
+    fn fetch_stops_at_boundary() {
+        let mut s = AddressSpace::new();
+        s.map(0x1000, 0x1000, Perms::RX, "code").unwrap();
+        // 10-byte fetch starting 4 bytes before the end of the mapping.
+        let mut buf = [0u8; 10];
+        let n = s.fetch(0x1ffc, &mut buf, Pkru::ALL_ACCESS).unwrap();
+        assert_eq!(n, 4);
+    }
+}

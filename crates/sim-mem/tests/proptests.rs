@@ -1,0 +1,63 @@
+//! Property-based tests for the address space and the zpoline bitmap.
+
+use proptest::prelude::*;
+use sim_mem::{AddressSpace, Bitmap, Perms, Pkru, PAGE_SIZE};
+
+proptest! {
+    /// Bitmap agrees with a reference HashSet under arbitrary set/test mixes.
+    #[test]
+    fn bitmap_matches_reference(addrs in proptest::collection::vec(0u64..(1 << 47), 1..200)) {
+        let mut bm = Bitmap::new();
+        let mut set = std::collections::HashSet::new();
+        for (i, a) in addrs.iter().enumerate() {
+            if i % 3 != 2 {
+                bm.set(*a);
+                set.insert(*a);
+            }
+        }
+        for a in &addrs {
+            prop_assert_eq!(bm.test(*a), set.contains(a));
+            prop_assert_eq!(bm.test(a ^ 1), set.contains(&(a ^ 1)));
+        }
+    }
+
+    /// Writes then reads through the checked API round-trip, and resident
+    /// pages never exceed the touched page count.
+    #[test]
+    fn write_read_roundtrip(
+        offsets in proptest::collection::vec(0u64..(64 * PAGE_SIZE - 16), 1..64),
+        val in any::<u64>(),
+    ) {
+        let mut s = AddressSpace::new();
+        s.map(PAGE_SIZE, 64 * PAGE_SIZE, Perms::RW, "arena").unwrap();
+        for (i, off) in offsets.iter().enumerate() {
+            let addr = PAGE_SIZE + off;
+            let v = val.wrapping_add(i as u64);
+            s.write_u64(addr, v, Pkru::ALL_ACCESS).unwrap();
+            prop_assert_eq!(s.read_u64(addr, Pkru::ALL_ACCESS).unwrap(), v);
+        }
+        prop_assert!(s.resident_bytes() <= (offsets.len() as u64 + 1) * 2 * PAGE_SIZE);
+    }
+
+    /// Raw (kernel) writes are visible to checked reads and vice versa.
+    #[test]
+    fn raw_and_checked_views_agree(addr_off in 0u64..(8 * PAGE_SIZE - 8), v in any::<u64>()) {
+        let mut s = AddressSpace::new();
+        s.map(0x10000, 8 * PAGE_SIZE, Perms::RW, "m").unwrap();
+        let addr = 0x10000 + addr_off;
+        s.write_raw(addr, &v.to_le_bytes()).unwrap();
+        prop_assert_eq!(s.read_u64(addr, Pkru::ALL_ACCESS).unwrap(), v);
+    }
+
+    /// Unmapped addresses always fault, mapped ones never (for RW maps).
+    #[test]
+    fn mapping_boundaries_are_exact(pages in 1u64..16) {
+        let mut s = AddressSpace::new();
+        let base = 0x4000;
+        s.map(base, pages * PAGE_SIZE, Perms::RW, "m").unwrap();
+        prop_assert!(s.read_u8(base, Pkru::ALL_ACCESS).is_ok());
+        prop_assert!(s.read_u8(base + pages * PAGE_SIZE - 1, Pkru::ALL_ACCESS).is_ok());
+        prop_assert!(s.read_u8(base - 1, Pkru::ALL_ACCESS).is_err());
+        prop_assert!(s.read_u8(base + pages * PAGE_SIZE, Pkru::ALL_ACCESS).is_err());
+    }
+}

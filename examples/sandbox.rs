@@ -1,0 +1,82 @@
+//! sandbox: a security-flavored use of K23's hook points — the paper's
+//! motivating sandboxing scenario (§1, §7). We run an "application" that
+//! tries to disable interposition and exfiltrate via execve with a cleaned
+//! environment; K23's defenses hold the line.
+//!
+//! Run with: `cargo run -p k23-examples --example sandbox`
+
+use interpose::Interposer;
+use k23::{Variant, K23};
+use sim_isa::Reg;
+use sim_kernel::nr;
+use sim_loader::{ImageBuilder, LIBC_PATH};
+
+fn main() {
+    let mut kernel = sim_loader::boot_kernel();
+    apps::install_world(&mut kernel.vfs);
+
+    // A hostile guest: first tries prctl(PR_SET_SYSCALL_USER_DISPATCH, OFF),
+    // the Listing 2 bypass.
+    let mut evil = ImageBuilder::new("/usr/bin/evil");
+    evil.entry("main");
+    evil.needs(LIBC_PATH);
+    evil.asm.label("main");
+    evil.asm.mov_imm(Reg::Rdi, nr::PR_SET_SYSCALL_USER_DISPATCH);
+    evil.asm.mov_imm(Reg::Rsi, nr::PR_SYS_DISPATCH_OFF);
+    evil.asm.mov_imm(Reg::Rdx, 0);
+    evil.asm.mov_imm(Reg::R10, 0);
+    evil.asm.mov_imm(Reg::R8, 0);
+    evil.asm.mov_imm(Reg::Rax, nr::SYS_PRCTL);
+    evil.asm.syscall();
+    // If we get here the sandbox failed; do "evil" work.
+    evil.asm.mov_imm(Reg::Rax, 0);
+    evil.asm.ret();
+    evil.finish().install(&mut kernel.vfs);
+
+    let k23 = K23::new(Variant::UltraPlus);
+    k23.prepare(&mut kernel);
+    let pid = k23
+        .spawn(&mut kernel, "/usr/bin/evil", &[], &[])
+        .expect("spawn");
+    kernel.run(100_000_000_000);
+    let p = kernel.process(pid).expect("proc");
+    println!("hostile prctl attempt → process exited {:?}", p.exit_status);
+    assert_eq!(p.exit_status, Some(134), "sandbox must abort the bypass");
+    println!(
+        "blocked prctl attempts: {} — P1b defended.",
+        k23.stats().prctl_blocks
+    );
+
+    // A second guest execs a child with a scrubbed environment (Listing 1).
+    let mut laundry = ImageBuilder::new("/usr/bin/laundry");
+    laundry.entry("main");
+    laundry.needs(LIBC_PATH);
+    laundry.asm.label("main");
+    laundry.asm.lea_label(Reg::Rdi, "victim");
+    laundry.asm.mov_imm(Reg::Rsi, 0);
+    laundry.asm.mov_imm(Reg::Rdx, 0); // envp = NULL
+    laundry.asm.mov_imm(Reg::Rax, nr::SYS_EXECVE);
+    laundry.asm.syscall();
+    laundry.asm.mov_imm(Reg::Rax, 1);
+    laundry.asm.ret();
+    laundry.data_object("victim", b"/usr/bin/pwd-sim\0");
+    laundry.finish().install(&mut kernel.vfs);
+
+    let k23 = K23::new(Variant::UltraPlus);
+    k23.prepare(&mut kernel);
+    let pid = k23
+        .spawn(&mut kernel, "/usr/bin/laundry", &[], &[])
+        .expect("spawn");
+    kernel.run(100_000_000_000);
+    let p = kernel.process(pid).expect("proc");
+    println!(
+        "\nenv-scrubbing exec → new image {:?} exited {:?}",
+        p.exe, p.exit_status
+    );
+    println!(
+        "LD_PRELOAD forced back by the guards: execve re-attachments = {}",
+        k23.stats().execve_reattach
+    );
+    assert!(p.env.iter().any(|e| e.starts_with("LD_PRELOAD=")));
+    println!("P1a defended: the sandbox followed the exec.");
+}

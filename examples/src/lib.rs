@@ -1,0 +1,1 @@
+//! Library stub: the interesting entry points are the examples.

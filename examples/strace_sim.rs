@@ -1,0 +1,74 @@
+//! strace-sim: use the ptrace interface to trace every syscall of a guest
+//! application, printing an strace-style log — the classic exhaustive (and
+//! slow) interposition use case (paper §2.1).
+//!
+//! Run with: `cargo run -p k23-examples --example strace_sim`
+
+use sim_kernel::{nr, Stop, TraceOpts, Tracer, TracerAction};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A tracer that prints syscall enters/exits like strace.
+#[derive(Default)]
+struct Strace {
+    depth: u64,
+}
+
+impl Tracer for Strace {
+    fn on_stop(
+        &mut self,
+        _k: &mut sim_kernel::Kernel,
+        pid: sim_kernel::Pid,
+        _tid: u64,
+        stop: &Stop,
+    ) -> TracerAction {
+        match stop {
+            Stop::SyscallEnter { nr: n, args, site } => {
+                self.depth += 1;
+                println!(
+                    "[pid {pid}] {}({:#x}, {:#x}, {:#x}) @ {site:#x}",
+                    nr::syscall_name(*n),
+                    args[0],
+                    args[1],
+                    args[2]
+                );
+            }
+            Stop::SyscallExit { ret, .. } => {
+                println!("[pid {pid}]   = {:#x}", *ret);
+            }
+            Stop::Exec { path } => println!("[pid {pid}] --- exec {path} ---"),
+            Stop::Exit { status } => println!("[pid {pid}] +++ exited with {status} +++"),
+            _ => {}
+        }
+        TracerAction::Continue
+    }
+}
+
+fn main() {
+    let mut kernel = sim_loader::boot_kernel();
+    apps::install_world(&mut kernel.vfs);
+    let tracer = Rc::new(RefCell::new(Strace::default()));
+    let pid = kernel
+        .spawn(
+            "/usr/bin/cat-sim",
+            &["cat".into()],
+            &[],
+            Some((
+                tracer.clone(),
+                TraceOpts {
+                    trace_syscalls: true,
+                    trace_exec: true,
+                    trace_fork: true,
+                    disable_vdso: true,
+                },
+            )),
+        )
+        .expect("spawn");
+    kernel.run(100_000_000_000);
+    let p = kernel.process(pid).expect("proc");
+    println!(
+        "\ntraced {} syscalls; cat output was: {:?}",
+        tracer.borrow().depth,
+        p.output_string()
+    );
+}

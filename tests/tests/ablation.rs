@@ -1,0 +1,46 @@
+//! Ablation: zpoline's disassembly strategy (DESIGN.md §4.3's trade-off).
+//! The byte-pattern scan over-approximates (more corruption, no misses);
+//! the linear sweep both misses and fabricates.
+
+use interpose::Interposer;
+use sim_loader::boot_kernel;
+use zpoline::{ScanStrategy, Zpoline};
+
+fn zp(scan: ScanStrategy) -> Zpoline {
+    let mut z = Zpoline::default_variant();
+    z.scan = scan;
+    z
+}
+
+/// Both strategies interpose a clean stress loop correctly; the byte scan
+/// rewrites at least as many sites as the sweep.
+#[test]
+fn byte_scan_is_superset_on_clean_code() {
+    let mut counts = Vec::new();
+    for scan in [ScanStrategy::LinearSweep, ScanStrategy::ByteScan] {
+        let mut k = boot_kernel();
+        apps::install_world(&mut k.vfs);
+        let z = zp(scan);
+        z.prepare(&mut k);
+        let pid = z.spawn(&mut k, "/usr/bin/pwd-sim", &[], &[]).unwrap();
+        k.run(1_000_000_000_000);
+        let p = k.process(pid).unwrap();
+        assert_eq!(p.exit_status, Some(0), "{scan:?}");
+        counts.push(z.stats().rewritten.len());
+    }
+    assert!(counts[1] >= counts[0], "bytescan {} < sweep {}", counts[1], counts[0]);
+}
+
+/// On an image with embedded data, the byte scan corrupts it (it rewrites
+/// every 0f 05 match) — the maximal-P3a end of the trade-off.
+#[test]
+fn byte_scan_corrupts_embedded_data() {
+    let mut k = boot_kernel();
+    pitfalls::install_pocs(&mut k.vfs);
+    let z = zp(ScanStrategy::ByteScan);
+    z.prepare(&mut k);
+    let pid = z.spawn(&mut k, "/usr/bin/p3a-poc", &[], &[]).unwrap();
+    k.run(1_000_000_000_000);
+    let p = k.process(pid).unwrap();
+    assert_eq!(p.exit_status, Some(7), "embedded data must be corrupted");
+}

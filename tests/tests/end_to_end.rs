@@ -1,0 +1,97 @@
+//! Cross-crate integration: applications behave identically under every
+//! interposer, and the machine is fully deterministic.
+
+use interpose::{Interposer, Native, PtraceInterposer, SudInterposer};
+use k23::{OfflineSession, Variant, K23};
+use lazypoline::Lazypoline;
+use sim_loader::boot_kernel;
+use zpoline::Zpoline;
+
+fn interposers() -> Vec<Box<dyn Interposer>> {
+    vec![
+        Box::new(Native),
+        Box::new(SudInterposer::new()),
+        Box::new(PtraceInterposer::new()),
+        Box::new(Zpoline::default_variant()),
+        Box::new(Zpoline::ultra()),
+        Box::new(Lazypoline::new()),
+        Box::new(K23::new(Variant::Default)),
+        Box::new(K23::new(Variant::Ultra)),
+        Box::new(K23::new(Variant::UltraPlus)),
+    ]
+}
+
+/// Output of an app must be identical under every mechanism: interposition
+/// is transparent.
+#[test]
+fn coreutils_output_identical_under_all_interposers() {
+    for app in ["/usr/bin/pwd-sim", "/usr/bin/cat-sim", "/usr/bin/ls-sim"] {
+        let mut expected: Option<String> = None;
+        for ip in interposers() {
+            let mut k = boot_kernel();
+            apps::install_world(&mut k.vfs);
+            ip.prepare(&mut k);
+            let pid = ip
+                .spawn(&mut k, app, &[app.to_string()], &[])
+                .unwrap_or_else(|e| panic!("{app} under {}: {e}", ip.label()));
+            k.run(1_000_000_000_000);
+            let p = k.process(pid).expect("proc");
+            assert_eq!(p.exit_status, Some(0), "{app} under {}", ip.label());
+            let out = p.output_string();
+            match &expected {
+                None => expected = Some(out),
+                Some(e) => assert_eq!(&out, e, "{app} under {}", ip.label()),
+            }
+        }
+    }
+}
+
+/// The simulator is deterministic: identical runs produce identical clocks.
+#[test]
+fn identical_runs_produce_identical_clocks() {
+    let run = || {
+        let mut k = boot_kernel();
+        apps::install_world(&mut k.vfs);
+        let ip = K23::new(Variant::Ultra);
+        ip.prepare(&mut k);
+        let pid = ip.spawn(&mut k, "/usr/bin/ls-sim", &[], &[]).unwrap();
+        k.run(1_000_000_000_000);
+        (k.clock, k.process(pid).unwrap().stats.syscalls)
+    };
+    assert_eq!(run(), run());
+}
+
+/// K23's full pipeline on a real app: offline then online, exhaustive.
+#[test]
+fn k23_full_pipeline_on_cat() {
+    let mut k = boot_kernel();
+    apps::install_world(&mut k.vfs);
+    let session = OfflineSession::new(&mut k, "/usr/bin/cat-sim");
+    session.run_once(&mut k, &[], &[], 1_000_000_000_000).unwrap();
+    let log = session.finish(&mut k);
+    assert_eq!(log.len(), 11, "cat's Table 2 site count");
+
+    let k23 = K23::new(Variant::UltraPlus);
+    k23.prepare(&mut k);
+    let pid = k23.spawn(&mut k, "/usr/bin/cat-sim", &[], &[]).unwrap();
+    k.run(1_000_000_000_000);
+    let p = k.process(pid).unwrap();
+    assert_eq!(p.exit_status, Some(0));
+    assert_eq!(p.output_string(), "alpha file contents\n");
+    assert_eq!(k23.stats().rewritten.len(), 11);
+    assert_eq!(k23.interposed_count(&k, pid), p.stats.syscalls);
+}
+
+/// The strace use case: ptrace sees exactly what the kernel executed.
+#[test]
+fn ptrace_trace_is_complete() {
+    let mut k = boot_kernel();
+    apps::install_world(&mut k.vfs);
+    let ip = PtraceInterposer::new();
+    ip.prepare(&mut k);
+    let pid = ip.spawn(&mut k, "/usr/bin/clear-sim", &[], &[]).unwrap();
+    k.run(1_000_000_000_000);
+    let p = k.process(pid).unwrap();
+    assert_eq!(p.exit_status, Some(0));
+    assert_eq!(ip.interposed_count(&k, pid), p.stats.syscalls);
+}
