@@ -1,0 +1,125 @@
+//! simperf — host wall-clock throughput of the simulator engines.
+//!
+//! Runs the Table 5 syscall-500 stress guest under the pre-fast-path
+//! engine (per-step scheduler loop + byte-at-a-time memory, selected via
+//! [`Kernel::set_stepwise`] and [`AddressSpace::set_legacy_mode`]) and the
+//! block/page-run engine, reporting simulated instructions per second for
+//! both. A trace diff at a smaller count first proves the two engines are
+//! instruction-for-instruction identical, so the throughput comparison is
+//! apples to apples. Results land in `BENCH_simperf.json`.
+
+use bench::micro::{build_micro_app, MICRO_APP, MICRO_CFG};
+use interpose::{Interposer, Native};
+use sim_kernel::{Kernel, Pid, RunExit, TraceEntry};
+use sim_loader::boot_kernel;
+use std::time::Instant;
+
+fn boot(n: u64) -> (Kernel, Pid) {
+    let mut k = boot_kernel();
+    build_micro_app().install(&mut k.vfs);
+    k.vfs.write_file(MICRO_CFG, &n.to_le_bytes()).expect("cfg");
+    let ip = Native;
+    ip.prepare(&mut k);
+    let pid = ip.spawn(&mut k, MICRO_APP, &[], &[]).expect("spawn");
+    (k, pid)
+}
+
+/// Runs the stress guest to completion under one engine. `legacy` selects
+/// the pre-fast-path engine; `trace` records the instruction-level trace.
+fn run(n: u64, legacy: bool, trace: bool) -> (f64, u64, Option<Vec<TraceEntry>>) {
+    let (mut k, pid) = boot(n);
+    if legacy {
+        k.set_stepwise(true);
+        k.process_mut(pid).expect("proc").space.set_legacy_mode(true);
+    }
+    if trace {
+        k.start_exec_trace();
+    }
+    let t0 = Instant::now();
+    let exit = k.run(u64::MAX / 4);
+    let dt = t0.elapsed().as_secs_f64();
+    assert_eq!(exit, RunExit::AllExited);
+    assert_eq!(k.process(pid).and_then(|p| p.exit_status), Some(0));
+    let tr = if trace { Some(k.take_exec_trace()) } else { None };
+    (dt, k.clock, tr)
+}
+
+fn best_of(runs: u32, n: u64, legacy: bool) -> (f64, u64) {
+    let mut best = f64::INFINITY;
+    let mut clock = 0;
+    for _ in 0..runs {
+        let (dt, c, _) = run(n, legacy, false);
+        best = best.min(dt);
+        clock = c;
+    }
+    (best, clock)
+}
+
+fn main() {
+    let scale = bench::scale().max(1);
+
+    // 1. Determinism proof: full trace diff at a modest count.
+    let diff_n = 2_000 / scale.clamp(1, 10);
+    let (_, clock_fast, fast_tr) = run(diff_n, false, true);
+    let (_, clock_ref, ref_tr) = run(diff_n, true, true);
+    let (fast_tr, ref_tr) = (fast_tr.unwrap(), ref_tr.unwrap());
+    assert_eq!(clock_fast, clock_ref, "engine clocks diverge");
+    assert_eq!(fast_tr.len(), ref_tr.len(), "trace lengths diverge");
+    for (i, (f, r)) in fast_tr.iter().zip(ref_tr.iter()).enumerate() {
+        assert_eq!(f, r, "trace diverges at step {i}");
+    }
+    println!(
+        "determinism: {} traced instructions identical across engines (clock {})",
+        fast_tr.len(),
+        clock_fast
+    );
+
+    // 2. Throughput: same guest, bigger count, timed without tracing.
+    let n = (1_000_000 / scale).max(20_000);
+    // Both engines retire the identical instruction stream (proved above),
+    // so one traced run yields the retired-instruction count for both.
+    let (_, _, count_tr) = run(n, false, true);
+    let instructions = count_tr.unwrap().len() as u64;
+    let (dt_ref, _) = best_of(3, n, true);
+    let (dt_fast, _) = best_of(3, n, false);
+    let ips_ref = instructions as f64 / dt_ref;
+    let ips_fast = instructions as f64 / dt_fast;
+    let speedup = ips_fast / ips_ref;
+    println!("guest: {MICRO_APP} (syscall-500 stress), {n} iterations, {instructions} instructions");
+    println!("before (stepwise + byte-at-a-time): {dt_ref:.3}s  {ips_ref:>12.0} inst/s");
+    println!("after  (blocks + page runs + TLB):  {dt_fast:.3}s  {ips_fast:>12.0} inst/s");
+    println!("speedup: {speedup:.2}x");
+
+    let json = sjson::Value::object(vec![
+        ("guest", sjson::Value::Str(MICRO_APP.into())),
+        ("iterations", sjson::Value::UInt(n)),
+        ("instructions", sjson::Value::UInt(instructions)),
+        (
+            "determinism",
+            sjson::Value::object(vec![
+                ("trace_len", sjson::Value::UInt(fast_tr.len() as u64)),
+                ("identical", sjson::Value::Bool(true)),
+            ]),
+        ),
+        (
+            "before",
+            sjson::Value::object(vec![
+                ("engine", sjson::Value::Str("stepwise+byte-at-a-time".into())),
+                ("seconds", sjson::Value::Float(dt_ref)),
+                ("inst_per_sec", sjson::Value::Float(ips_ref)),
+            ]),
+        ),
+        (
+            "after",
+            sjson::Value::object(vec![
+                ("engine", sjson::Value::Str("run_block+page-runs+tlb".into())),
+                ("seconds", sjson::Value::Float(dt_fast)),
+                ("inst_per_sec", sjson::Value::Float(ips_fast)),
+            ]),
+        ),
+        ("speedup", sjson::Value::Float(speedup)),
+    ]);
+    std::fs::write("BENCH_simperf.json", json.to_string_pretty())
+        .expect("write BENCH_simperf.json");
+    println!("wrote BENCH_simperf.json");
+}

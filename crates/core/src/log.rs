@@ -5,7 +5,6 @@
 //! within it. Offsets within a region are stable across runs even under
 //! ASLR, so the online phase can map entries back to virtual addresses.
 
-use serde::{Deserialize, Serialize};
 use sim_kernel::Vfs;
 use std::collections::BTreeSet;
 
@@ -14,7 +13,7 @@ use std::collections::BTreeSet;
 pub const LOG_DIR: &str = "/k23/logs";
 
 /// One logged site.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SiteEntry {
     /// Mapping name, e.g. `/usr/lib/libc-sim.so.6`.
     pub region: String,
@@ -23,7 +22,7 @@ pub struct SiteEntry {
 }
 
 /// The offline log for one application.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SiteLog {
     /// Application path the log was collected for.
     pub app: String,
@@ -62,14 +61,46 @@ impl SiteLog {
     ///
     /// Propagates VFS errors (e.g. `-EPERM` if the log dir is immutable).
     pub fn save(&self, vfs: &mut Vfs) -> Result<(), u64> {
-        let data = serde_json::to_vec_pretty(self).expect("log serializes");
+        let json = sjson::Value::object(vec![
+            ("app", self.app.as_str().into()),
+            (
+                "entries",
+                sjson::Value::Array(
+                    self.entries
+                        .iter()
+                        .map(|e| {
+                            sjson::Value::object(vec![
+                                ("region", e.region.as_str().into()),
+                                ("offset", e.offset.into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        let data = json.to_string_pretty().into_bytes();
         vfs.write_file(&Self::path_for(&self.app), &data)
     }
 
     /// Loads the log for `app`, if present and well-formed.
     pub fn load(vfs: &Vfs, app: &str) -> Option<SiteLog> {
         let data = vfs.read_file(&Self::path_for(app)).ok()?;
-        serde_json::from_slice(data).ok()
+        let v = sjson::parse(data).ok()?;
+        let entries = v
+            .get("entries")?
+            .as_array()?
+            .iter()
+            .map(|e| {
+                Some(SiteEntry {
+                    region: e.get("region")?.as_str()?.to_string(),
+                    offset: e.get("offset")?.as_u64()?,
+                })
+            })
+            .collect::<Option<BTreeSet<SiteEntry>>>()?;
+        Some(SiteLog {
+            app: v.get("app")?.as_str()?.to_string(),
+            entries,
+        })
     }
 
     /// Renders the Figure 3 textual form: `region,offset` per line.

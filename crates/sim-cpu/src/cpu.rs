@@ -3,7 +3,7 @@
 use crate::cost::CostModel;
 use sim_isa::{decode, Cond, Inst, Reg};
 use sim_mem::{AddressSpace, Fault, Pkru};
-use std::collections::HashMap;
+use crate::fasthash::FastMap;
 
 /// Arithmetic flags.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -86,6 +86,24 @@ pub struct Step {
     pub inst: Option<Inst>,
 }
 
+/// What [`Cpu::run_block`] produced: the exit event plus the block's
+/// aggregate accounting, which matches a per-[`Cpu::step`] loop exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockExit {
+    /// The event that ended the block ([`StepEvent::Executed`] when the
+    /// budget ran out).
+    pub event: StepEvent,
+    /// Total cycles consumed by every step in the block.
+    pub cycles: u64,
+    /// Steps consumed (every step counts, including the final event step —
+    /// the scheduler's slice accounting unit).
+    pub steps: u64,
+    /// `vsyscall` instructions executed within the block.
+    pub vdso_calls: u64,
+    /// Decoded instruction of the final step, if fetch succeeded.
+    pub inst: Option<Inst>,
+}
+
 /// One guest core: registers + flags + PKRU + a decoded-instruction cache.
 #[derive(Debug, Clone)]
 pub struct Cpu {
@@ -97,9 +115,40 @@ pub struct Cpu {
     pub flags: Flags,
     /// Protection-key rights register (thread-local, as on real hardware).
     pub pkru: Pkru,
-    icache: HashMap<u64, (Inst, usize)>,
+    icache: FastMap<u64, ICacheEntry>,
+    /// Page base → rips of cached decodes whose bytes touch that page.
+    /// Store invalidation consults only the (at most three) pages a store
+    /// can affect instead of scanning the whole icache. Entries may be
+    /// stale (decode already evicted); they are pruned lazily.
+    icache_index: FastMap<u64, Vec<u64>>,
+    /// Serialization generation: bumped by [`Cpu::flush_icache`]. Cached
+    /// decodes whose `fresh_gen` lags are revalidated against page content
+    /// versions before reuse (identical memory decodes identically, so this
+    /// is guest-invisible) instead of being unconditionally re-decoded.
+    flush_gen: u64,
+    /// Reproduce the original engine's flush behavior (drop everything at
+    /// every serialization point) instead of generation-based revalidation.
+    /// Guest-invisible either way; used for the benchmarking baseline.
+    seed_flush: bool,
     /// Retired instruction count (for debugging and run limits).
     pub retired: u64,
+}
+
+/// One cached decode, revalidatable across serialization points.
+#[derive(Debug, Clone, Copy)]
+struct ICacheEntry {
+    inst: Inst,
+    len: u8,
+    /// Usable without any checks while this equals [`Cpu::flush_gen`]
+    /// (no serialization since decode — staleness is *required* then).
+    fresh_gen: u64,
+    /// [`AddressSpace::generation`] at decode time: mapping/protection
+    /// changes force a real re-decode.
+    mem_gen: u64,
+    /// `(page base, content version)` for each page the decode's bytes
+    /// touch (at most two: decodes are ≤ 10 bytes).
+    pages: [(u64, u64); 2],
+    npages: u8,
 }
 
 impl Default for Cpu {
@@ -116,7 +165,10 @@ impl Cpu {
             rip: 0,
             flags: Flags::default(),
             pkru: Pkru::ALL_ACCESS,
-            icache: HashMap::new(),
+            icache: FastMap::default(),
+            icache_index: FastMap::default(),
+            flush_gen: 0,
+            seed_flush: false,
             retired: 0,
         }
     }
@@ -135,8 +187,25 @@ impl Cpu {
 
     /// Flushes the decoded-instruction cache (serializing event: `cpuid`,
     /// `fence`, or any kernel entry on this core).
+    ///
+    /// Architecturally this makes every store — own or cross-core — visible
+    /// to subsequent fetches. The fast implementation bumps a generation and
+    /// revalidates entries lazily against page content versions (unchanged
+    /// bytes decode identically, so reuse is exact); seed mode drops the
+    /// cache wholesale like the original engine.
     pub fn flush_icache(&mut self) {
-        self.icache.clear();
+        if self.seed_flush {
+            self.icache.clear();
+            self.icache_index.clear();
+        } else {
+            self.flush_gen += 1;
+        }
+    }
+
+    /// Selects the original engine's flush-everything behavior (the
+    /// benchmarking baseline) over generation-based revalidation.
+    pub fn set_seed_flush(&mut self, seed: bool) {
+        self.seed_flush = seed;
     }
 
     /// Number of decoded entries currently cached (observability for P5
@@ -163,25 +232,73 @@ impl Cpu {
         self.flags.pack()
     }
 
+    #[inline]
+    fn page_of(addr: u64) -> u64 {
+        addr & !(sim_mem::PAGE_SIZE - 1)
+    }
+
+    /// Invalidates any cached decode whose bytes overlap `[addr, addr+len)`.
+    ///
+    /// Decodes are at most 10 bytes, so only rips in `(addr-9 ..
+    /// addr+len)` can overlap — and those live in at most a handful of
+    /// pages, found through `icache_index` rather than a full-cache scan.
+    /// Cross-page decodes are registered under every page they touch, so a
+    /// store into either page finds them.
     fn invalidate_icache_range(&mut self, addr: u64, len: u64) {
-        // Any cached decode whose bytes overlap [addr, addr+len). Decodes are
-        // at most 10 bytes, so only keys in (addr-9 ..= addr+len-1) matter.
-        let lo = addr.saturating_sub(9);
-        let hi = addr.saturating_add(len);
-        let keys: Vec<u64> = self
-            .icache
-            .keys()
-            .copied()
-            .filter(|k| *k >= lo && *k < hi)
-            .collect();
-        for k in keys {
-            self.icache.remove(&k);
+        if self.icache.is_empty() {
+            return;
+        }
+        let end = addr.saturating_add(len);
+        let first = Self::page_of(addr.saturating_sub(9));
+        let last = Self::page_of(end - 1); // len >= 1 always
+        let Cpu {
+            icache,
+            icache_index,
+            ..
+        } = self;
+        let mut page = first;
+        loop {
+            if let Some(rips) = icache_index.get_mut(&page) {
+                rips.retain(|&rip| match icache.get(&rip) {
+                    Some(e) => {
+                        if rip < end && rip.wrapping_add(e.len as u64) > addr {
+                            icache.remove(&rip);
+                            false
+                        } else {
+                            true
+                        }
+                    }
+                    None => false, // stale entry: decode already evicted
+                });
+                if rips.is_empty() {
+                    icache_index.remove(&page);
+                }
+            }
+            if page == last {
+                break;
+            }
+            page += sim_mem::PAGE_SIZE;
         }
     }
 
     fn fetch_decode(&mut self, mem: &mut AddressSpace) -> Result<(Inst, usize), StepEvent> {
-        if let Some(&(inst, len)) = self.icache.get(&self.rip) {
-            return Ok((inst, len));
+        if let Some(e) = self.icache.get_mut(&self.rip) {
+            if e.fresh_gen == self.flush_gen {
+                return Ok((e.inst, e.len as usize));
+            }
+            // A serialization point passed since this decode. Reuse it only
+            // if the underlying bytes provably haven't changed: same
+            // mapping/protection generation and same content version on
+            // every touched page. Otherwise drop it and re-decode.
+            let mut valid = mem.generation() == e.mem_gen;
+            for &(page, ver) in &e.pages[..e.npages as usize] {
+                valid = valid && mem.page_version(page) == Some(ver);
+            }
+            if valid {
+                e.fresh_gen = self.flush_gen;
+                return Ok((e.inst, e.len as usize));
+            }
+            self.icache.remove(&self.rip); // index pruned lazily
         }
         let mut buf = [0u8; 10];
         let n = match mem.fetch(self.rip, &mut buf, self.pkru) {
@@ -190,7 +307,33 @@ impl Cpu {
         };
         match decode(&buf[..n]) {
             Ok((inst, len)) => {
-                self.icache.insert(self.rip, (inst, len));
+                // Register the decode under every page its bytes touch so
+                // page-indexed invalidation finds straddling decodes, and
+                // record the pages' content versions for revalidation.
+                let mut entry = ICacheEntry {
+                    inst,
+                    len: len as u8,
+                    fresh_gen: self.flush_gen,
+                    mem_gen: mem.generation(),
+                    pages: [(0, 0); 2],
+                    npages: 0,
+                };
+                let mut page = Self::page_of(self.rip);
+                let last = Self::page_of(self.rip.saturating_add(len as u64 - 1));
+                loop {
+                    entry.pages[entry.npages as usize] =
+                        (page, mem.page_version(page).unwrap_or(0));
+                    entry.npages += 1;
+                    let rips = self.icache_index.entry(page).or_default();
+                    if !rips.contains(&self.rip) {
+                        rips.push(self.rip);
+                    }
+                    if page == last {
+                        break;
+                    }
+                    page += sim_mem::PAGE_SIZE;
+                }
+                self.icache.insert(self.rip, entry);
                 Ok((inst, len))
             }
             Err(_) => Err(StepEvent::Fault(Fault {
@@ -541,6 +684,61 @@ impl Cpu {
             event: StepEvent::Executed,
             cycles,
             inst: Some(inst),
+        }
+    }
+
+    /// Runs up to `budget` steps without returning to the scheduler,
+    /// stopping early at the first event that needs the kernel (syscall,
+    /// fault, `hlt`, `int3`).
+    ///
+    /// Semantically this is exactly a [`Cpu::step`] loop: each step `i`
+    /// observes the clock `clock + cycles-of-steps-0..i`, mirroring a
+    /// caller that charges the global clock after every step. `on_step` is
+    /// invoked after each step with the pre-step `rip` and the [`Step`]
+    /// (pass a no-op closure for the fast path — it compiles away; pass a
+    /// recording closure to capture an instruction-level trace).
+    pub fn run_block(
+        &mut self,
+        mem: &mut AddressSpace,
+        clock: u64,
+        cost: &CostModel,
+        budget: u64,
+        mut on_step: impl FnMut(u64, &Step),
+    ) -> BlockExit {
+        let mut cycles = 0u64;
+        let mut steps = 0u64;
+        let mut vdso_calls = 0u64;
+        let mut inst = None;
+        while steps < budget {
+            let rip_before = self.rip;
+            let s = self.step(mem, clock + cycles, cost);
+            steps += 1;
+            cycles += s.cycles;
+            inst = s.inst;
+            on_step(rip_before, &s);
+            match s.event {
+                StepEvent::Executed => {
+                    if matches!(s.inst, Some(Inst::Vsyscall)) {
+                        vdso_calls += 1;
+                    }
+                }
+                event => {
+                    return BlockExit {
+                        event,
+                        cycles,
+                        steps,
+                        vdso_calls,
+                        inst,
+                    }
+                }
+            }
+        }
+        BlockExit {
+            event: StepEvent::Executed,
+            cycles,
+            steps,
+            vdso_calls,
+            inst,
         }
     }
 }

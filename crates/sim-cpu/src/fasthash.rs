@@ -1,0 +1,78 @@
+//! A minimal multiplicative hasher for the simulator's hot maps.
+//!
+//! The decoded-instruction cache and the kernel's per-thread accounting
+//! maps are keyed by small integers (guest addresses, pid/tid pairs) and
+//! sit on the per-instruction / per-syscall hot path. `std`'s default
+//! SipHash is DoS-resistant but costs more than the lookups themselves for
+//! such keys; none of these maps are attacker-controlled, so a
+//! Fibonacci-style multiplicative mix is both sufficient and deterministic
+//! (no per-process random seed — map iteration order is stable across
+//! runs, which the simulator's determinism guarantees appreciate).
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative hasher for integer-keyed maps.
+#[derive(Default, Clone)]
+pub struct FastHasher(u64);
+
+const SEED: u64 = 0x9e37_79b9_7f4a_7c15; // 2^64 / φ
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Fallback for non-integer keys: FNV-1a, then a final mix.
+        let mut h = self.0 ^ 0xcbf2_9ce4_8422_2325;
+        for &b in bytes {
+            h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+        self.0 = h.wrapping_mul(SEED);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        let h = (self.0 ^ v).wrapping_mul(SEED);
+        self.0 = h ^ (h >> 32);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.write_u64(u64::from(v));
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+}
+
+/// `HashMap` with the [`FastHasher`].
+pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distributes_page_aligned_keys() {
+        // Page-aligned guest addresses (low 12 bits zero) must not collide
+        // into a few buckets.
+        let mut m: FastMap<u64, u64> = FastMap::default();
+        for i in 0..10_000u64 {
+            m.insert(0x1000 * i, i);
+        }
+        for i in 0..10_000u64 {
+            assert_eq!(m.get(&(0x1000 * i)), Some(&i));
+        }
+    }
+}

@@ -16,6 +16,8 @@
 
 pub mod cost;
 pub mod cpu;
+pub mod fasthash;
 
 pub use cost::CostModel;
 pub use cpu::{Cpu, Step, StepEvent};
+pub use fasthash::FastMap;

@@ -18,12 +18,11 @@
 
 use crate::inst::{Cond, Inst};
 use crate::reg::Reg;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// An assembled code image: bytes plus symbols (offsets relative to image
 /// start).
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Program {
     /// The raw image.
     pub bytes: Vec<u8>,

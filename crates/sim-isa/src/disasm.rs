@@ -18,10 +18,9 @@
 //! §4.2, §4.3, and the SoK literature it cites).
 
 use crate::inst::{decode, DecodeError, Inst};
-use serde::{Deserialize, Serialize};
 
 /// Which syscall-entry instruction a site uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SyscallKind {
     /// `0f 05`
     Syscall,

@@ -11,12 +11,11 @@
 //!   linear sweep that starts at the wrong byte cheerfully mis-decodes.
 
 use crate::reg::Reg;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Condition codes for [`Inst::Jcc`], numbered as the low nibble of the
 /// x86-64 `0f 8x` long-form conditional jump opcodes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum Cond {
     /// Below (unsigned `<`), CF=1.
@@ -91,7 +90,7 @@ impl fmt::Display for Cond {
 ///
 /// Memory operands are always `[base + disp32]`; RIP-relative addressing is
 /// available through [`Inst::Lea`]. All ALU operations are 64-bit.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Inst {
     /// `90` — one-byte no-op (the zpoline trampoline sled material).
     Nop,
@@ -194,7 +193,7 @@ pub enum Inst {
 }
 
 /// Why a byte sequence failed to decode.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DecodeError {
     /// First byte (or mandatory second byte) is not a known opcode.
     BadOpcode { offset: usize, byte: u8 },

@@ -1,6 +1,5 @@
 //! General-purpose register file layout.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The sixteen 64-bit general-purpose registers, numbered as on x86-64.
@@ -9,7 +8,7 @@ use std::fmt;
 /// in [`Reg::Rax`] and arguments in `rdi, rsi, rdx, r10, r8, r9`; the kernel
 /// clobbers `rcx` and `r11` on syscall entry — a fact K23's trampoline
 /// exploits (paper §6.2.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[repr(u8)]
 pub enum Reg {
     Rax = 0,

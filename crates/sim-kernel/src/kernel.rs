@@ -8,7 +8,7 @@ use crate::process::{FdEntry, Pid, Process, SeccompAction, SigAction, Thread, Th
 use crate::ptrace_if::{Stop, TraceOpts, Tracer, TracerAction};
 use crate::signal::{self, SigInfo};
 use crate::vfs::Vfs;
-use sim_cpu::{CostModel, Cpu, StepEvent};
+use sim_cpu::{CostModel, Cpu, Step, StepEvent};
 use sim_isa::Reg;
 use sim_mem::AddressSpace;
 use std::cell::RefCell;
@@ -91,6 +91,25 @@ struct DeferredWrite {
     byte: u8,
 }
 
+/// One record of the instruction-level execution trace (see
+/// [`Kernel::start_exec_trace`]): which thread stepped, where, what
+/// happened, and the global clock after the step was charged. Used by the
+/// determinism regression tests to prove the block-based scheduler fast
+/// path is cycle- and event-identical to the stepwise engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Process that executed.
+    pub pid: Pid,
+    /// Thread that executed.
+    pub tid: Tid,
+    /// `rip` before the step.
+    pub rip: u64,
+    /// Global clock after the step's cycles were charged.
+    pub clock: u64,
+    /// The step's outcome.
+    pub event: StepEvent,
+}
+
 /// The simulated kernel.
 pub struct Kernel {
     /// Cycle cost model.
@@ -118,8 +137,13 @@ pub struct Kernel {
     rng_state: u64,
     /// Cycles consumed attributed per thread (wall-clock estimation for
     /// multi-worker workloads).
-    pub thread_cycles: HashMap<(Pid, Tid), u64>,
+    pub thread_cycles: sim_cpu::FastMap<(Pid, Tid), u64>,
     current: Option<(Pid, Tid)>,
+    /// Use the original per-step scheduler loop instead of
+    /// [`Cpu::run_block`] (determinism oracle / benchmarking baseline).
+    stepwise: bool,
+    /// When `Some`, every step is recorded (both scheduler modes).
+    exec_trace: Option<Vec<TraceEntry>>,
 }
 
 impl Kernel {
@@ -142,9 +166,28 @@ impl Kernel {
             trace_log: None,
             seed: 0x5eed,
             rng_state: 0x5eed,
-            thread_cycles: HashMap::new(),
+            thread_cycles: sim_cpu::FastMap::default(),
             current: None,
+            stepwise: false,
+            exec_trace: None,
         }
+    }
+
+    /// Selects the scheduler engine: `true` runs the original per-step
+    /// loop (the pre-fast-path baseline, kept as the determinism oracle),
+    /// `false` (default) runs the block-based fast path.
+    pub fn set_stepwise(&mut self, stepwise: bool) {
+        self.stepwise = stepwise;
+    }
+
+    /// Starts recording an instruction-level execution trace.
+    pub fn start_exec_trace(&mut self) {
+        self.exec_trace = Some(Vec::new());
+    }
+
+    /// Stops tracing and returns the records collected so far.
+    pub fn take_exec_trace(&mut self) -> Vec<TraceEntry> {
+        self.exec_trace.take().unwrap_or_default()
     }
 
     /// Installs the exec loader (done once at startup by `sim-loader`).
@@ -643,19 +686,20 @@ impl Kernel {
     /// `max_cycles` have elapsed.
     pub fn run(&mut self, max_cycles: u64) -> RunExit {
         let deadline = self.clock.saturating_add(max_cycles);
+        // The runnable list is rebuilt every scheduler round (i.e. after
+        // every slice-ending event, so typically once per syscall); reuse
+        // one buffer across rounds to keep the round allocation-free.
+        let mut runnable: Vec<(Pid, Tid)> = Vec::new();
         loop {
             self.flush_due_writes();
-            let runnable: Vec<(Pid, Tid)> = self
-                .procs
-                .iter()
-                .flat_map(|(pid, p)| {
-                    p.threads
-                        .iter()
-                        .filter(|t| t.state == ThreadState::Runnable)
-                        .map(|t| (*pid, t.tid))
-                        .collect::<Vec<_>>()
-                })
-                .collect();
+            runnable.clear();
+            for (pid, p) in &self.procs {
+                for t in &p.threads {
+                    if t.state == ThreadState::Runnable {
+                        runnable.push((*pid, t.tid));
+                    }
+                }
+            }
             if runnable.is_empty() {
                 // Advance time to the next sleeper or deferred write.
                 let next_sleep = self
@@ -684,7 +728,7 @@ impl Kernel {
                     }
                 }
             }
-            for (pid, tid) in runnable {
+            for &(pid, tid) in &runnable {
                 self.run_slice(pid, tid);
                 if self.clock >= deadline {
                     return RunExit::Budget;
@@ -694,12 +738,110 @@ impl Kernel {
     }
 
     /// Runs `(pid, tid)` for up to one scheduler slice.
+    ///
+    /// Dispatches to the block-based fast engine or, when
+    /// [`Kernel::set_stepwise`] selected it, the original per-step loop.
+    /// Both produce identical clocks, stats, and guest-visible behavior —
+    /// enforced by the determinism regression tests.
     fn run_slice(&mut self, pid: Pid, tid: Tid) {
+        if self.stepwise {
+            self.run_slice_stepwise(pid, tid);
+        } else {
+            self.run_slice_blocks(pid, tid);
+        }
+    }
+
+    /// Block-based slice: [`Cpu::run_block`] executes straight-line guest
+    /// code without per-instruction scheduler overhead, returning at
+    /// kernel-relevant events. A slice can span several blocks when
+    /// hostcalls (`int3`) occur mid-slice, since hostcalls may mutate any
+    /// kernel or guest state.
+    fn run_slice_blocks(&mut self, pid: Pid, tid: Tid) {
+        self.current = Some((pid, tid));
+        let mut remaining = self.slice as u64;
+        while remaining > 0 {
+            let clock = self.clock;
+            let cost = self.cost;
+            let mut trace = self.exec_trace.take();
+            let block = {
+                let Some(p) = self.procs.get_mut(&pid) else {
+                    self.exec_trace = trace;
+                    return;
+                };
+                if p.exit_status.is_some() {
+                    self.exec_trace = trace;
+                    return;
+                }
+                let Process { space, threads, .. } = p;
+                let Some(t) = threads.iter_mut().find(|t| t.tid == tid) else {
+                    self.exec_trace = trace;
+                    return;
+                };
+                if t.state != ThreadState::Runnable {
+                    self.exec_trace = trace;
+                    return;
+                }
+                let mut traced_clock = clock;
+                t.cpu.set_seed_flush(false);
+                t.cpu
+                    .run_block(space, clock, &cost, remaining, |rip, step: &Step| {
+                        if let Some(rec) = trace.as_mut() {
+                            traced_clock += step.cycles;
+                            rec.push(TraceEntry {
+                                pid,
+                                tid,
+                                rip,
+                                clock: traced_clock,
+                                event: step.event,
+                            });
+                        }
+                    })
+            };
+            self.exec_trace = trace;
+            self.charge(block.cycles);
+            remaining -= block.steps;
+            if block.vdso_calls > 0 {
+                if let Some(p) = self.procs.get_mut(&pid) {
+                    p.stats.vdso_calls += block.vdso_calls;
+                }
+            }
+            match block.event {
+                StepEvent::Executed => {} // budget exhausted: slice over
+                StepEvent::Syscall { site, .. } => {
+                    self.handle_syscall(pid, tid, site);
+                    return; // end the slice at kernel entry
+                }
+                StepEvent::Hlt => {
+                    self.kill_process(pid, 0);
+                    return;
+                }
+                StepEvent::Int3 => {
+                    self.handle_int3(pid, tid);
+                }
+                StepEvent::Fault(f) => {
+                    self.deliver_signal(
+                        pid,
+                        tid,
+                        SigInfo {
+                            signo: nr::SIGSEGV,
+                            fault_addr: f.addr,
+                            ..SigInfo::default()
+                        },
+                    );
+                    return;
+                }
+            }
+        }
+    }
+
+    /// The original per-step slice loop, retained verbatim as the
+    /// determinism oracle and benchmarking baseline.
+    fn run_slice_stepwise(&mut self, pid: Pid, tid: Tid) {
         self.current = Some((pid, tid));
         for _ in 0..self.slice {
             let clock = self.clock;
             let cost = self.cost;
-            let step = {
+            let (step, rip) = {
                 let Some(p) = self.procs.get_mut(&pid) else {
                     return;
                 };
@@ -713,9 +855,20 @@ impl Kernel {
                 if t.state != ThreadState::Runnable {
                     return;
                 }
-                t.cpu.step(space, clock, &cost)
+                let rip = t.cpu.rip;
+                t.cpu.set_seed_flush(true);
+                (t.cpu.step(space, clock, &cost), rip)
             };
             self.charge(step.cycles);
+            if let Some(rec) = self.exec_trace.as_mut() {
+                rec.push(TraceEntry {
+                    pid,
+                    tid,
+                    rip,
+                    clock: self.clock,
+                    event: step.event,
+                });
+            }
             match step.event {
                 StepEvent::Executed => {
                     if matches!(step.inst, Some(sim_isa::Inst::Vsyscall)) {
@@ -927,15 +1080,34 @@ impl Kernel {
             };
             p.stats.syscalls += 1;
             *p.stats.per_syscall.entry(nr_).or_insert(0) += 1;
-            let region = p
-                .space
-                .mapping_at(site)
-                .map(|m| m.name.clone())
-                .unwrap_or_else(|| "?".to_string());
-            *p.stats.syscalls_via.entry(region).or_insert(0) += 1;
-            *p.stats.per_site.entry(site).or_insert(0) += 1;
-            if !p.interposer_live {
-                p.stats.syscalls_before_interposer += 1;
+            // Resolve the issuing region through the per-site memo: the
+            // linear mapping walk and the name allocation happen once per
+            // (site, mapping generation), not once per syscall.
+            let Process {
+                stats,
+                space,
+                region_cache,
+                interposer_live,
+                ..
+            } = p;
+            let gen = space.generation();
+            if !matches!(region_cache.get(&site), Some((g, _)) if *g == gen) {
+                let name = space
+                    .mapping_at(site)
+                    .map(|m| m.name.clone())
+                    .unwrap_or_else(|| "?".to_string());
+                region_cache.insert(site, (gen, name));
+            }
+            let region = &region_cache[&site].1;
+            match stats.syscalls_via.get_mut(region.as_str()) {
+                Some(c) => *c += 1,
+                None => {
+                    stats.syscalls_via.insert(region.clone(), 1);
+                }
+            }
+            *stats.per_site.entry(site).or_insert(0) += 1;
+            if !*interposer_live {
+                stats.syscalls_before_interposer += 1;
             }
         }
         if self.trace_log.is_some() {

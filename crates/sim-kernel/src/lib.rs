@@ -31,7 +31,7 @@ pub mod signal;
 mod sys;
 pub mod vfs;
 
-pub use kernel::{ExecLoader, ExecOpts, HostcallFn, Kernel, LoadedImage, RunExit};
+pub use kernel::{ExecLoader, ExecOpts, HostcallFn, Kernel, LoadedImage, RunExit, TraceEntry};
 pub use net::{Channel, End, Net};
 pub use process::{FdEntry, Pid, ProcStats, Process, SeccompAction, SeccompFilter, SigAction, Sud, Thread, ThreadState, Tid, Wait};
 pub use ptrace_if::{CountingTracer, Stop, TraceOpts, Tracer, TracerAction};

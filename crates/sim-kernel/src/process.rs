@@ -285,6 +285,11 @@ pub struct Process {
     /// Installed seccomp filter, if any (checked on every dispatch; like
     /// Linux, it cannot be removed once installed).
     pub seccomp: Option<SeccompFilter>,
+    /// Memoized `site → containing-region name` for per-syscall accounting:
+    /// `site → (space generation, region name)`. Entries are valid only
+    /// while the space generation is unchanged, so mapping churn can never
+    /// yield stale attribution.
+    pub(crate) region_cache: sim_cpu::FastMap<u64, (u64, String)>,
 }
 
 impl Process {
@@ -318,6 +323,7 @@ impl Process {
             symbols: BTreeMap::new(),
             lib_bases: BTreeMap::new(),
             seccomp: None,
+            region_cache: sim_cpu::FastMap::default(),
         }
     }
 

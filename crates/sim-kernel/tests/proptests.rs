@@ -160,6 +160,6 @@ mod seccomp_tests {
             nr::SYS_GETUID,
             SeccompFilter { rules, default: SeccompAction::Errno(nr::EACCES) },
         );
-        assert_eq!(status, Some((-(nr::EACCES)) as i64 & 0xff));
+        assert_eq!(status, Some(-(nr::EACCES) & 0xff));
     }
 }

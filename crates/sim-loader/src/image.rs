@@ -10,7 +10,6 @@
 //! pages* (jump tables via [`ImageBuilder::jump_table`]), which is the raw
 //! material of pitfall P3.
 
-use serde::{Deserialize, Serialize};
 use sim_isa::{Asm, Reg};
 use sim_kernel::Vfs;
 use std::collections::BTreeMap;
@@ -19,7 +18,7 @@ use std::collections::BTreeMap;
 const PAGE: u64 = sim_mem::PAGE_SIZE;
 
 /// A loadable module.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SimElf {
     /// Install path, e.g. `/usr/lib/libc-sim.so.6`.
     pub name: String,
@@ -60,7 +59,7 @@ impl SimElf {
     ///
     /// Panics if the VFS rejects the write (immutable target).
     pub fn install(&self, vfs: &mut Vfs) {
-        let data = serde_json::to_vec(self).expect("SimElf serializes");
+        let data = self.to_json().to_vec();
         vfs.write_file(&self.name, &data)
             .unwrap_or_else(|e| panic!("installing {} failed: {e}", self.name));
     }
@@ -72,7 +71,119 @@ impl SimElf {
     /// `None` when the file is missing or not a SimElf.
     pub fn load_from(vfs: &Vfs, path: &str) -> Option<SimElf> {
         let data = vfs.read_file(path).ok()?;
-        serde_json::from_slice(data).ok()
+        Self::from_json(&sjson::parse(data).ok()?)
+    }
+
+    fn to_json(&self) -> sjson::Value {
+        use sjson::Value;
+        Value::object(vec![
+            ("name", self.name.as_str().into()),
+            ("bytes", sjson::bytes_value(&self.bytes)),
+            ("data_offset", self.data_offset.into()),
+            ("bss", self.bss.into()),
+            (
+                "symbols",
+                Value::Object(
+                    self.symbols
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Value::UInt(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "abs_relocs",
+                Value::Array(self.abs_relocs.iter().map(|r| Value::UInt(*r)).collect()),
+            ),
+            (
+                "imports",
+                Value::Array(
+                    self.imports
+                        .iter()
+                        .map(|(s, o)| {
+                            Value::Array(vec![s.as_str().into(), Value::UInt(*o)])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "init",
+                self.init
+                    .as_deref()
+                    .map(Into::into)
+                    .unwrap_or(Value::Null),
+            ),
+            (
+                "entry",
+                self.entry
+                    .as_deref()
+                    .map(Into::into)
+                    .unwrap_or(Value::Null),
+            ),
+            (
+                "needed",
+                Value::Array(self.needed.iter().map(|n| n.as_str().into()).collect()),
+            ),
+            (
+                "hostcall_syms",
+                Value::Array(
+                    self.hostcall_syms
+                        .iter()
+                        .map(|n| n.as_str().into())
+                        .collect(),
+                ),
+            ),
+            ("isolated_namespace", self.isolated_namespace.into()),
+        ])
+    }
+
+    fn from_json(v: &sjson::Value) -> Option<SimElf> {
+        let opt_str = |key: &str| -> Option<String> {
+            match v.get(key) {
+                Some(sjson::Value::Str(s)) => Some(s.clone()),
+                _ => None,
+            }
+        };
+        let str_list = |key: &str| -> Option<Vec<String>> {
+            v.get(key)?
+                .as_array()?
+                .iter()
+                .map(|s| s.as_str().map(str::to_string))
+                .collect()
+        };
+        let symbols = match v.get("symbols")? {
+            sjson::Value::Object(m) => m
+                .iter()
+                .map(|(k, val)| Some((k.clone(), val.as_u64()?)))
+                .collect::<Option<BTreeMap<String, u64>>>()?,
+            _ => return None,
+        };
+        Some(SimElf {
+            name: opt_str("name")?,
+            bytes: v.get("bytes")?.as_bytes()?,
+            data_offset: v.get("data_offset")?.as_u64()?,
+            bss: v.get("bss")?.as_u64()?,
+            symbols,
+            abs_relocs: v
+                .get("abs_relocs")?
+                .as_array()?
+                .iter()
+                .map(sjson::Value::as_u64)
+                .collect::<Option<Vec<u64>>>()?,
+            imports: v
+                .get("imports")?
+                .as_array()?
+                .iter()
+                .map(|pair| {
+                    let pair = pair.as_array()?;
+                    Some((pair.first()?.as_str()?.to_string(), pair.get(1)?.as_u64()?))
+                })
+                .collect::<Option<Vec<(String, u64)>>>()?,
+            init: opt_str("init"),
+            entry: opt_str("entry"),
+            needed: str_list("needed")?,
+            hostcall_syms: str_list("hostcall_syms")?,
+            isolated_namespace: v.get("isolated_namespace")?.as_bool()?,
+        })
     }
 
     /// Total mapped size (code + data + bss), page-rounded.

@@ -1,6 +1,5 @@
 //! Page permissions and the PKU rights register.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{BitOr, BitOrAssign};
 
@@ -10,7 +9,7 @@ pub const NO_PKEY: u8 = 0;
 
 /// Page protection bits (a tiny fixed flag set; kept as a custom type rather
 /// than `bitflags` to avoid a dependency for three bits).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct Perms(u8);
 
 impl Perms {
@@ -78,7 +77,7 @@ impl fmt::Display for Perms {
 }
 
 /// The kind of memory access being checked.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Access {
     /// Data read.
     Read,
@@ -92,7 +91,7 @@ pub enum Access {
 ///
 /// Bit `2k` is *access disable* (blocks reads and writes through key `k`);
 /// bit `2k+1` is *write disable*. Key 0 conventionally stays enabled.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Pkru(pub u32);
 
 impl Pkru {

@@ -1,7 +1,6 @@
 //! The paged guest address space.
 
 use crate::perms::{Access, Perms, Pkru, NO_PKEY};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -9,7 +8,7 @@ use std::fmt;
 pub const PAGE_SIZE: u64 = 4096;
 
 /// Why a guest memory access faulted.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultReason {
     /// No mapping covers the address.
     Unmapped,
@@ -20,7 +19,7 @@ pub enum FaultReason {
 }
 
 /// A guest memory fault (becomes SIGSEGV when raised during execution).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Fault {
     /// Faulting guest virtual address.
     pub addr: u64,
@@ -63,7 +62,7 @@ impl fmt::Display for MapError {
 impl std::error::Error for MapError {}
 
 /// A named region of the address space — one line of `/proc/$PID/maps`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Mapping {
     /// First address.
     pub start: u64,
@@ -84,11 +83,46 @@ impl Mapping {
     }
 }
 
+/// One materialized page frame, stored in the slab ([`AddressSpace::frames`]).
 #[derive(Debug, Clone)]
-struct Page {
+struct Frame {
     data: Box<[u8]>, // PAGE_SIZE bytes
     perms: Perms,
     pkey: u8,
+    /// Content version: stamped from the space-wide monotonic counter on
+    /// every write touching this page (and on allocation), so two observations
+    /// of equal version guarantee byte-identical page contents. Lets the CPU
+    /// revalidate cached decodes at serialization points instead of
+    /// re-fetching and re-decoding unchanged code.
+    version: u64,
+}
+
+/// Software-TLB size. Power of two; indexed by page-number low bits.
+const TLB_SIZE: usize = 64;
+
+/// One software-TLB slot: a page translation plus the page's protection
+/// attributes. Valid only while `stamp` equals the space's current
+/// generation — any map/unmap/protect/set_pkey bumps the generation and
+/// thereby invalidates the whole TLB in O(1).
+#[derive(Debug, Clone, Copy)]
+struct TlbEntry {
+    base: u64,
+    slot: u32,
+    perms: Perms,
+    pkey: u8,
+    stamp: u64,
+}
+
+impl Default for TlbEntry {
+    fn default() -> TlbEntry {
+        TlbEntry {
+            base: 0,
+            slot: 0,
+            perms: Perms::NONE,
+            pkey: NO_PKEY,
+            stamp: 0, // generations start at 1, so default entries never hit
+        }
+    }
 }
 
 /// A lazily-materialized paged address space.
@@ -96,16 +130,105 @@ struct Page {
 /// `map` records a [`Mapping`] without allocating page frames; frames are
 /// created on first touch. This matches `mmap` semantics and keeps a
 /// 2^44-byte zpoline bitmap reservation affordable (P4b).
-#[derive(Debug, Clone, Default)]
+///
+/// # Fast path
+///
+/// Page frames live in a slab (`frames` + `free_frames`) and the page table
+/// maps page base → slab slot. A direct-mapped software TLB caches the last
+/// translations so the hot path (straight-line fetch/load/store loops)
+/// skips the `BTreeMap` walk entirely. Accesses are performed in *page
+/// runs* — one permission check and one `copy_from_slice` per page touched
+/// rather than per byte. The byte-at-a-time `*_ref` twins of each accessor
+/// are kept as the semantic reference: equivalence is enforced by property
+/// tests, and [`AddressSpace::set_legacy_mode`] routes the public API
+/// through them to reproduce the pre-fast-path engine for benchmarking.
+#[derive(Debug, Clone)]
 pub struct AddressSpace {
-    pages: BTreeMap<u64, Page>,
+    /// Page table: page base → slab slot of the materialized frame.
+    pages: BTreeMap<u64, u32>,
+    /// Frame slab; slots are stable until the page is unmapped.
+    frames: Vec<Frame>,
+    /// Recyclable slab slots (pages that were unmapped).
+    free_frames: Vec<u32>,
+    /// Direct-mapped software TLB.
+    tlb: [TlbEntry; TLB_SIZE],
+    /// TLB generation; bumped by any operation that changes translations or
+    /// protection attributes.
+    tlb_gen: u64,
+    /// Route the public accessors through the byte-at-a-time reference
+    /// implementations (pre-optimization engine; for benchmarking only).
+    legacy: bool,
+    /// Monotonic source for [`Frame::version`] stamps; never repeats, so a
+    /// version can be compared across unmap/remap cycles.
+    version_counter: u64,
     mappings: Vec<Mapping>,
+}
+
+impl Default for AddressSpace {
+    fn default() -> AddressSpace {
+        AddressSpace {
+            pages: BTreeMap::new(),
+            frames: Vec::new(),
+            free_frames: Vec::new(),
+            tlb: [TlbEntry::default(); TLB_SIZE],
+            // Generation 1 so default (stamp-0) TLB entries can never hit.
+            tlb_gen: 1,
+            legacy: false,
+            version_counter: 0,
+            mappings: Vec::new(),
+        }
+    }
 }
 
 impl AddressSpace {
     /// Creates an empty address space.
     pub fn new() -> AddressSpace {
         AddressSpace::default()
+    }
+
+    /// Routes `read`/`write`/`fetch`/`read_raw`/`write_raw` through the
+    /// byte-at-a-time reference implementations. Used only to benchmark the
+    /// fast path against the original engine.
+    pub fn set_legacy_mode(&mut self, legacy: bool) {
+        self.legacy = legacy;
+    }
+
+    /// Bumps the TLB generation, invalidating every cached translation.
+    #[inline]
+    fn tlb_flush(&mut self) {
+        self.tlb_gen = self.tlb_gen.wrapping_add(1).max(1);
+    }
+
+    #[inline]
+    fn tlb_index(base: u64) -> usize {
+        ((base / PAGE_SIZE) as usize) & (TLB_SIZE - 1)
+    }
+
+    /// Translation/protection generation: changes whenever any mapping,
+    /// protection, or pkey changes. Consumers caching derived state (region
+    /// names, decoded code) compare generations to detect staleness.
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.tlb_gen
+    }
+
+    /// Fresh, never-repeating content-version stamp.
+    #[inline]
+    fn next_version(&mut self) -> u64 {
+        self.version_counter += 1;
+        self.version_counter
+    }
+
+    /// Content version of the materialized page at `base` (`None` if the
+    /// page is unmapped or was never touched). Equal versions guarantee
+    /// byte-identical contents — see [`Frame::version`].
+    #[inline]
+    pub fn page_version(&mut self, base: u64) -> Option<u64> {
+        let e = self.tlb[Self::tlb_index(base)];
+        if e.stamp == self.tlb_gen && e.base == base {
+            return Some(self.frames[e.slot as usize].version);
+        }
+        self.pages.get(&base).map(|&s| self.frames[s as usize].version)
     }
 
     fn page_base(addr: u64) -> u64 {
@@ -180,6 +303,7 @@ impl AddressSpace {
             name: name.to_string(),
             pkey: NO_PKEY,
         });
+        self.tlb_flush();
         Ok(())
     }
 
@@ -238,8 +362,11 @@ impl AddressSpace {
             .map(|(b, _)| *b)
             .collect();
         for b in bases {
-            self.pages.remove(&b);
+            if let Some(slot) = self.pages.remove(&b) {
+                self.free_frames.push(slot);
+            }
         }
+        self.tlb_flush();
     }
 
     /// Changes permissions for all pages in `[addr, addr+len)`.
@@ -258,6 +385,7 @@ impl AddressSpace {
                 m.perms = perms;
             }
         }
+        self.tlb_flush();
         Ok(())
     }
 
@@ -273,14 +401,15 @@ impl AddressSpace {
                 m.pkey = pkey;
             }
         }
+        self.tlb_flush();
         Ok(())
     }
 
     /// Current permissions of the page containing `addr`.
     pub fn page_perms(&self, addr: u64) -> Option<Perms> {
         let base = Self::page_base(addr);
-        if let Some(p) = self.pages.get(&base) {
-            return Some(p.perms);
+        if let Some(&slot) = self.pages.get(&base) {
+            return Some(self.frames[slot as usize].perms);
         }
         self.mapping_at(addr).map(|m| m.perms)
     }
@@ -289,7 +418,7 @@ impl AddressSpace {
         &mut self,
         addr: u64,
         len: u64,
-        mut f: impl FnMut(&mut Page),
+        mut f: impl FnMut(&mut Frame),
     ) -> Result<(), Fault> {
         let start = Self::page_base(addr);
         let end = addr
@@ -298,32 +427,118 @@ impl AddressSpace {
             .unwrap_or(u64::MAX);
         let mut base = start;
         while base < end {
-            let page = self.materialize(base).ok_or(Fault {
+            let slot = self.materialize_slot(base).ok_or(Fault {
                 addr: base,
                 access: Access::Write,
                 reason: FaultReason::Unmapped,
             })?;
-            f(page);
+            f(&mut self.frames[slot as usize]);
             base += PAGE_SIZE;
         }
         Ok(())
     }
 
-    fn materialize(&mut self, base: u64) -> Option<&mut Page> {
-        if !self.pages.contains_key(&base) {
-            let m = self.mapping_at(base)?;
-            let page = Page {
-                data: vec![0u8; PAGE_SIZE as usize].into_boxed_slice(),
-                perms: m.perms,
-                pkey: m.pkey,
-            };
-            self.pages.insert(base, page);
+    /// Takes a frame from the free list (re-zeroed) or grows the slab.
+    fn alloc_frame(&mut self, perms: Perms, pkey: u8) -> u32 {
+        let version = self.next_version();
+        match self.free_frames.pop() {
+            Some(slot) => {
+                let f = &mut self.frames[slot as usize];
+                f.data.fill(0);
+                f.perms = perms;
+                f.pkey = pkey;
+                f.version = version;
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.frames.len()).expect("frame slab overflow");
+                self.frames.push(Frame {
+                    data: vec![0u8; PAGE_SIZE as usize].into_boxed_slice(),
+                    perms,
+                    pkey,
+                    version,
+                });
+                slot
+            }
         }
-        self.pages.get_mut(&base)
     }
 
-    /// Checked byte-wise access used by the CPU and by syscall argument
-    /// copying.
+    /// Slab slot of the frame for `base`, materializing on first touch.
+    /// Does not consult or fill the TLB (slow/reference path).
+    fn materialize_slot(&mut self, base: u64) -> Option<u32> {
+        if let Some(&slot) = self.pages.get(&base) {
+            return Some(slot);
+        }
+        let m = self.mapping_at(base)?;
+        let (perms, pkey) = (m.perms, m.pkey);
+        let slot = self.alloc_frame(perms, pkey);
+        self.pages.insert(base, slot);
+        Some(slot)
+    }
+
+    /// Fast-path page lookup: TLB first, then page table, then lazy
+    /// materialization. Fills the TLB on miss. Returns the slab slot plus
+    /// the page's protection attributes.
+    #[inline]
+    fn load_page(&mut self, base: u64) -> Option<(u32, Perms, u8)> {
+        let idx = Self::tlb_index(base);
+        let e = self.tlb[idx];
+        if e.stamp == self.tlb_gen && e.base == base {
+            return Some((e.slot, e.perms, e.pkey));
+        }
+        let slot = self.materialize_slot(base)?;
+        let f = &self.frames[slot as usize];
+        let (perms, pkey) = (f.perms, f.pkey);
+        self.tlb[idx] = TlbEntry {
+            base,
+            slot,
+            perms,
+            pkey,
+            stamp: self.tlb_gen,
+        };
+        Some((slot, perms, pkey))
+    }
+
+    /// Per-page permission + PKU check (one check covers a whole page run:
+    /// protection attributes are uniform within a page).
+    #[inline]
+    fn check_attrs(
+        perms: Perms,
+        pkey: u8,
+        addr: u64,
+        access: Access,
+        pkru: Pkru,
+    ) -> Result<(), Fault> {
+        let ok_perms = match access {
+            Access::Read => perms.readable(),
+            Access::Write => perms.writable(),
+            Access::Fetch => perms.executable(),
+        };
+        if !ok_perms {
+            return Err(Fault {
+                addr,
+                access,
+                reason: FaultReason::Protection,
+            });
+        }
+        let ok_pku = match access {
+            Access::Read => pkru.may_read(pkey),
+            Access::Write => pkru.may_write(pkey),
+            Access::Fetch => true,
+        };
+        if !ok_pku {
+            return Err(Fault {
+                addr,
+                access,
+                reason: FaultReason::PkuDenied,
+            });
+        }
+        Ok(())
+    }
+
+    /// Checked access used by the CPU and by syscall argument copying,
+    /// performed in page runs. For writes, pass the data as `write_src`
+    /// (`buf` may be empty); for reads, the length is `buf.len()`.
     ///
     /// # Errors
     ///
@@ -337,55 +552,71 @@ impl AddressSpace {
         pkru: Pkru,
         write_src: Option<&[u8]>,
     ) -> Result<(), Fault> {
-        #[allow(clippy::needless_range_loop)] // i indexes both buf and write_src
-        for i in 0..buf.len() {
-            let a = addr.wrapping_add(i as u64);
+        let len = write_src.map_or(buf.len(), <[u8]>::len);
+        let mut done = 0usize;
+        while done < len {
+            let a = addr.wrapping_add(done as u64);
             let base = Self::page_base(a);
             let off = (a - base) as usize;
-            let page = self.materialize(base).ok_or(Fault {
+            let run = (PAGE_SIZE as usize - off).min(len - done);
+            let (slot, perms, pkey) = self.load_page(base).ok_or(Fault {
                 addr: a,
                 access,
                 reason: FaultReason::Unmapped,
             })?;
-            // Split borrows: check needs &Page, mutation needs &mut.
-            let fault = {
-                let p: &Page = page;
-                Self::check_static(p, a, access, pkru)
-            };
-            fault?;
+            Self::check_attrs(perms, pkey, a, access, pkru)?;
             match write_src {
-                Some(src) => page.data[off] = src[i],
-                None => buf[i] = page.data[off],
+                Some(src) => {
+                    let v = self.next_version();
+                    let frame = &mut self.frames[slot as usize];
+                    frame.data[off..off + run].copy_from_slice(&src[done..done + run]);
+                    frame.version = v;
+                }
+                None => {
+                    let frame = &self.frames[slot as usize];
+                    buf[done..done + run].copy_from_slice(&frame.data[off..off + run]);
+                }
             }
+            done += run;
         }
         Ok(())
     }
 
-    fn check_static(page: &Page, addr: u64, access: Access, pkru: Pkru) -> Result<(), Fault> {
-        // Delegates to `check` logic without borrowing self.
-        let ok_perms = match access {
-            Access::Read => page.perms.readable(),
-            Access::Write => page.perms.writable(),
-            Access::Fetch => page.perms.executable(),
-        };
-        if !ok_perms {
-            return Err(Fault {
-                addr,
+    /// Byte-at-a-time twin of [`AddressSpace::access`] — the original
+    /// (pre-fast-path) engine, kept as the semantic reference. Property
+    /// tests assert byte-for-byte and fault-for-fault equivalence.
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`AddressSpace::access`].
+    pub fn access_ref(
+        &mut self,
+        addr: u64,
+        buf: &mut [u8],
+        access: Access,
+        pkru: Pkru,
+        write_src: Option<&[u8]>,
+    ) -> Result<(), Fault> {
+        let len = write_src.map_or(buf.len(), <[u8]>::len);
+        for i in 0..len {
+            let a = addr.wrapping_add(i as u64);
+            let base = Self::page_base(a);
+            let off = (a - base) as usize;
+            let slot = self.materialize_slot(base).ok_or(Fault {
+                addr: a,
                 access,
-                reason: FaultReason::Protection,
-            });
-        }
-        let ok_pku = match access {
-            Access::Read => pkru.may_read(page.pkey),
-            Access::Write => pkru.may_write(page.pkey),
-            Access::Fetch => true,
-        };
-        if !ok_pku {
-            return Err(Fault {
-                addr,
-                access,
-                reason: FaultReason::PkuDenied,
-            });
+                reason: FaultReason::Unmapped,
+            })? as usize;
+            let (perms, pkey) = (self.frames[slot].perms, self.frames[slot].pkey);
+            Self::check_attrs(perms, pkey, a, access, pkru)?;
+            match write_src {
+                Some(src) => {
+                    let v = self.next_version();
+                    self.frames[slot].data[off] = src[i];
+                    self.frames[slot].version = v;
+                }
+                None => buf[i] = self.frames[slot].data[off],
+            }
         }
         Ok(())
     }
@@ -396,6 +627,9 @@ impl AddressSpace {
     ///
     /// Faults on unmapped/unreadable/PKU-denied pages.
     pub fn read(&mut self, addr: u64, buf: &mut [u8], pkru: Pkru) -> Result<(), Fault> {
+        if self.legacy {
+            return self.access_ref(addr, buf, Access::Read, pkru, None);
+        }
         self.access(addr, buf, Access::Read, pkru, None)
     }
 
@@ -405,8 +639,30 @@ impl AddressSpace {
     ///
     /// Faults on unmapped/unwritable/PKU-denied pages.
     pub fn write(&mut self, addr: u64, data: &[u8], pkru: Pkru) -> Result<(), Fault> {
+        if self.legacy {
+            return self.write_ref(addr, data, pkru);
+        }
+        self.access(addr, &mut [], Access::Write, pkru, Some(data))
+    }
+
+    /// Byte-at-a-time reference twin of [`AddressSpace::write`] (includes
+    /// the original scratch-buffer allocation, for faithful benchmarking).
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`AddressSpace::write`].
+    pub fn write_ref(&mut self, addr: u64, data: &[u8], pkru: Pkru) -> Result<(), Fault> {
         let mut scratch = vec![0u8; data.len()];
-        self.access(addr, &mut scratch, Access::Write, pkru, Some(data))
+        self.access_ref(addr, &mut scratch, Access::Write, pkru, Some(data))
+    }
+
+    /// Byte-at-a-time reference twin of [`AddressSpace::read`].
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`AddressSpace::read`].
+    pub fn read_ref(&mut self, addr: u64, buf: &mut [u8], pkru: Pkru) -> Result<(), Fault> {
+        self.access_ref(addr, buf, Access::Read, pkru, None)
     }
 
     /// Checked instruction fetch of up to `buf.len()` bytes; stops early at
@@ -417,10 +673,51 @@ impl AddressSpace {
     ///
     /// Faults if even the first byte cannot be fetched.
     pub fn fetch(&mut self, addr: u64, buf: &mut [u8], pkru: Pkru) -> Result<usize, Fault> {
+        if self.legacy {
+            return self.fetch_ref(addr, buf, pkru);
+        }
+        let len = buf.len();
+        let mut done = 0usize;
+        while done < len {
+            let a = addr.wrapping_add(done as u64);
+            let base = Self::page_base(a);
+            let off = (a - base) as usize;
+            let run = (PAGE_SIZE as usize - off).min(len - done);
+            let checked = self
+                .load_page(base)
+                .ok_or(Fault {
+                    addr: a,
+                    access: Access::Fetch,
+                    reason: FaultReason::Unmapped,
+                })
+                .and_then(|(slot, perms, pkey)| {
+                    Self::check_attrs(perms, pkey, a, Access::Fetch, pkru)?;
+                    Ok(slot)
+                });
+            match checked {
+                Ok(slot) => {
+                    let frame = &self.frames[slot as usize];
+                    buf[done..done + run].copy_from_slice(&frame.data[off..off + run]);
+                    done += run;
+                }
+                Err(f) if done == 0 => return Err(f),
+                Err(_) => return Ok(done),
+            }
+        }
+        Ok(len)
+    }
+
+    /// Byte-at-a-time reference twin of [`AddressSpace::fetch`].
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`AddressSpace::fetch`].
+    pub fn fetch_ref(&mut self, addr: u64, buf: &mut [u8], pkru: Pkru) -> Result<usize, Fault> {
         #[allow(clippy::needless_range_loop)] // early-return index semantics
         for i in 0..buf.len() {
             let mut one = [0u8; 1];
-            match self.access(addr.wrapping_add(i as u64), &mut one, Access::Fetch, pkru, None) {
+            match self.access_ref(addr.wrapping_add(i as u64), &mut one, Access::Fetch, pkru, None)
+            {
                 Ok(()) => buf[i] = one[0],
                 Err(f) => {
                     if i == 0 {
@@ -481,18 +778,10 @@ impl AddressSpace {
     ///
     /// Faults with [`FaultReason::Unmapped`] only.
     pub fn read_raw(&mut self, addr: u64, buf: &mut [u8]) -> Result<(), Fault> {
-        for (i, slot) in buf.iter_mut().enumerate() {
-            let a = addr.wrapping_add(i as u64);
-            let base = Self::page_base(a);
-            let off = (a - base) as usize;
-            let page = self.materialize(base).ok_or(Fault {
-                addr: a,
-                access: Access::Read,
-                reason: FaultReason::Unmapped,
-            })?;
-            *slot = page.data[off];
+        if self.legacy {
+            return self.raw_access_ref(addr, buf, Access::Read, None);
         }
-        Ok(())
+        self.raw_access(addr, buf, Access::Read, None)
     }
 
     /// Kernel-privileged write, ignoring permissions and PKU.
@@ -501,34 +790,109 @@ impl AddressSpace {
     ///
     /// Faults with [`FaultReason::Unmapped`] only.
     pub fn write_raw(&mut self, addr: u64, data: &[u8]) -> Result<(), Fault> {
-        for (i, &b) in data.iter().enumerate() {
+        if self.legacy {
+            return self.raw_access_ref(addr, &mut [], Access::Write, Some(data));
+        }
+        self.raw_access(addr, &mut [], Access::Write, Some(data))
+    }
+
+    /// Page-run unchecked access backing `read_raw`/`write_raw`.
+    fn raw_access(
+        &mut self,
+        addr: u64,
+        buf: &mut [u8],
+        access: Access,
+        write_src: Option<&[u8]>,
+    ) -> Result<(), Fault> {
+        let len = write_src.map_or(buf.len(), <[u8]>::len);
+        let mut done = 0usize;
+        while done < len {
+            let a = addr.wrapping_add(done as u64);
+            let base = Self::page_base(a);
+            let off = (a - base) as usize;
+            let run = (PAGE_SIZE as usize - off).min(len - done);
+            let (slot, _, _) = self.load_page(base).ok_or(Fault {
+                addr: a,
+                access,
+                reason: FaultReason::Unmapped,
+            })?;
+            match write_src {
+                Some(src) => {
+                    let v = self.next_version();
+                    let frame = &mut self.frames[slot as usize];
+                    frame.data[off..off + run].copy_from_slice(&src[done..done + run]);
+                    frame.version = v;
+                }
+                None => {
+                    let frame = &self.frames[slot as usize];
+                    buf[done..done + run].copy_from_slice(&frame.data[off..off + run]);
+                }
+            }
+            done += run;
+        }
+        Ok(())
+    }
+
+    /// Byte-at-a-time reference twin of [`AddressSpace::raw_access`].
+    fn raw_access_ref(
+        &mut self,
+        addr: u64,
+        buf: &mut [u8],
+        access: Access,
+        write_src: Option<&[u8]>,
+    ) -> Result<(), Fault> {
+        let len = write_src.map_or(buf.len(), <[u8]>::len);
+        for i in 0..len {
             let a = addr.wrapping_add(i as u64);
             let base = Self::page_base(a);
             let off = (a - base) as usize;
-            let page = self.materialize(base).ok_or(Fault {
+            let slot = self.materialize_slot(base).ok_or(Fault {
                 addr: a,
-                access: Access::Write,
+                access,
                 reason: FaultReason::Unmapped,
-            })?;
-            page.data[off] = b;
+            })? as usize;
+            match write_src {
+                Some(src) => {
+                    let v = self.next_version();
+                    self.frames[slot].data[off] = src[i];
+                    self.frames[slot].version = v;
+                }
+                None => buf[i] = self.frames[slot].data[off],
+            }
         }
         Ok(())
     }
 
     /// Kernel-privileged NUL-terminated string read (bounded at 4096 bytes).
     ///
+    /// Scans page runs for the terminator rather than issuing one
+    /// `read_raw` per byte.
+    ///
     /// # Errors
     ///
     /// Faults on unmapped addresses; non-UTF-8 bytes are replaced.
     pub fn read_cstr(&mut self, addr: u64) -> Result<String, Fault> {
         let mut out = Vec::new();
-        for i in 0..4096u64 {
-            let mut b = [0u8; 1];
-            self.read_raw(addr + i, &mut b)?;
-            if b[0] == 0 {
-                break;
+        let mut pos = 0u64;
+        'scan: while pos < 4096 {
+            let a = addr + pos;
+            let base = Self::page_base(a);
+            let off = (a - base) as usize;
+            let run = (PAGE_SIZE as usize - off).min((4096 - pos) as usize);
+            let (slot, _, _) = self.load_page(base).ok_or(Fault {
+                addr: a,
+                access: Access::Read,
+                reason: FaultReason::Unmapped,
+            })?;
+            let chunk = &self.frames[slot as usize].data[off..off + run];
+            match chunk.iter().position(|&b| b == 0) {
+                Some(n) => {
+                    out.extend_from_slice(&chunk[..n]);
+                    break 'scan;
+                }
+                None => out.extend_from_slice(chunk),
             }
-            out.push(b[0]);
+            pos += run as u64;
         }
         Ok(String::from_utf8_lossy(&out).into_owned())
     }

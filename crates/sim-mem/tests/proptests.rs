@@ -61,3 +61,158 @@ proptest! {
         prop_assert!(s.read_u8(base + pages * PAGE_SIZE, Pkru::ALL_ACCESS).is_err());
     }
 }
+
+/// A hostile layout for the fast-path/reference equivalence properties:
+/// a patchwork of RW, RO, RX, XOM (PKU-guarded), and pkey-tagged regions
+/// with unmapped holes between them, so random accesses cross page
+/// boundaries, protection changes, PKU denials, and holes.
+fn hostile_layout() -> AddressSpace {
+    let mut s = AddressSpace::new();
+    s.map(0x1000, 3 * PAGE_SIZE, Perms::RW, "rw").unwrap();
+    // hole at 0x4000
+    s.map(0x5000, 2 * PAGE_SIZE, Perms::R, "ro").unwrap();
+    s.map(0x7000, 2 * PAGE_SIZE, Perms::RX, "code").unwrap();
+    // XOM: executable but PKU-denied for data access
+    s.map(0x9000, PAGE_SIZE, Perms::RX, "xom").unwrap();
+    s.set_pkey(0x9000, PAGE_SIZE, 1).unwrap();
+    // hole at 0xa000
+    s.map(0xb000, 2 * PAGE_SIZE, Perms::RW, "keyed").unwrap();
+    s.set_pkey(0xb000, 2 * PAGE_SIZE, 2).unwrap();
+    // seed deterministic contents so reads see non-zero data
+    for page in [0x1000u64, 0x2000, 0x3000, 0x5000, 0x6000, 0x7000, 0x8000, 0x9000, 0xb000, 0xc000] {
+        let fill: Vec<u8> = (0..PAGE_SIZE).map(|i| (page >> 8) as u8 ^ i as u8).collect();
+        s.write_raw(page, &fill).unwrap();
+    }
+    s
+}
+
+/// PKRU variants the equivalence properties sample: full access, key-1
+/// denied (the XOM setup), key-2 write-denied, key-2 fully denied.
+fn pkru_variants() -> Vec<Pkru> {
+    let mut deny1 = Pkru::ALL_ACCESS;
+    deny1.set_access_disable(1, true);
+    let mut wd2 = Pkru::ALL_ACCESS;
+    wd2.set_write_disable(2, true);
+    let mut deny2 = Pkru::ALL_ACCESS;
+    deny2.set_access_disable(2, true);
+    vec![Pkru::ALL_ACCESS, deny1, wd2, deny2]
+}
+
+proptest! {
+    /// The page-run fast path returns byte-identical data, identical
+    /// faults, and leaves identical memory as the byte-at-a-time
+    /// reference — for reads across every protection flavor.
+    #[test]
+    fn fast_read_equals_reference(
+        addr in 0x0800u64..0xe000,
+        len in 0usize..(3 * PAGE_SIZE as usize),
+        which_pkru in 0usize..4,
+    ) {
+        let pkru = pkru_variants()[which_pkru];
+        let mut fast = hostile_layout();
+        let mut reference = fast.clone();
+        let mut a = vec![0u8; len];
+        let mut b = vec![0u8; len];
+        let ra = fast.read(addr, &mut a, pkru);
+        let rb = reference.read_ref(addr, &mut b, pkru);
+        prop_assert_eq!(ra, rb);
+        if ra.is_ok() {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Fast writes land the same bytes (including partial transfers up to
+    /// the faulting page) and fault identically to the reference.
+    #[test]
+    fn fast_write_equals_reference(
+        addr in 0x0800u64..0xe000,
+        len in 0usize..(3 * PAGE_SIZE as usize),
+        seed in any::<u64>(),
+        which_pkru in 0usize..4,
+    ) {
+        let pkru = pkru_variants()[which_pkru];
+        let data: Vec<u8> = (0..len).map(|i| (seed.wrapping_add(i as u64) % 251) as u8).collect();
+        let mut fast = hostile_layout();
+        let mut reference = fast.clone();
+        let ra = fast.write(addr, &data, pkru);
+        let rb = reference.write_ref(addr, &data, pkru);
+        prop_assert_eq!(ra, rb);
+        // Partial-transfer semantics must match exactly: compare the whole
+        // arena through the raw view.
+        for page in [0x1000u64, 0x2000, 0x3000, 0x5000, 0x6000, 0x7000, 0x8000, 0x9000, 0xb000, 0xc000] {
+            let mut pa = vec![0u8; PAGE_SIZE as usize];
+            let mut pb = vec![0u8; PAGE_SIZE as usize];
+            fast.read_raw(page, &mut pa).unwrap();
+            reference.read_raw(page, &mut pb).unwrap();
+            prop_assert_eq!(pa, pb, "page {:#x} diverged", page);
+        }
+    }
+
+    /// Fast fetch returns the same byte count, bytes, and faults as the
+    /// reference — including early stops at non-executable boundaries and
+    /// PKU-exempt execution from XOM pages.
+    #[test]
+    fn fast_fetch_equals_reference(
+        addr in 0x0800u64..0xe000,
+        len in 1usize..64,
+        which_pkru in 0usize..4,
+    ) {
+        let pkru = pkru_variants()[which_pkru];
+        let mut fast = hostile_layout();
+        let mut reference = fast.clone();
+        let mut a = vec![0u8; len];
+        let mut b = vec![0u8; len];
+        let ra = fast.fetch(addr, &mut a, pkru);
+        let rb = reference.fetch_ref(addr, &mut b, pkru);
+        prop_assert_eq!(ra, rb);
+        if let Ok(n) = ra {
+            prop_assert_eq!(&a[..n], &b[..n]);
+        }
+    }
+
+    /// Equivalence holds across interleaved mixes of reads, writes, and
+    /// fetches on the *same* pair of spaces — exercising TLB reuse,
+    /// invalidation by protect/set_pkey, and frame recycling by unmap.
+    #[test]
+    fn fast_mixed_ops_equal_reference(
+        ops in proptest::collection::vec(
+            (0u8..6, 0x0800u64..0xe000, 1usize..64, any::<u64>()), 1..40),
+    ) {
+        let mut fast = hostile_layout();
+        let mut reference = fast.clone();
+        let pkrus = pkru_variants();
+        for (i, (kind, addr, len, seed)) in ops.iter().enumerate() {
+            let pkru = pkrus[i % pkrus.len()];
+            match kind {
+                0 | 1 => {
+                    let mut a = vec![0u8; *len];
+                    let mut b = vec![0u8; *len];
+                    prop_assert_eq!(fast.read(*addr, &mut a, pkru),
+                                    reference.read_ref(*addr, &mut b, pkru));
+                    prop_assert_eq!(a, b);
+                }
+                2 | 3 => {
+                    let data: Vec<u8> =
+                        (0..*len).map(|j| (seed.wrapping_add(j as u64) % 249) as u8).collect();
+                    prop_assert_eq!(fast.write(*addr, &data, pkru),
+                                    reference.write_ref(*addr, &data, pkru));
+                }
+                4 => {
+                    let mut a = vec![0u8; *len];
+                    let mut b = vec![0u8; *len];
+                    prop_assert_eq!(fast.fetch(*addr, &mut a, pkru),
+                                    reference.fetch_ref(*addr, &mut b, pkru));
+                    prop_assert_eq!(a, b);
+                }
+                _ => {
+                    // Protection churn invalidates the TLB; both views get
+                    // the same mutation.
+                    let page = *addr & !(PAGE_SIZE - 1);
+                    let perms = if seed % 2 == 0 { Perms::RW } else { Perms::R };
+                    prop_assert_eq!(fast.protect(page, PAGE_SIZE, perms).is_ok(),
+                                    reference.protect(page, PAGE_SIZE, perms).is_ok());
+                }
+            }
+        }
+    }
+}

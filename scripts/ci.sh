@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 gate: release build, full test suite, lint with warnings denied.
+# Run from anywhere; the script cd's to the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> ci.sh: all green"
