@@ -6,7 +6,11 @@
 //! block/page-run engine, reporting simulated instructions per second for
 //! both. A trace diff at a smaller count first proves the two engines are
 //! instruction-for-instruction identical, so the throughput comparison is
-//! apples to apples. Results land in `BENCH_simperf.json`.
+//! apples to apples. Results land in `BENCH_simperf.json` (override with
+//! `--json PATH`), including a `sim-obs` counter snapshot (TLB hit rate,
+//! icache reuse, block lengths) so perf changes regress-check hit rates,
+//! not just throughput. Timed runs keep tracing disabled — the snapshot
+//! comes from one extra untimed run.
 
 use bench::micro::{build_micro_app, MICRO_APP, MICRO_CFG};
 use interpose::{Interposer, Native};
@@ -56,6 +60,22 @@ fn best_of(runs: u32, n: u64, legacy: bool) -> (f64, u64) {
 }
 
 fn main() {
+    let mut json_path = "BENCH_simperf.json".to_string();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--json" => {
+                json_path = argv
+                    .get(i + 1)
+                    .unwrap_or_else(|| panic!("--json needs a path"))
+                    .clone();
+                i += 1;
+            }
+            other => panic!("unknown flag {other}"),
+        }
+        i += 1;
+    }
     let scale = bench::scale().max(1);
 
     // 1. Determinism proof: full trace diff at a modest count.
@@ -90,6 +110,18 @@ fn main() {
     println!("after  (blocks + page runs + TLB):  {dt_fast:.3}s  {ips_fast:>12.0} inst/s");
     println!("speedup: {speedup:.2}x");
 
+    // 3. Counter snapshot from one extra fast-engine run with sim-obs on
+    // (tracing stays off during every timed run above).
+    sim_obs::enable(sim_obs::ObsConfig::default());
+    let _ = run(n, false, false);
+    let rec = sim_obs::disable().expect("recorder");
+    println!(
+        "obs: tlb hit rate {:.2}%, icache reuse {:.2}%, mean block {:.1} steps",
+        100.0 * rec.counters.tlb_hit_rate(),
+        100.0 * rec.counters.icache_reuse_rate(),
+        rec.counters.block_lengths.mean()
+    );
+
     let json = sjson::Value::object(vec![
         ("guest", sjson::Value::Str(MICRO_APP.into())),
         ("iterations", sjson::Value::UInt(n)),
@@ -118,8 +150,9 @@ fn main() {
             ]),
         ),
         ("speedup", sjson::Value::Float(speedup)),
+        ("obs", rec.counters_json()),
     ]);
-    std::fs::write("BENCH_simperf.json", json.to_string_pretty())
-        .expect("write BENCH_simperf.json");
-    println!("wrote BENCH_simperf.json");
+    std::fs::write(&json_path, json.to_string_pretty())
+        .unwrap_or_else(|e| panic!("write {json_path}: {e}"));
+    println!("wrote {json_path}");
 }

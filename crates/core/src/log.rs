@@ -1,4 +1,8 @@
-//! The offline-phase site log (paper §5.1, Figure 3).
+//! The K23 *site log* — the offline phase's persisted set of syscall
+//! sites (paper §5.1, Figure 3). This is **not** a logging/telemetry
+//! facility: for runtime tracing and metrics of the simulation itself
+//! (event streams, counters, per-interposer latency) see the `sim-obs`
+//! crate.
 //!
 //! Each entry is a *(region, offset)* pair: the mapping that contained a
 //! trapping `syscall`/`sysenter` instruction and the instruction's offset
@@ -83,9 +87,18 @@ impl SiteLog {
     }
 
     /// Loads the log for `app`, if present and well-formed.
+    ///
+    /// The stored `app` field must match the requested `app`: a log file
+    /// collected for a different application (e.g. after a basename
+    /// collision under [`LOG_DIR`]) is rejected rather than silently
+    /// applied, since its sites would rewrite the wrong addresses.
     pub fn load(vfs: &Vfs, app: &str) -> Option<SiteLog> {
         let data = vfs.read_file(&Self::path_for(app)).ok()?;
         let v = sjson::parse(data).ok()?;
+        let logged_app = v.get("app")?.as_str()?;
+        if logged_app != app {
+            return None;
+        }
         let entries = v
             .get("entries")?
             .as_array()?
@@ -98,7 +111,7 @@ impl SiteLog {
             })
             .collect::<Option<BTreeSet<SiteEntry>>>()?;
         Some(SiteLog {
-            app: v.get("app")?.as_str()?.to_string(),
+            app: logged_app.to_string(),
             entries,
         })
     }
@@ -156,6 +169,28 @@ mod tests {
         });
         let r = log.render();
         assert_eq!(r, "/usr/lib/libc-sim.so.6,11536\n");
+    }
+
+    #[test]
+    fn load_rejects_mismatched_app() {
+        // Two apps with the same basename collide on the same log path;
+        // the log records the full path, so the second load must fail.
+        let mut vfs = Vfs::new();
+        let mut log = SiteLog::new("/usr/bin/ls-sim");
+        log.entries.insert(SiteEntry {
+            region: "libc".into(),
+            offset: 42,
+        });
+        log.save(&mut vfs).unwrap();
+        assert!(SiteLog::load(&vfs, "/usr/bin/ls-sim").is_some());
+        assert_eq!(
+            SiteLog::path_for("/opt/other/ls-sim"),
+            SiteLog::path_for("/usr/bin/ls-sim")
+        );
+        assert!(
+            SiteLog::load(&vfs, "/opt/other/ls-sim").is_none(),
+            "log for a different app must be rejected"
+        );
     }
 
     #[test]

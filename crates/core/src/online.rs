@@ -77,6 +77,7 @@ impl Interposer for K23 {
 
     fn prepare(&self, k: &mut Kernel) {
         build_libk23(self.variant).install(&mut k.vfs);
+        sim_obs::register_region_path(K23_LIB, &self.label());
 
         let variant = self.variant;
         let stats = self.stats.clone();

@@ -103,6 +103,7 @@ impl Interposer for SudInterposer {
 
     fn prepare(&self, k: &mut Kernel) {
         self.build_lib().install(&mut k.vfs);
+        sim_obs::register_region_path(SUD_LIB, &self.label());
         k.register_hostcall("__host_sud_mark_live", |k, pid, _tid| {
             k.mark_interposer_live(pid);
         });

@@ -150,6 +150,7 @@ impl Interposer for Lazypoline {
 
     fn prepare(&self, k: &mut Kernel) {
         self.build_lib().install(&mut k.vfs);
+        sim_obs::register_region_path(LAZYPOLINE_LIB, &self.label());
         let state = self.state.clone();
         k.register_hostcall("__host_lazypoline_init", move |k, pid, _tid| {
             let _ = &state;

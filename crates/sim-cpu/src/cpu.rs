@@ -194,6 +194,7 @@ impl Cpu {
     /// bytes decode identically, so reuse is exact); seed mode drops the
     /// cache wholesale like the original engine.
     pub fn flush_icache(&mut self) {
+        sim_obs::icache_flush();
         if self.seed_flush {
             self.icache.clear();
             self.icache_index.clear();
@@ -256,6 +257,7 @@ impl Cpu {
             icache_index,
             ..
         } = self;
+        let mut removed = 0u64;
         let mut page = first;
         loop {
             if let Some(rips) = icache_index.get_mut(&page) {
@@ -263,6 +265,7 @@ impl Cpu {
                     Some(e) => {
                         if rip < end && rip.wrapping_add(e.len as u64) > addr {
                             icache.remove(&rip);
+                            removed += 1;
                             false
                         } else {
                             true
@@ -279,11 +282,15 @@ impl Cpu {
             }
             page += sim_mem::PAGE_SIZE;
         }
+        if removed > 0 {
+            sim_obs::icache_invalidate(addr, removed);
+        }
     }
 
     fn fetch_decode(&mut self, mem: &mut AddressSpace) -> Result<(Inst, usize), StepEvent> {
         if let Some(e) = self.icache.get_mut(&self.rip) {
             if e.fresh_gen == self.flush_gen {
+                sim_obs::icache_fresh_hit();
                 return Ok((e.inst, e.len as usize));
             }
             // A serialization point passed since this decode. Reuse it only
@@ -296,6 +303,7 @@ impl Cpu {
             }
             if valid {
                 e.fresh_gen = self.flush_gen;
+                sim_obs::icache_revalidate(self.rip);
                 return Ok((e.inst, e.len as usize));
             }
             self.icache.remove(&self.rip); // index pruned lazily
@@ -334,6 +342,7 @@ impl Cpu {
                     page += sim_mem::PAGE_SIZE;
                 }
                 self.icache.insert(self.rip, entry);
+                sim_obs::icache_decode();
                 Ok((inst, len))
             }
             Err(_) => Err(StepEvent::Fault(Fault {
@@ -709,7 +718,11 @@ impl Cpu {
         let mut steps = 0u64;
         let mut vdso_calls = 0u64;
         let mut inst = None;
+        let obs = sim_obs::enabled();
         while steps < budget {
+            if obs {
+                sim_obs::set_clock(clock + cycles);
+            }
             let rip_before = self.rip;
             let s = self.step(mem, clock + cycles, cost);
             steps += 1;
@@ -723,16 +736,18 @@ impl Cpu {
                     }
                 }
                 event => {
+                    sim_obs::block_len(steps);
                     return BlockExit {
                         event,
                         cycles,
                         steps,
                         vdso_calls,
                         inst,
-                    }
+                    };
                 }
             }
         }
+        sim_obs::block_len(steps);
         BlockExit {
             event: StepEvent::Executed,
             cycles,

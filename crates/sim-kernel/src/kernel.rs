@@ -241,6 +241,9 @@ impl Kernel {
     /// currently executing (if any).
     pub fn charge(&mut self, cycles: u64) {
         self.clock += cycles;
+        if sim_obs::enabled() {
+            sim_obs::set_clock(self.clock);
+        }
         if let Some(key) = self.current {
             *self.thread_cycles.entry(key).or_insert(0) += cycles;
         }
@@ -587,6 +590,9 @@ impl Kernel {
         }
         let tracer = slot.tracer.clone();
         self.charge(2 * self.cost.context_switch);
+        if sim_obs::enabled() {
+            sim_obs::tracer_stop(self.clock, stop.kind_name());
+        }
         let action = tracer.borrow_mut().on_stop(self, pid, tid, &stop);
         match action {
             TracerAction::Detach => {
@@ -744,6 +750,13 @@ impl Kernel {
     /// Both produce identical clocks, stats, and guest-visible behavior —
     /// enforced by the determinism regression tests.
     fn run_slice(&mut self, pid: Pid, tid: Tid) {
+        if sim_obs::enabled() {
+            if self.current != Some((pid, tid)) {
+                sim_obs::context_switch(self.clock, pid, tid);
+            } else {
+                sim_obs::set_cpu(pid, tid);
+            }
+        }
         if self.stepwise {
             self.run_slice_stepwise(pid, tid);
         } else {
@@ -819,6 +832,9 @@ impl Kernel {
                     self.handle_int3(pid, tid);
                 }
                 StepEvent::Fault(f) => {
+                    if sim_obs::enabled() && f.reason == sim_mem::FaultReason::PkuDenied {
+                        sim_obs::pku_fault(self.clock, f.addr);
+                    }
                     self.deliver_signal(
                         pid,
                         tid,
@@ -889,6 +905,9 @@ impl Kernel {
                     self.handle_int3(pid, tid);
                 }
                 StepEvent::Fault(f) => {
+                    if sim_obs::enabled() && f.reason == sim_mem::FaultReason::PkuDenied {
+                        sim_obs::pku_fault(self.clock, f.addr);
+                    }
                     self.deliver_signal(
                         pid,
                         tid,
@@ -923,6 +942,29 @@ impl Kernel {
         (f.borrow_mut())(self, pid, tid);
     }
 
+    /// Resolves the mapped-region name containing `site` through the same
+    /// per-process memo the stats path uses (one mapping walk per
+    /// `(site, mapping generation)`).
+    fn site_region(&mut self, pid: Pid, site: u64) -> String {
+        let Some(p) = self.procs.get_mut(&pid) else {
+            return "?".to_string();
+        };
+        let Process {
+            space,
+            region_cache,
+            ..
+        } = p;
+        let gen = space.generation();
+        if !matches!(region_cache.get(&site), Some((g, _)) if *g == gen) {
+            let name = space
+                .mapping_at(site)
+                .map(|m| m.name.clone())
+                .unwrap_or_else(|| "?".to_string());
+            region_cache.insert(site, (gen, name));
+        }
+        region_cache[&site].1.clone()
+    }
+
     /// Kernel entry for a `syscall`/`sysenter` at `site`.
     fn handle_syscall(&mut self, pid: Pid, tid: Tid, site: u64) {
         let cost = self.cost;
@@ -955,6 +997,18 @@ impl Kernel {
             (nr_, args, sud, selector, restarting)
         };
 
+        // Observability: open the syscall span (one per architectural
+        // syscall — a restart resumes the span opened at first entry) and
+        // observe the SUD selector byte for flip detection.
+        let obs = sim_obs::enabled();
+        if obs && !restarting {
+            let region = self.site_region(pid, site);
+            sim_obs::syscall_enter(self.clock, nr_, site, &region, nr::syscall_name(nr_));
+            if let Some(sel) = selector {
+                sim_obs::sud_selector(self.clock, sel);
+            }
+        }
+
         // Kernel entry cost; SUD arming puts every entry on the slow path.
         // A restarted (previously blocked) syscall resumes in-kernel: no
         // second entry, no re-dispatch, no second tracer stop.
@@ -978,6 +1032,9 @@ impl Kernel {
                         }
                         if let Some(p) = self.procs.get_mut(&pid) {
                             p.stats.sigsys_count += 1;
+                        }
+                        if obs {
+                            sim_obs::sigsys(self.clock, nr_, site, nr::syscall_name(nr_));
                         }
                         self.deliver_signal(
                             pid,
@@ -1029,6 +1086,9 @@ impl Kernel {
                     let rip = t.cpu.rip;
                     t.cpu.apply_syscall_clobbers(rip);
                 }
+                if obs {
+                    sim_obs::syscall_exit(self.clock, nr_, ret, nr::syscall_name(nr_));
+                }
                 return;
             }
         }
@@ -1049,6 +1109,9 @@ impl Kernel {
                     t.cpu.rip = site + 2;
                     t.cpu.set(Reg::Rax, nr::err(e));
                     t.cpu.apply_syscall_clobbers(site + 2);
+                }
+                if obs {
+                    sim_obs::syscall_exit(self.clock, nr_, nr::err(e), nr::syscall_name(nr_));
                 }
                 return;
             }
@@ -1135,6 +1198,9 @@ impl Kernel {
                 self.tracer_stop(pid, tid, Stop::SyscallExit { nr: nr_, ret }, |o| {
                     o.trace_syscalls
                 });
+                if obs {
+                    sim_obs::syscall_exit(self.clock, nr_, ret, nr::syscall_name(nr_));
+                }
             }
             crate::sys::Disp::RetThenBlock(ret, wait) => {
                 if let Some(t) = self.procs.get_mut(&pid).and_then(|p| p.thread_mut(tid)) {
@@ -1142,6 +1208,9 @@ impl Kernel {
                     t.cpu.set(Reg::Rax, ret);
                     t.cpu.apply_syscall_clobbers(site + 2);
                     t.state = ThreadState::Blocked(wait);
+                }
+                if obs {
+                    sim_obs::syscall_exit(self.clock, nr_, ret, nr::syscall_name(nr_));
                 }
             }
             crate::sys::Disp::Block(wait) => {

@@ -67,6 +67,20 @@ pub enum Stop {
     },
 }
 
+impl Stop {
+    /// Static name of the stop kind (trace-event labels).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Stop::SyscallEnter { .. } => "syscall-enter",
+            Stop::SyscallExit { .. } => "syscall-exit",
+            Stop::Exec { .. } => "exec",
+            Stop::Fork { .. } => "fork",
+            Stop::Exit { .. } => "exit",
+            Stop::FatalSignal { .. } => "fatal-signal",
+        }
+    }
+}
+
 /// What the tracer wants the kernel to do after a stop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TracerAction {

@@ -765,6 +765,9 @@ impl Kernel {
                     range_len: args[3],
                     selector_addr: args[4],
                 });
+                if sim_obs::enabled() {
+                    sim_obs::sud_arm(self.clock, args[4]);
+                }
                 Disp::Ret(0)
             }
             nr::PR_SYS_DISPATCH_OFF => {

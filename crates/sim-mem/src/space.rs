@@ -484,9 +484,11 @@ impl AddressSpace {
         let idx = Self::tlb_index(base);
         let e = self.tlb[idx];
         if e.stamp == self.tlb_gen && e.base == base {
+            sim_obs::tlb_hit();
             return Some((e.slot, e.perms, e.pkey));
         }
         let slot = self.materialize_slot(base)?;
+        sim_obs::tlb_fill(base);
         let f = &self.frames[slot as usize];
         let (perms, pkey) = (f.perms, f.pkey);
         self.tlb[idx] = TlbEntry {
@@ -559,6 +561,7 @@ impl AddressSpace {
             let base = Self::page_base(a);
             let off = (a - base) as usize;
             let run = (PAGE_SIZE as usize - off).min(len - done);
+            sim_obs::page_run(run as u64);
             let (slot, perms, pkey) = self.load_page(base).ok_or(Fault {
                 addr: a,
                 access,
@@ -683,6 +686,7 @@ impl AddressSpace {
             let base = Self::page_base(a);
             let off = (a - base) as usize;
             let run = (PAGE_SIZE as usize - off).min(len - done);
+            sim_obs::page_run(run as u64);
             let checked = self
                 .load_page(base)
                 .ok_or(Fault {
@@ -811,6 +815,7 @@ impl AddressSpace {
             let base = Self::page_base(a);
             let off = (a - base) as usize;
             let run = (PAGE_SIZE as usize - off).min(len - done);
+            sim_obs::page_run(run as u64);
             let (slot, _, _) = self.load_page(base).ok_or(Fault {
                 addr: a,
                 access,

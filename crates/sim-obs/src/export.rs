@@ -1,0 +1,337 @@
+//! Exporters: Chrome trace-event JSON (loadable in Perfetto or
+//! `about:tracing`) and a plain-text summary. Both are pure functions of
+//! the [`Recorder`] state — timestamps are sim-cycles, never wall time —
+//! so identical runs export byte-identical output.
+
+use crate::{Event, EventKind, Hist, Recorder};
+use sjson::Value;
+use std::fmt::Write as _;
+
+impl Recorder {
+    /// All ring events merged into one deterministic order: stable sort
+    /// by `(clock, pid, tid)`, preserving per-ring insertion order.
+    pub fn merged_events(&self) -> Vec<Event> {
+        let mut evs: Vec<Event> = self
+            .rings
+            .values()
+            .flat_map(|r| r.events.iter().copied())
+            .collect();
+        evs.sort_by_key(|e| (e.clock, e.pid, e.tid));
+        evs
+    }
+
+    /// Chrome trace-event JSON object (`{"traceEvents": [...]}`).
+    /// Syscalls become "B"/"E" duration pairs on the issuing thread's
+    /// track; everything else becomes thread-scoped "i" instants.
+    pub fn chrome_trace(&self) -> Value {
+        let trace_events: Vec<Value> = self
+            .merged_events()
+            .iter()
+            .map(|e| self.trace_event(e))
+            .collect();
+        Value::object(vec![
+            ("traceEvents", Value::Array(trace_events)),
+            ("displayTimeUnit", Value::Str("ns".into())),
+            (
+                "otherData",
+                Value::object(vec![
+                    ("clock_unit", Value::Str("sim-cycles".into())),
+                    ("recorded_events", Value::UInt(self.total_events())),
+                    ("dropped_events", Value::UInt(self.total_dropped())),
+                    (
+                        "paths",
+                        Value::Array(
+                            self.paths
+                                .iter()
+                                .map(|p| Value::Str(p.clone()))
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ),
+        ])
+    }
+
+    /// [`Recorder::chrome_trace`] pretty-printed to a string.
+    pub fn chrome_trace_json(&self) -> String {
+        self.chrome_trace().to_string_pretty()
+    }
+
+    fn trace_event(&self, e: &Event) -> Value {
+        let (ph, name, cat, args): (&str, String, &str, Vec<(&str, Value)>) = match e.kind {
+            EventKind::SyscallEnter {
+                nr,
+                site,
+                path,
+                name,
+            } => (
+                "B",
+                name.to_string(),
+                "syscall",
+                vec![
+                    ("nr", Value::UInt(nr)),
+                    ("site", Value::UInt(site)),
+                    ("path", Value::Str(self.path_label(path).to_string())),
+                ],
+            ),
+            EventKind::SyscallExit {
+                ret, latency, name, ..
+            } => (
+                "E",
+                name.to_string(),
+                "syscall",
+                vec![
+                    ("ret", Value::UInt(ret)),
+                    ("latency", Value::UInt(latency)),
+                ],
+            ),
+            EventKind::Sigsys { nr, site } => (
+                "i",
+                "SIGSYS".to_string(),
+                "signal",
+                vec![("nr", Value::UInt(nr)), ("site", Value::UInt(site))],
+            ),
+            EventKind::TracerStop { kind } => (
+                "i",
+                format!("ptrace-stop:{kind}"),
+                "ptrace",
+                vec![],
+            ),
+            EventKind::ContextSwitch => ("i", "ctx-switch".to_string(), "sched", vec![]),
+            EventKind::SudArm { selector_addr } => (
+                "i",
+                "sud-arm".to_string(),
+                "sud",
+                vec![("selector_addr", Value::UInt(selector_addr))],
+            ),
+            EventKind::SudSelectorFlip { value } => (
+                "i",
+                "sud-selector-flip".to_string(),
+                "sud",
+                vec![("value", Value::UInt(value as u64))],
+            ),
+            EventKind::PkuFault { addr } => (
+                "i",
+                "pku-fault".to_string(),
+                "signal",
+                vec![("addr", Value::UInt(addr))],
+            ),
+            EventKind::TlbFill { page } => (
+                "i",
+                "tlb-fill".to_string(),
+                "engine",
+                vec![("page", Value::UInt(page))],
+            ),
+            EventKind::IcacheRevalidate { rip } => (
+                "i",
+                "icache-revalidate".to_string(),
+                "engine",
+                vec![("rip", Value::UInt(rip))],
+            ),
+            EventKind::IcacheInvalidate { addr, entries } => (
+                "i",
+                "icache-invalidate".to_string(),
+                "engine",
+                vec![
+                    ("addr", Value::UInt(addr)),
+                    ("entries", Value::UInt(entries)),
+                ],
+            ),
+        };
+        let mut pairs = vec![
+            ("name", Value::Str(name)),
+            ("cat", Value::Str(cat.into())),
+            ("ph", Value::Str(ph.into())),
+            ("ts", Value::UInt(e.clock)),
+            ("pid", Value::UInt(e.pid)),
+            ("tid", Value::UInt(e.tid)),
+        ];
+        if ph == "i" {
+            pairs.push(("s", Value::Str("t".into())));
+        }
+        if !args.is_empty() {
+            pairs.push(("args", Value::object(args)));
+        }
+        Value::object(pairs)
+    }
+
+    /// Counter snapshot as JSON, for embedding in benchmark payloads so
+    /// perf changes regress-check hit rates, not just throughput.
+    pub fn counters_json(&self) -> Value {
+        let c = &self.counters;
+        let hist = |h: &Hist| {
+            Value::object(vec![
+                ("count", Value::UInt(h.count)),
+                ("mean", Value::Float(h.mean())),
+                ("max", Value::UInt(h.max)),
+            ])
+        };
+        let latency: Vec<Value> = self
+            .latency
+            .iter()
+            .map(|(path, h)| {
+                Value::object(vec![
+                    ("path", Value::Str(self.path_label(*path).to_string())),
+                    ("count", Value::UInt(h.count)),
+                    ("mean_cycles", Value::Float(h.mean())),
+                    ("p50_cycles", Value::UInt(h.quantile(0.5))),
+                    ("max_cycles", Value::UInt(h.max)),
+                ])
+            })
+            .collect();
+        Value::object(vec![
+            ("tlb_hits", Value::UInt(c.tlb_hits)),
+            ("tlb_fills", Value::UInt(c.tlb_fills)),
+            ("tlb_hit_rate", Value::Float(c.tlb_hit_rate())),
+            ("page_runs", hist(&c.page_runs)),
+            ("icache_fresh_hits", Value::UInt(c.icache_fresh_hits)),
+            ("icache_revalidations", Value::UInt(c.icache_revalidations)),
+            ("icache_decodes", Value::UInt(c.icache_decodes)),
+            ("icache_reuse_rate", Value::Float(c.icache_reuse_rate())),
+            ("icache_invalidations", Value::UInt(c.icache_invalidations)),
+            (
+                "icache_invalidated_entries",
+                Value::UInt(c.icache_invalidated_entries),
+            ),
+            ("icache_flushes", Value::UInt(c.icache_flushes)),
+            ("block_lengths", hist(&c.block_lengths)),
+            ("syscalls", Value::UInt(c.syscalls)),
+            ("sigsys", Value::UInt(c.sigsys)),
+            ("tracer_stops", Value::UInt(c.tracer_stops)),
+            ("ctx_switches", Value::UInt(c.ctx_switches)),
+            ("sud_arms", Value::UInt(c.sud_arms)),
+            ("sud_selector_flips", Value::UInt(c.sud_selector_flips)),
+            ("pku_faults", Value::UInt(c.pku_faults)),
+            ("ptrace_hooks", Value::UInt(c.ptrace_hooks)),
+            ("recorded_events", Value::UInt(self.total_events())),
+            ("dropped_events", Value::UInt(self.total_dropped())),
+            ("syscall_latency", Value::Array(latency)),
+        ])
+    }
+
+    /// Human-readable summary: engine hit rates, event totals, and the
+    /// per-interposer syscall latency table.
+    pub fn summary(&self) -> String {
+        let c = &self.counters;
+        let mut s = String::new();
+        let _ = writeln!(s, "sim-obs summary");
+        let _ = writeln!(s, "===============");
+        let _ = writeln!(
+            s,
+            "events: {} recorded, {} dropped across {} cpu ring(s)",
+            self.total_events(),
+            self.total_dropped(),
+            self.rings.len()
+        );
+        let _ = writeln!(
+            s,
+            "kernel: {} syscalls, {} sigsys, {} tracer stops, {} ctx switches",
+            c.syscalls, c.sigsys, c.tracer_stops, c.ctx_switches
+        );
+        let _ = writeln!(
+            s,
+            "sud/pku: {} arms, {} selector flips, {} pku faults, {} ptrace hooks",
+            c.sud_arms, c.sud_selector_flips, c.pku_faults, c.ptrace_hooks
+        );
+        let _ = writeln!(
+            s,
+            "tlb: {} hits, {} fills ({:.2}% hit rate)",
+            c.tlb_hits,
+            c.tlb_fills,
+            100.0 * c.tlb_hit_rate()
+        );
+        let _ = writeln!(
+            s,
+            "icache: {} fresh, {} revalidated, {} decoded ({:.2}% reuse), {} invalidations ({} entries), {} flushes",
+            c.icache_fresh_hits,
+            c.icache_revalidations,
+            c.icache_decodes,
+            100.0 * c.icache_reuse_rate(),
+            c.icache_invalidations,
+            c.icache_invalidated_entries,
+            c.icache_flushes
+        );
+        let _ = writeln!(
+            s,
+            "blocks: {} executed, mean {:.1} steps, max {}",
+            c.block_lengths.count,
+            c.block_lengths.mean(),
+            c.block_lengths.max
+        );
+        let _ = writeln!(
+            s,
+            "page runs: {} accesses, mean {:.1} bytes, max {}",
+            c.page_runs.count,
+            c.page_runs.mean(),
+            c.page_runs.max
+        );
+        if !self.latency.is_empty() {
+            let _ = writeln!(s, "per-path syscall latency (sim-cycles):");
+            let _ = writeln!(
+                s,
+                "  {:<24} {:>8} {:>10} {:>8} {:>8}",
+                "path", "count", "mean", "p50", "max"
+            );
+            for (path, h) in &self.latency {
+                let _ = writeln!(
+                    s,
+                    "  {:<24} {:>8} {:>10.1} {:>8} {:>8}",
+                    self.path_label(*path),
+                    h.count,
+                    h.mean(),
+                    h.quantile(0.5),
+                    h.max
+                );
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{disable, enable, syscall_enter, syscall_exit, tracer_stop, ObsConfig};
+
+    #[test]
+    fn chrome_trace_round_trips_through_sjson() {
+        enable(ObsConfig::default());
+        crate::set_cpu(1, 1);
+        syscall_enter(100, 0, 0x1000, "app", "read");
+        syscall_exit(250, 0, 42, "read");
+        tracer_stop(300, "syscall-enter");
+        let rec = disable().expect("recorder");
+        let json = rec.chrome_trace_json();
+        let parsed = sjson::parse(json.as_bytes()).expect("valid json");
+        let evs = parsed
+            .get("traceEvents")
+            .and_then(|v| v.as_array())
+            .expect("traceEvents");
+        assert_eq!(evs.len(), 3);
+        let begins = evs
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("B"))
+            .count();
+        assert_eq!(begins, 1, "one syscall span opens");
+        assert_eq!(
+            evs[0].get("ts").and_then(|t| t.as_u64()),
+            Some(100),
+            "timestamps are sim-cycles"
+        );
+        // Exporting twice is byte-identical (pure function of state).
+        assert_eq!(json, rec.chrome_trace_json());
+    }
+
+    #[test]
+    fn summary_contains_latency_table() {
+        enable(ObsConfig::default());
+        crate::set_cpu(1, 1);
+        syscall_enter(10, 1, 0x1000, "app", "write");
+        syscall_exit(90, 1, 1, "write");
+        let rec = disable().expect("recorder");
+        let s = rec.summary();
+        assert!(s.contains("per-path syscall latency"));
+        assert!(s.contains("direct"));
+        let c = rec.counters_json();
+        assert_eq!(c.get("syscalls").and_then(|v| v.as_u64()), Some(1));
+    }
+}

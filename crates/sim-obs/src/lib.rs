@@ -1,0 +1,829 @@
+//! # sim-obs — deterministic tracing and metrics for the simulator
+//!
+//! A zero-overhead-when-disabled observability layer threaded through
+//! `sim-mem`, `sim-cpu`, `sim-kernel`, and every interposer crate. It
+//! records two kinds of data:
+//!
+//! * **Events** — structured records (syscall enter/exit, SIGSYS and
+//!   ptrace-stop round-trips, context switches, SUD selector flips, PKU
+//!   faults, icache revalidations/invalidations, TLB fills) pushed into
+//!   bounded per-CPU ring buffers. Every event is stamped with the
+//!   *simulated* clock — never wall time — so a trace is bit-identical
+//!   across repeated runs and, for architectural events, across the block
+//!   and stepwise engines.
+//! * **Counters and histograms** — TLB hit rate, icache reuse vs.
+//!   re-decode, block lengths, page-run lengths, and per-syscall latency
+//!   histograms in sim-cycles bucketed per interposer path, so K23 vs.
+//!   zpoline vs. lazypoline vs. SUD-only vs. ptrace-only overhead is
+//!   directly attributable (paper Tables 3/4).
+//!
+//! ## Determinism contract
+//!
+//! Events split into two classes:
+//!
+//! * **Architectural** (syscalls, signals, tracer stops, context switches,
+//!   SUD arms/selector flips, PKU faults): emitted from kernel code shared
+//!   by both engines, stamped with clocks the determinism oracle already
+//!   proves equal — these streams are byte-identical across engines.
+//! * **Microarchitectural** ([`EventKind::TlbFill`],
+//!   [`EventKind::IcacheRevalidate`], [`EventKind::IcacheInvalidate`]):
+//!   the stepwise oracle seeds the icache flush at every serialization
+//!   point while the block engine revalidates, so these *counts differ by
+//!   design* across engines. They are therefore gated behind
+//!   [`ObsConfig::micro_events`] (off by default) and excluded from the
+//!   cross-engine equality guarantee; within one engine they are still
+//!   bit-identical run to run.
+//!
+//! Ring buffers are bounded: once a CPU's ring is full, new events are
+//! counted in [`Ring::dropped`] instead of growing the buffer, keeping
+//! memory use flat and the recorded prefix deterministic.
+//!
+//! ## Threading model
+//!
+//! The simulator is single-host-threaded (a `Kernel` owns everything via
+//! `Rc`), so all state here is thread-local: each host thread gets an
+//! independent recorder, which also isolates concurrent `cargo test`
+//! threads from each other. "Per-CPU" refers to *simulated* CPUs, keyed
+//! by `(pid, tid)`.
+//!
+//! Not to be confused with `k23::log`, the K23 *offline site log* (the
+//! persisted set of syscall sites discovered by the offline phase); this
+//! crate is runtime telemetry about the simulation itself.
+
+mod export;
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+
+/// Label used for syscall sites not inside any registered interposer
+/// region: sites in the application or libc images ("direct" syscalls).
+pub const DIRECT_PATH: &str = "direct";
+
+/// One structured trace event. All payloads are plain integers or
+/// `'static` names so events are `Copy` and comparisons are exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// Guest entered the kernel for a syscall. `path` indexes
+    /// [`Recorder::paths`]: 0 is [`DIRECT_PATH`], others are interposer
+    /// labels registered via [`register_region_path`].
+    SyscallEnter {
+        nr: u64,
+        site: u64,
+        path: u16,
+        name: &'static str,
+    },
+    /// Syscall completed (or was cut short by SIGSYS, in which case
+    /// `ret` is `u64::MAX` and the latency covers entry to delivery).
+    SyscallExit {
+        nr: u64,
+        ret: u64,
+        path: u16,
+        latency: u64,
+        name: &'static str,
+    },
+    /// SUD blocked the syscall and SIGSYS is about to be delivered.
+    Sigsys { nr: u64, site: u64 },
+    /// The tracee stopped for its ptracer (one full round-trip: two
+    /// context switches were charged).
+    TracerStop { kind: &'static str },
+    /// The scheduler switched the running thread.
+    ContextSwitch,
+    /// `prctl(PR_SET_SYSCALL_USER_DISPATCH, ON)` armed SUD.
+    SudArm { selector_addr: u64 },
+    /// The SUD selector byte changed since this CPU last entered the
+    /// kernel with SUD armed (ALLOW <-> BLOCK flip).
+    SudSelectorFlip { value: u8 },
+    /// A protection-key fault (lazypoline/K23 PKU guard).
+    PkuFault { addr: u64 },
+    /// Microarchitectural: software TLB miss filled a slot.
+    TlbFill { page: u64 },
+    /// Microarchitectural: a stale icache entry revalidated by version
+    /// check instead of re-decoding.
+    IcacheRevalidate { rip: u64 },
+    /// Microarchitectural: a store invalidated decoded instructions.
+    IcacheInvalidate { addr: u64, entries: u64 },
+}
+
+/// An event stamped with the simulated clock and the simulated CPU
+/// (`(pid, tid)`) that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    pub clock: u64,
+    pub pid: u64,
+    pub tid: u64,
+    pub kind: EventKind,
+}
+
+/// Recorder configuration, fixed at [`enable`] time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Maximum events retained per simulated CPU; overflow increments
+    /// the ring's drop counter instead of growing memory.
+    pub ring_capacity: usize,
+    /// Record microarchitectural events (TLB fills, icache
+    /// revalidations/invalidations) into the rings. Off by default
+    /// because their counts legitimately differ between the block and
+    /// stepwise engines; counters are maintained regardless.
+    pub micro_events: bool,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            ring_capacity: 1 << 16,
+            micro_events: false,
+        }
+    }
+}
+
+/// Bounded event buffer for one simulated CPU.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Ring {
+    cap: usize,
+    pub events: Vec<Event>,
+    /// Events discarded because the ring was full.
+    pub dropped: u64,
+}
+
+impl Ring {
+    fn new(cap: usize) -> Ring {
+        Ring {
+            cap,
+            events: Vec::new(),
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, ev: Event) {
+        if self.events.len() < self.cap {
+            self.events.push(ev);
+        } else {
+            self.dropped += 1;
+        }
+    }
+}
+
+/// Power-of-two histogram: bucket `b` counts values whose bit width is
+/// `b` (bucket 0 holds only zero, bucket 1 holds 1, bucket 2 holds 2–3,
+/// bucket `b` holds `2^(b-1) ..= 2^b - 1`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hist {
+    pub buckets: [u64; 65],
+    pub count: u64,
+    pub sum: u64,
+    pub max: u64,
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Hist {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl Hist {
+    pub fn record(&mut self, v: u64) {
+        let b = (64 - v.leading_zeros()) as usize;
+        self.buckets[b] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.max = self.max.max(v);
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile (an
+    /// over-approximation, exact to a factor of two).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((self.count as f64) * q).ceil() as u64;
+        let mut seen = 0;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if n > 0 && seen >= target {
+                return if b == 0 {
+                    0
+                } else if b >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << b) - 1
+                };
+            }
+        }
+        self.max
+    }
+}
+
+/// Flat counter/histogram registry, always maintained while enabled.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Counters {
+    // sim-mem
+    pub tlb_hits: u64,
+    pub tlb_fills: u64,
+    pub page_runs: Hist,
+    // sim-cpu
+    pub icache_fresh_hits: u64,
+    pub icache_revalidations: u64,
+    pub icache_decodes: u64,
+    pub icache_invalidations: u64,
+    pub icache_invalidated_entries: u64,
+    pub icache_flushes: u64,
+    pub block_lengths: Hist,
+    // sim-kernel
+    pub syscalls: u64,
+    pub sigsys: u64,
+    pub tracer_stops: u64,
+    pub ctx_switches: u64,
+    pub sud_arms: u64,
+    pub sud_selector_flips: u64,
+    pub pku_faults: u64,
+    // interposers
+    pub ptrace_hooks: u64,
+}
+
+impl Counters {
+    /// TLB hit rate in [0, 1]; 1.0 when the TLB was never exercised.
+    pub fn tlb_hit_rate(&self) -> f64 {
+        let total = self.tlb_hits + self.tlb_fills;
+        if total == 0 {
+            1.0
+        } else {
+            self.tlb_hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of fetches served without a full re-decode.
+    pub fn icache_reuse_rate(&self) -> f64 {
+        let total = self.icache_fresh_hits + self.icache_revalidations + self.icache_decodes;
+        if total == 0 {
+            1.0
+        } else {
+            (self.icache_fresh_hits + self.icache_revalidations) as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    clock: u64,
+    path: u16,
+}
+
+/// All state captured while tracing is enabled. Returned by [`disable`]
+/// for export; every field needed by exporters and tests is public.
+#[derive(Debug)]
+pub struct Recorder {
+    pub cfg: ObsConfig,
+    pub counters: Counters,
+    /// Per simulated CPU (`(pid, tid)`) bounded event rings.
+    pub rings: BTreeMap<(u64, u64), Ring>,
+    /// Interposer path table; index 0 is always [`DIRECT_PATH`].
+    pub paths: Vec<String>,
+    /// Per-path syscall latency histograms (sim-cycles, enter→exit).
+    pub latency: BTreeMap<u16, Hist>,
+    pending: BTreeMap<(u64, u64), Pending>,
+    last_selector: BTreeMap<(u64, u64), u8>,
+}
+
+impl Recorder {
+    fn new(cfg: ObsConfig) -> Recorder {
+        Recorder {
+            cfg,
+            counters: Counters::default(),
+            rings: BTreeMap::new(),
+            paths: vec![DIRECT_PATH.to_string()],
+            latency: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            last_selector: BTreeMap::new(),
+        }
+    }
+
+    fn record(&mut self, cpu: (u64, u64), clock: u64, kind: EventKind) {
+        let cap = self.cfg.ring_capacity;
+        self.rings
+            .entry(cpu)
+            .or_insert_with(|| Ring::new(cap))
+            .push(Event {
+                clock,
+                pid: cpu.0,
+                tid: cpu.1,
+                kind,
+            });
+    }
+
+    /// Index of `label` in [`Recorder::paths`], interning it if new.
+    fn path_id(&mut self, label: &str) -> u16 {
+        if let Some(i) = self.paths.iter().position(|p| p == label) {
+            return i as u16;
+        }
+        self.paths.push(label.to_string());
+        (self.paths.len() - 1) as u16
+    }
+
+    /// Label for a path id (callers outside the crate read summaries).
+    pub fn path_label(&self, id: u16) -> &str {
+        self.paths.get(id as usize).map_or(DIRECT_PATH, |s| s)
+    }
+
+    pub fn total_events(&self) -> u64 {
+        self.rings.values().map(|r| r.events.len() as u64).sum()
+    }
+
+    pub fn total_dropped(&self) -> u64 {
+        self.rings.values().map(|r| r.dropped).sum()
+    }
+
+    fn close_pending(&mut self, cpu: (u64, u64), clock: u64, ret: u64, nr: u64, name: &'static str) {
+        if let Some(p) = self.pending.remove(&cpu) {
+            let latency = clock.saturating_sub(p.clock);
+            self.latency.entry(p.path).or_default().record(latency);
+            self.record(
+                cpu,
+                clock,
+                EventKind::SyscallExit {
+                    nr,
+                    ret,
+                    path: p.path,
+                    latency,
+                    name,
+                },
+            );
+        }
+    }
+}
+
+thread_local! {
+    static ENABLED: Cell<bool> = const { Cell::new(false) };
+    static CLOCK: Cell<u64> = const { Cell::new(0) };
+    static CPU: Cell<(u64, u64)> = const { Cell::new((0, 0)) };
+    static RECORDER: RefCell<Option<Box<Recorder>>> = const { RefCell::new(None) };
+    /// `(region basename, interposer label)` registrations. Survives
+    /// enable/disable cycles so interposer `prepare()` may run before
+    /// tracing starts.
+    static REGION_PATHS: RefCell<Vec<(String, String)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Fast gate checked by every tracepoint; `false` unless [`enable`] is
+/// active on this host thread.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.with(|e| e.get())
+}
+
+/// Starts recording on this host thread, replacing any prior recorder.
+pub fn enable(cfg: ObsConfig) {
+    RECORDER.with(|r| *r.borrow_mut() = Some(Box::new(Recorder::new(cfg))));
+    CLOCK.with(|c| c.set(0));
+    CPU.with(|c| c.set((0, 0)));
+    ENABLED.with(|e| e.set(true));
+}
+
+/// Stops recording and hands the recorder to the caller for export.
+pub fn disable() -> Option<Box<Recorder>> {
+    ENABLED.with(|e| e.set(false));
+    RECORDER.with(|r| r.borrow_mut().take())
+}
+
+/// Maps a mapped-region basename (e.g. `libk23.so`) to an interposer
+/// label so syscalls issued from that region are attributed to it.
+/// Idempotent; registrations persist across enable/disable cycles.
+pub fn register_region_path(region: &str, label: &str) {
+    let base = basename(region).to_string();
+    REGION_PATHS.with(|m| {
+        let mut m = m.borrow_mut();
+        if !m.iter().any(|(r, _)| *r == base) {
+            m.push((base, label.to_string()));
+        }
+    });
+}
+
+/// Clears region registrations (test isolation helper).
+pub fn clear_region_paths() {
+    REGION_PATHS.with(|m| m.borrow_mut().clear());
+}
+
+fn basename(path: &str) -> &str {
+    path.rsplit('/').next().unwrap_or(path)
+}
+
+fn lookup_region_label(region: &str) -> Option<String> {
+    let base = basename(region);
+    REGION_PATHS.with(|m| {
+        m.borrow()
+            .iter()
+            .find(|(r, _)| r == base)
+            .map(|(_, l)| l.clone())
+    })
+}
+
+#[inline]
+fn with_rec<F: FnOnce(&mut Recorder)>(f: F) {
+    RECORDER.with(|r| {
+        if let Some(rec) = r.borrow_mut().as_mut() {
+            f(rec);
+        }
+    });
+}
+
+/// Advances the observed simulated clock; micro events emitted after
+/// this call are stamped with it.
+#[inline]
+pub fn set_clock(clock: u64) {
+    CLOCK.with(|c| c.set(clock));
+}
+
+/// Sets the simulated CPU subsequent events are attributed to.
+#[inline]
+pub fn set_cpu(pid: u64, tid: u64) {
+    CPU.with(|c| c.set((pid, tid)));
+}
+
+// ---------------------------------------------------------------------
+// Architectural tracepoints (kernel layer; caller passes the sim clock).
+// ---------------------------------------------------------------------
+
+/// Syscall entry. `region` is the mapped-region name containing the
+/// syscall site (resolved to an interposer path); `name` the syscall's
+/// static name.
+#[inline]
+pub fn syscall_enter(clock: u64, nr: u64, site: u64, region: &str, name: &'static str) {
+    if !enabled() {
+        return;
+    }
+    set_clock(clock);
+    let cpu = CPU.with(|c| c.get());
+    let label = lookup_region_label(region);
+    with_rec(|r| {
+        let path = match &label {
+            Some(l) => r.path_id(l),
+            None => 0,
+        };
+        r.counters.syscalls += 1;
+        r.pending.insert(cpu, Pending { clock, path });
+        r.record(
+            cpu,
+            clock,
+            EventKind::SyscallEnter {
+                nr,
+                site,
+                path,
+                name,
+            },
+        );
+    });
+}
+
+/// Syscall completion; pairs with the pending [`syscall_enter`] on this
+/// CPU to produce the latency sample (blocked time included).
+#[inline]
+pub fn syscall_exit(clock: u64, nr: u64, ret: u64, name: &'static str) {
+    if !enabled() {
+        return;
+    }
+    set_clock(clock);
+    let cpu = CPU.with(|c| c.get());
+    with_rec(|r| r.close_pending(cpu, clock, ret, nr, name));
+}
+
+/// SUD blocked the syscall; closes the pending span with `ret =
+/// u64::MAX` and emits a SIGSYS instant.
+#[inline]
+pub fn sigsys(clock: u64, nr: u64, site: u64, name: &'static str) {
+    if !enabled() {
+        return;
+    }
+    set_clock(clock);
+    let cpu = CPU.with(|c| c.get());
+    with_rec(|r| {
+        r.counters.sigsys += 1;
+        r.record(cpu, clock, EventKind::Sigsys { nr, site });
+        r.close_pending(cpu, clock, u64::MAX, nr, name);
+    });
+}
+
+/// A ptrace stop round-trip completed (after its context-switch charge).
+#[inline]
+pub fn tracer_stop(clock: u64, kind: &'static str) {
+    if !enabled() {
+        return;
+    }
+    set_clock(clock);
+    let cpu = CPU.with(|c| c.get());
+    with_rec(|r| {
+        r.counters.tracer_stops += 1;
+        r.record(cpu, clock, EventKind::TracerStop { kind });
+    });
+}
+
+/// Scheduler switched to `(pid, tid)`; also retargets [`set_cpu`].
+#[inline]
+pub fn context_switch(clock: u64, pid: u64, tid: u64) {
+    if !enabled() {
+        return;
+    }
+    set_clock(clock);
+    set_cpu(pid, tid);
+    with_rec(|r| {
+        r.counters.ctx_switches += 1;
+        r.record((pid, tid), clock, EventKind::ContextSwitch);
+    });
+}
+
+/// SUD armed via prctl.
+#[inline]
+pub fn sud_arm(clock: u64, selector_addr: u64) {
+    if !enabled() {
+        return;
+    }
+    set_clock(clock);
+    let cpu = CPU.with(|c| c.get());
+    with_rec(|r| {
+        r.counters.sud_arms += 1;
+        r.record(cpu, clock, EventKind::SudArm { selector_addr });
+    });
+}
+
+/// Kernel observed the SUD selector byte at syscall entry; emits a flip
+/// event when it differs from this CPU's previous observation.
+#[inline]
+pub fn sud_selector(clock: u64, value: u8) {
+    if !enabled() {
+        return;
+    }
+    set_clock(clock);
+    let cpu = CPU.with(|c| c.get());
+    with_rec(|r| {
+        if r.last_selector.insert(cpu, value) != Some(value) {
+            r.counters.sud_selector_flips += 1;
+            r.record(cpu, clock, EventKind::SudSelectorFlip { value });
+        }
+    });
+}
+
+/// A protection-key (PKU) fault was raised for `addr`.
+#[inline]
+pub fn pku_fault(clock: u64, addr: u64) {
+    if !enabled() {
+        return;
+    }
+    set_clock(clock);
+    let cpu = CPU.with(|c| c.get());
+    with_rec(|r| {
+        r.counters.pku_faults += 1;
+        r.record(cpu, clock, EventKind::PkuFault { addr });
+    });
+}
+
+/// An interposer's ptrace hook observed a syscall-enter stop.
+#[inline]
+pub fn ptrace_hook() {
+    if !enabled() {
+        return;
+    }
+    with_rec(|r| r.counters.ptrace_hooks += 1);
+}
+
+// ---------------------------------------------------------------------
+// Microarchitectural tracepoints (engine layer; stamped from the clock
+// last published via `set_clock`). Ring events additionally require
+// `ObsConfig::micro_events`.
+// ---------------------------------------------------------------------
+
+#[inline]
+pub fn tlb_hit() {
+    if !enabled() {
+        return;
+    }
+    with_rec(|r| r.counters.tlb_hits += 1);
+}
+
+#[inline]
+pub fn tlb_fill(page: u64) {
+    if !enabled() {
+        return;
+    }
+    let cpu = CPU.with(|c| c.get());
+    let clock = CLOCK.with(|c| c.get());
+    with_rec(|r| {
+        r.counters.tlb_fills += 1;
+        if r.cfg.micro_events {
+            r.record(cpu, clock, EventKind::TlbFill { page });
+        }
+    });
+}
+
+/// Records the length in bytes of one contiguous page-run access.
+#[inline]
+pub fn page_run(len: u64) {
+    if !enabled() {
+        return;
+    }
+    with_rec(|r| r.counters.page_runs.record(len));
+}
+
+#[inline]
+pub fn icache_fresh_hit() {
+    if !enabled() {
+        return;
+    }
+    with_rec(|r| r.counters.icache_fresh_hits += 1);
+}
+
+#[inline]
+pub fn icache_revalidate(rip: u64) {
+    if !enabled() {
+        return;
+    }
+    let cpu = CPU.with(|c| c.get());
+    let clock = CLOCK.with(|c| c.get());
+    with_rec(|r| {
+        r.counters.icache_revalidations += 1;
+        if r.cfg.micro_events {
+            r.record(cpu, clock, EventKind::IcacheRevalidate { rip });
+        }
+    });
+}
+
+#[inline]
+pub fn icache_decode() {
+    if !enabled() {
+        return;
+    }
+    with_rec(|r| r.counters.icache_decodes += 1);
+}
+
+/// A store invalidated `entries` decoded instructions at `addr`.
+#[inline]
+pub fn icache_invalidate(addr: u64, entries: u64) {
+    if !enabled() {
+        return;
+    }
+    let cpu = CPU.with(|c| c.get());
+    let clock = CLOCK.with(|c| c.get());
+    with_rec(|r| {
+        r.counters.icache_invalidations += 1;
+        r.counters.icache_invalidated_entries += entries;
+        if r.cfg.micro_events {
+            r.record(cpu, clock, EventKind::IcacheInvalidate { addr, entries });
+        }
+    });
+}
+
+#[inline]
+pub fn icache_flush() {
+    if !enabled() {
+        return;
+    }
+    with_rec(|r| r.counters.icache_flushes += 1);
+}
+
+/// Records the number of steps retired by one `run_block` invocation.
+#[inline]
+pub fn block_len(steps: u64) {
+    if !enabled() {
+        return;
+    }
+    with_rec(|r| r.counters.block_lengths.record(steps));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracepoints_are_noops() {
+        assert!(!enabled());
+        syscall_enter(1, 0, 0x1000, "app", "read");
+        syscall_exit(2, 0, 0, "read");
+        tlb_hit();
+        tlb_fill(0x2000);
+        block_len(9);
+        context_switch(3, 1, 1);
+        assert!(disable().is_none());
+    }
+
+    #[test]
+    fn ring_is_bounded_with_drop_counter() {
+        enable(ObsConfig {
+            ring_capacity: 4,
+            micro_events: false,
+        });
+        for i in 0..10 {
+            context_switch(i, 1, 1);
+        }
+        let rec = disable().expect("recorder");
+        let ring = &rec.rings[&(1, 1)];
+        assert_eq!(ring.events.len(), 4);
+        assert_eq!(ring.dropped, 6);
+        assert_eq!(rec.total_events(), 4);
+        assert_eq!(rec.total_dropped(), 6);
+        assert_eq!(rec.counters.ctx_switches, 10);
+    }
+
+    #[test]
+    fn syscall_latency_attributes_to_registered_path() {
+        clear_region_paths();
+        register_region_path("/usr/lib/libk23.so", "K23-default");
+        enable(ObsConfig::default());
+        set_cpu(1, 1);
+        syscall_enter(100, 0, 0x7000, "libk23.so", "read");
+        syscall_exit(340, 0, 5, "read");
+        syscall_enter(400, 1, 0x4000, "app", "write");
+        syscall_exit(520, 1, 5, "write");
+        let rec = disable().expect("recorder");
+        clear_region_paths();
+        assert_eq!(rec.paths, vec!["direct".to_string(), "K23-default".to_string()]);
+        assert_eq!(rec.latency[&1].count, 1);
+        assert_eq!(rec.latency[&1].sum, 240);
+        assert_eq!(rec.latency[&0].sum, 120);
+        assert_eq!(rec.counters.syscalls, 2);
+    }
+
+    #[test]
+    fn sigsys_closes_pending_span() {
+        enable(ObsConfig::default());
+        set_cpu(2, 3);
+        syscall_enter(10, 500, 0x9000, "app", "nonexistent");
+        sigsys(25, 500, 0x9000, "nonexistent");
+        let rec = disable().expect("recorder");
+        assert_eq!(rec.counters.sigsys, 1);
+        let evs = &rec.rings[&(2, 3)].events;
+        assert!(matches!(
+            evs.last().unwrap().kind,
+            EventKind::SyscallExit {
+                ret: u64::MAX,
+                latency: 15,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn selector_flip_only_on_change() {
+        enable(ObsConfig::default());
+        set_cpu(1, 1);
+        sud_selector(5, 1);
+        sud_selector(10, 1);
+        sud_selector(20, 0);
+        sud_selector(30, 1);
+        let rec = disable().expect("recorder");
+        assert_eq!(rec.counters.sud_selector_flips, 3);
+    }
+
+    #[test]
+    fn micro_events_gated_by_config() {
+        enable(ObsConfig::default());
+        set_cpu(1, 1);
+        set_clock(7);
+        tlb_fill(0x1000);
+        icache_revalidate(0x400);
+        let rec = disable().expect("recorder");
+        assert_eq!(rec.counters.tlb_fills, 1);
+        assert_eq!(rec.counters.icache_revalidations, 1);
+        assert_eq!(rec.total_events(), 0, "micro events off by default");
+
+        enable(ObsConfig {
+            micro_events: true,
+            ..ObsConfig::default()
+        });
+        set_cpu(1, 1);
+        set_clock(7);
+        tlb_fill(0x1000);
+        let rec = disable().expect("recorder");
+        assert_eq!(rec.total_events(), 1);
+        assert_eq!(
+            rec.rings[&(1, 1)].events[0].kind,
+            EventKind::TlbFill { page: 0x1000 }
+        );
+    }
+
+    #[test]
+    fn hist_buckets_and_quantiles() {
+        let mut h = Hist::default();
+        for v in [0, 1, 2, 3, 4, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 6);
+        assert_eq!(h.sum, 1010);
+        assert_eq!(h.max, 1000);
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[1], 1);
+        assert_eq!(h.buckets[2], 2);
+        assert_eq!(h.buckets[3], 1);
+        assert_eq!(h.buckets[10], 1);
+        assert_eq!(h.quantile(0.5), 3);
+        assert_eq!(h.quantile(1.0), 1023);
+    }
+}

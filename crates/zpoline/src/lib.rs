@@ -195,6 +195,7 @@ impl Interposer for Zpoline {
 
     fn prepare(&self, k: &mut Kernel) {
         self.build_lib().install(&mut k.vfs);
+        sim_obs::register_region_path(ZPOLINE_LIB, &self.label());
         let stats = self.stats.clone();
         let null_check = self.null_check;
         let scan = self.scan;

@@ -13,4 +13,10 @@ cargo test -q
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> simtrace smoke (coreutil under K23, self-checked trace)"
+cargo run --release -q -p bench --bin simtrace -- \
+    --interposer k23 --selfcheck \
+    --trace-out target/SIMTRACE_smoke.json \
+    --summary-out target/SIMTRACE_smoke.txt
+
 echo "==> ci.sh: all green"

@@ -1,0 +1,219 @@
+//! `sim-obs` integration: trace determinism across engines and runs,
+//! tracing invisibility (observing the machine never perturbs it), and
+//! per-interposer overhead attribution (paper Tables 3/4).
+//!
+//! These tests mutate the thread-local `sim-obs` recorder, which is safe
+//! under the multi-threaded test harness precisely because the recorder
+//! is thread-local — each test drives its own simulated machine.
+
+use std::rc::Rc;
+
+use bench::micro::{
+    build_micro_app, per_iteration_cycles, per_iteration_cycles_with, MICRO_APP, MICRO_CFG,
+};
+use bench::Config;
+use interpose::{Interposer, PtraceInterposer, SudInterposer};
+use k23::{OfflineSession, Variant, K23};
+use k23_tests::{smc_guest, smc_guest_param, RwxLoader};
+use proptest::prelude::*;
+use sim_kernel::{Kernel, RunExit};
+use sim_loader::boot_kernel;
+use sim_obs::ObsConfig;
+
+/// Runs the SMC guest under one engine with tracing as configured;
+/// returns the recorder plus the guest-visible outcome.
+fn run_smc_traced(
+    stepwise: bool,
+    cfg: Option<ObsConfig>,
+    guest: (Vec<u8>, u64),
+) -> (Option<Box<sim_obs::Recorder>>, u64, Option<i64>, u64) {
+    let (code, imm_addr) = guest;
+    if let Some(cfg) = cfg {
+        sim_obs::enable(cfg);
+    }
+    let mut k = Kernel::new();
+    k.set_stepwise(stepwise);
+    k.set_loader(Rc::new(RwxLoader(code)));
+    let pid = k.spawn("/bin/smc", &[], &[], None).expect("spawn");
+    k.defer_write_u8(pid, imm_addr, 7, 40_000);
+    let exit = k.run(1_000_000_000);
+    let rec = sim_obs::disable();
+    assert_eq!(exit, RunExit::AllExited);
+    let p = k.process(pid).expect("proc");
+    (rec, k.clock, p.exit_status, p.stats.syscalls)
+}
+
+/// Architectural event streams (syscalls, signals, context switches) are
+/// byte-identical between the block engine and the stepwise oracle — the
+/// ISSUE's "event streams, not just instruction traces" requirement.
+#[test]
+fn event_streams_identical_across_engines() {
+    let cfg = ObsConfig::default(); // arch events only
+    let (fast, fc, fs, fn_) = run_smc_traced(false, Some(cfg.clone()), smc_guest());
+    let (slow, sc, ss, sn) = run_smc_traced(true, Some(cfg), smc_guest());
+    let (fast, slow) = (fast.expect("recorder"), slow.expect("recorder"));
+    assert_eq!((fc, fs, fn_), (sc, ss, sn));
+    let (fj, sj) = (fast.chrome_trace_json(), slow.chrome_trace_json());
+    assert!(
+        fast.total_events() > 300,
+        "expected a nontrivial event stream, got {}",
+        fast.total_events()
+    );
+    assert_eq!(fj, sj, "architectural event streams diverge across engines");
+    // The counter families shared by both engines agree too.
+    let c = (&fast.counters, &slow.counters);
+    assert_eq!(c.0.syscalls, c.1.syscalls);
+    assert_eq!(c.0.ctx_switches, c.1.ctx_switches);
+    assert_eq!(c.0.tracer_stops, c.1.tracer_stops);
+    assert_eq!(c.0.sigsys, c.1.sigsys);
+}
+
+/// With microarchitectural events on, the same engine traced twice
+/// produces byte-identical Chrome-trace JSON (the acceptance criterion).
+#[test]
+fn trace_json_byte_identical_across_runs() {
+    let cfg = ObsConfig {
+        micro_events: true,
+        ..ObsConfig::default()
+    };
+    let (a, ..) = run_smc_traced(false, Some(cfg.clone()), smc_guest());
+    let (b, ..) = run_smc_traced(false, Some(cfg), smc_guest());
+    let (a, b) = (a.expect("recorder"), b.expect("recorder"));
+    assert!(a.counters.tlb_fills > 0, "micro counters exercised");
+    // The cross-core patch surfaces through thread A's revalidation path
+    // (the writer's own icache never held the target's decode).
+    assert!(a.counters.icache_revalidations > 0, "SMC forced revalidations");
+    assert_eq!(a.chrome_trace_json(), b.chrome_trace_json());
+    assert_eq!(a.summary(), b.summary());
+}
+
+proptest! {
+    /// Enabling tracing never changes guest-visible state: clock, exit
+    /// status, and syscall counts are identical with and without the
+    /// recorder, for both engines and arbitrary SMC interleavings.
+    #[test]
+    fn tracing_is_invisible_to_the_guest(
+        iters in 5u64..40,
+        spin1 in 100u64..1200,
+        spin2 in 100u64..1200,
+        stepwise in any::<bool>(),
+        micro_events in any::<bool>(),
+    ) {
+        let cfg = ObsConfig { micro_events, ring_capacity: 1024 };
+        let traced = run_smc_traced(stepwise, Some(cfg), smc_guest_param(iters, spin1, spin2));
+        let plain = run_smc_traced(stepwise, None, smc_guest_param(iters, spin1, spin2));
+        prop_assert!(traced.0.is_some() && plain.0.is_none());
+        prop_assert_eq!((traced.1, traced.2, traced.3), (plain.1, plain.2, plain.3));
+    }
+}
+
+/// SUD interposition is visible in the event stream: arming, selector
+/// flips, and one SIGSYS round-trip per interposed syscall.
+#[test]
+fn sud_run_emits_sigsys_and_selector_flips() {
+    let n = 50u64;
+    let ip = SudInterposer::new();
+    let mut k = boot_kernel();
+    build_micro_app().install(&mut k.vfs);
+    k.vfs.write_file(MICRO_CFG, &n.to_le_bytes()).expect("cfg");
+    sim_obs::enable(ObsConfig::default());
+    ip.prepare(&mut k);
+    let pid = ip.spawn(&mut k, MICRO_APP, &[], &[]).expect("spawn");
+    let exit = k.run(u64::MAX / 4);
+    let rec = sim_obs::disable().expect("recorder");
+    assert_eq!(exit, RunExit::AllExited);
+    assert_eq!(k.process(pid).and_then(|p| p.exit_status), Some(0));
+    assert!(rec.counters.sud_arms >= 1, "prctl arm recorded");
+    assert!(
+        rec.counters.sigsys >= n,
+        "one SIGSYS per stress iteration, got {}",
+        rec.counters.sigsys
+    );
+    assert!(
+        rec.counters.sud_selector_flips >= 2,
+        "selector must flip between ALLOW and BLOCK"
+    );
+    // Forwarded syscalls are attributed to the SUD handler's path.
+    let sud_path = rec
+        .paths
+        .iter()
+        .position(|p| p == "SUD")
+        .expect("SUD path registered") as u16;
+    assert!(rec.latency[&sud_path].count >= n);
+}
+
+/// K23 online runs attribute forwarded syscalls to the K23 path.
+#[test]
+fn k23_run_attributes_forwarded_syscalls() {
+    let n = 50u64;
+    let mut k = boot_kernel();
+    build_micro_app().install(&mut k.vfs);
+    k.vfs.write_file(MICRO_CFG, &64u64.to_le_bytes()).expect("cfg");
+    let session = OfflineSession::new(&mut k, MICRO_APP);
+    let (_pid, exit) = session
+        .run_once(&mut k, &[], &[], u64::MAX / 4)
+        .expect("offline run");
+    assert_eq!(exit, RunExit::AllExited);
+    session.finish(&mut k);
+    k.vfs.write_file(MICRO_CFG, &n.to_le_bytes()).expect("cfg");
+    let ip = K23::new(Variant::Default);
+    sim_obs::enable(ObsConfig::default());
+    ip.prepare(&mut k);
+    let pid = ip.spawn(&mut k, MICRO_APP, &[], &[]).expect("spawn");
+    let exit = k.run(u64::MAX / 4);
+    let rec = sim_obs::disable().expect("recorder");
+    assert_eq!(exit, RunExit::AllExited);
+    assert_eq!(k.process(pid).and_then(|p| p.exit_status), Some(0));
+    let k23_path = rec
+        .paths
+        .iter()
+        .position(|p| p == "K23-default")
+        .expect("K23 path registered") as u16;
+    assert!(
+        rec.latency[&k23_path].count >= n,
+        "stress syscalls forwarded through libk23, got {}",
+        rec.latency[&k23_path].count
+    );
+    assert_eq!(rec.counters.sigsys, 0, "K23 online leaves no SIGSYS traps");
+    let s = rec.summary();
+    assert!(s.contains("K23-default"), "summary attributes the K23 path");
+}
+
+/// Per-syscall overhead ordering across mechanisms, measured by the
+/// differencing microbenchmark (paper Table 4/5 trend): ptrace costs the
+/// most, then SUD signal delivery; rewriting mechanisms (zpoline,
+/// lazypoline, K23) are far cheaper. Within the rewriters the paper's
+/// Table 5 puts lazypoline above K23-default (extra SUD-assisted
+/// discovery), and zpoline-default below it (no discovery machinery at
+/// all) — asserted exactly that way rather than as a single chain.
+#[test]
+fn per_interposer_overhead_ordering_matches_table4_trend() {
+    let n = 400;
+    let ptrace = per_iteration_cycles_with(&PtraceInterposer::new(), n);
+    let sud = per_iteration_cycles(Config::Sud, n);
+    let zpoline = per_iteration_cycles(Config::ZpolineDefault, n);
+    let lazypoline = per_iteration_cycles(Config::Lazypoline, n);
+    let k23 = per_iteration_cycles(Config::K23Default, n);
+    assert!(
+        ptrace > sud,
+        "ptrace ({ptrace:.0}) must exceed SUD ({sud:.0})"
+    );
+    for (label, rewriter) in [
+        ("zpoline", zpoline),
+        ("lazypoline", lazypoline),
+        ("K23", k23),
+    ] {
+        assert!(
+            sud > rewriter,
+            "SUD ({sud:.0}) must exceed {label} ({rewriter:.0})"
+        );
+    }
+    assert!(
+        lazypoline > k23,
+        "lazypoline ({lazypoline:.0}) above K23-default ({k23:.0}) per Table 5"
+    );
+    assert!(
+        zpoline < k23,
+        "zpoline-default ({zpoline:.0}) below K23-default ({k23:.0}) per Table 5"
+    );
+}
