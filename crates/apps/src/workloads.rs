@@ -169,7 +169,7 @@ pub fn run_macro(
     spec: &MacroSpec,
     budget: u64,
 ) -> Result<MacroResult, MacroError> {
-    ip.prepare(k);
+    ip.install(k);
     install_spec_config(k, spec);
     let spid = ip
         .spawn(k, spec.server, &[spec.server.to_string()], &[])
@@ -249,7 +249,7 @@ pub fn run_sqlite(
     cfg: &[u8],
     budget: u64,
 ) -> Result<u64, MacroError> {
-    ip.prepare(k);
+    ip.install(k);
     k.vfs
         .write_file("/etc/sqlite-sim.conf", cfg)
         .expect("sqlite cfg");

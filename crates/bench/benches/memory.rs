@@ -3,7 +3,7 @@
 //! instruction fetch.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use sim_mem::{AddressSpace, Perms, Pkru, PAGE_SIZE};
+use sim_mem::{AddressSpace, MemMode, Perms, Pkru, PAGE_SIZE};
 
 fn arena() -> AddressSpace {
     let mut s = AddressSpace::new();
@@ -18,7 +18,7 @@ fn arena() -> AddressSpace {
 fn data_access(c: &mut Criterion) {
     let mut fast = arena();
     let mut legacy = arena();
-    legacy.set_legacy_mode(true);
+    legacy.set_mem_mode(MemMode::Legacy);
     let mut buf = vec![0u8; 4 * PAGE_SIZE as usize];
     let data = vec![0xabu8; 4 * PAGE_SIZE as usize];
     let mut g = c.benchmark_group("mem_access_16k_page_crossing");
@@ -42,7 +42,7 @@ fn data_access(c: &mut Criterion) {
 fn fetch_throughput(c: &mut Criterion) {
     let mut fast = arena();
     let mut legacy = arena();
-    legacy.set_legacy_mode(true);
+    legacy.set_mem_mode(MemMode::Legacy);
     let mut window = [0u8; 10];
     let rips: Vec<u64> = (0..512u64).map(|i| 0x1_0000 + i * 37 % (63 * PAGE_SIZE)).collect();
     let mut g = c.benchmark_group("fetch_512_decode_windows");

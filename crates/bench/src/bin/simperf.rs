@@ -2,7 +2,7 @@
 //!
 //! Runs the Table 5 syscall-500 stress guest under the pre-fast-path
 //! engine (per-step scheduler loop + byte-at-a-time memory, selected via
-//! [`Kernel::set_stepwise`] and [`AddressSpace::set_legacy_mode`]) and the
+//! `EngineConfig::stepwise().mem(MemMode::Legacy)`) and the
 //! block/page-run engine, reporting simulated instructions per second for
 //! both. A trace diff at a smaller count first proves the two engines are
 //! instruction-for-instruction identical, so the throughput comparison is
@@ -14,7 +14,7 @@
 
 use bench::micro::{build_micro_app, MICRO_APP, MICRO_CFG};
 use interpose::{Interposer, Native};
-use sim_kernel::{Kernel, Pid, RunExit, TraceEntry};
+use sim_kernel::{EngineConfig, Kernel, MemMode, Pid, RunExit, TraceEntry};
 use sim_loader::boot_kernel;
 use std::time::Instant;
 
@@ -23,7 +23,7 @@ fn boot(n: u64) -> (Kernel, Pid) {
     build_micro_app().install(&mut k.vfs);
     k.vfs.write_file(MICRO_CFG, &n.to_le_bytes()).expect("cfg");
     let ip = Native;
-    ip.prepare(&mut k);
+    ip.install(&mut k);
     let pid = ip.spawn(&mut k, MICRO_APP, &[], &[]).expect("spawn");
     (k, pid)
 }
@@ -33,8 +33,7 @@ fn boot(n: u64) -> (Kernel, Pid) {
 fn run(n: u64, legacy: bool, trace: bool) -> (f64, u64, Option<Vec<TraceEntry>>) {
     let (mut k, pid) = boot(n);
     if legacy {
-        k.set_stepwise(true);
-        k.process_mut(pid).expect("proc").space.set_legacy_mode(true);
+        k.configure(EngineConfig::stepwise().mem(MemMode::Legacy));
     }
     if trace {
         k.start_exec_trace();

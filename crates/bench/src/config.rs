@@ -1,9 +1,6 @@
 //! The evaluated interposer configurations (paper Tables 4 and 5).
 
-use interpose::{Interposer, Native, SudInterposer};
-use k23::{Variant, K23};
-use lazypoline::Lazypoline;
-use zpoline::Zpoline;
+use interpose::Interposer;
 
 /// One evaluated configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,19 +64,25 @@ impl Config {
         }
     }
 
-    /// Instantiates the interposer.
-    pub fn make(self) -> Box<dyn Interposer> {
+    /// Canonical [`interpose::registry`] name.
+    pub fn name(self) -> &'static str {
         match self {
-            Config::Native => Box::new(Native),
-            Config::ZpolineDefault => Box::new(Zpoline::default_variant()),
-            Config::ZpolineUltra => Box::new(Zpoline::ultra()),
-            Config::Lazypoline => Box::new(Lazypoline::new()),
-            Config::K23Default => Box::new(K23::new(Variant::Default)),
-            Config::K23Ultra => Box::new(K23::new(Variant::Ultra)),
-            Config::K23UltraPlus => Box::new(K23::new(Variant::UltraPlus)),
-            Config::SudNoInterpose => Box::new(SudInterposer::armed_only()),
-            Config::Sud => Box::new(SudInterposer::new()),
+            Config::Native => "native",
+            Config::ZpolineDefault => "zpoline",
+            Config::ZpolineUltra => "zpoline-ultra",
+            Config::Lazypoline => "lazypoline",
+            Config::K23Default => "k23",
+            Config::K23Ultra => "k23-ultra",
+            Config::K23UltraPlus => "k23-ultra+",
+            Config::SudNoInterpose => "sud-armed",
+            Config::Sud => "sud",
         }
+    }
+
+    /// Instantiates the interposer via the registry.
+    pub fn make(self) -> Box<dyn Interposer> {
+        pitfalls::register_all();
+        interpose::by_name(self.name()).expect("registered mechanism")
     }
 
     /// True for the K23 variants (which get an offline phase first, as in

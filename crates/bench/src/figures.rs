@@ -118,7 +118,7 @@ pub fn fig4() -> String {
     let log = session.finish(&mut k);
     // Online.
     let ip = Config::K23Ultra.make();
-    ip.prepare(&mut k);
+    ip.install(&mut k);
     let pid = ip
         .spawn(&mut k, crate::micro::MICRO_APP, &[], &[])
         .expect("spawn");

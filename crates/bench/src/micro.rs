@@ -77,7 +77,7 @@ fn total_cycles(config: Config, n: u64) -> u64 {
         .write_file(MICRO_CFG, &n.to_le_bytes())
         .expect("cfg");
     let ip = config.make();
-    ip.prepare(&mut k);
+    ip.install(&mut k);
     let pid = ip
         .spawn(&mut k, MICRO_APP, &[], &[])
         .expect("spawn microbench");
@@ -100,7 +100,7 @@ pub fn per_iteration_cycles_with(ip: &dyn interpose::Interposer, n: u64) -> f64 
         let mut k = boot_kernel();
         build_micro_app().install(&mut k.vfs);
         k.vfs.write_file(MICRO_CFG, &n.to_le_bytes()).expect("cfg");
-        ip.prepare(&mut k);
+        ip.install(&mut k);
         let pid = ip.spawn(&mut k, MICRO_APP, &[], &[]).expect("spawn");
         let tid = k.process(pid).expect("proc").threads[0].tid;
         assert_eq!(k.run(u64::MAX / 4), RunExit::AllExited);

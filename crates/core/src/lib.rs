@@ -43,7 +43,7 @@
 //!
 //! // Online phase: run under K23.
 //! let k23 = K23::new(Variant::Ultra);
-//! k23.prepare(&mut kernel);
+//! k23.install(&mut kernel);
 //! let pid = k23.spawn(&mut kernel, "/usr/bin/demo", &[], &[]).unwrap();
 //! kernel.run(10_000_000_000);
 //! assert_eq!(kernel.process(pid).unwrap().exit_status, Some(0));
@@ -59,7 +59,7 @@ pub mod ptracer;
 pub use libk23::{build_libk23, GOLDEN, K23_LIB, TABLE_BITS};
 pub use log::{SiteEntry, SiteLog, LOG_DIR};
 pub use offline::{build_logger_lib, OfflineSession, LOGGER_LIB};
-pub use online::{K23Stats, K23};
+pub use online::{register, K23Stats, K23};
 pub use ptracer::{force_preload_in_execve, K23Ptracer, PreloadGuard, PtracerState};
 
 /// K23's feature variants (paper Table 4).
@@ -170,7 +170,7 @@ mod tests {
         for variant in Variant::ALL {
             let mut k = offline_then_kernel(20);
             let k23 = K23::new(variant);
-            k23.prepare(&mut k);
+            k23.install(&mut k);
             let pid = k23.spawn(&mut k, "/usr/bin/stress", &[], &[]).unwrap();
             let exit = k.run(100_000_000_000);
             assert_eq!(exit, sim_kernel::RunExit::AllExited, "{variant:?}");
@@ -196,7 +196,7 @@ mod tests {
     fn fast_path_dominates_after_rewrite() {
         let mut k = offline_then_kernel(200);
         let k23 = K23::new(Variant::Default);
-        k23.prepare(&mut k);
+        k23.install(&mut k);
         let pid = k23.spawn(&mut k, "/usr/bin/stress", &[], &[]).unwrap();
         k.run(100_000_000_000);
         let p = k.process(pid).unwrap();
@@ -245,7 +245,7 @@ mod tests {
         session.finish(&mut k);
 
         let k23 = K23::new(Variant::Ultra);
-        k23.prepare(&mut k);
+        k23.install(&mut k);
         // Online run takes the cold path.
         let pid = k23
             .spawn(
@@ -289,7 +289,7 @@ mod tests {
         let mut k = boot_kernel();
         b.finish().install(&mut k.vfs);
         let k23 = K23::new(Variant::Default);
-        k23.prepare(&mut k);
+        k23.install(&mut k);
         let pid = k23.spawn(&mut k, "/usr/bin/bypass", &[], &[]).unwrap();
         k.run(100_000_000_000);
         let p = k.process(pid).unwrap();
@@ -312,7 +312,7 @@ mod tests {
         let mut k = boot_kernel();
         b.finish().install(&mut k.vfs);
         let k23 = K23::new(Variant::Ultra);
-        k23.prepare(&mut k);
+        k23.install(&mut k);
         let pid = k23.spawn(&mut k, "/usr/bin/nullcall", &[], &[]).unwrap();
         k.run(100_000_000_000);
         let p = k.process(pid).unwrap();
@@ -327,7 +327,7 @@ mod tests {
         // delivered into libK23's guest state via the fake syscall.
         let mut k = offline_then_kernel(5);
         let k23 = K23::new(Variant::Default);
-        k23.prepare(&mut k);
+        k23.install(&mut k);
         let pid = k23.spawn(&mut k, "/usr/bin/stress", &[], &[]).unwrap();
         k.run(100_000_000_000);
         let p = k.process(pid).unwrap();
@@ -388,7 +388,7 @@ mod tests {
         child.finish().install(&mut k.vfs);
         parent.finish().install(&mut k.vfs);
         let k23 = K23::new(Variant::Default);
-        k23.prepare(&mut k);
+        k23.install(&mut k);
         let pid = k23.spawn(&mut k, "/usr/bin/parentapp", &[], &[]).unwrap();
         k.run(100_000_000_000);
         let p = k.process(pid).unwrap();

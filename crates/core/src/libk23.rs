@@ -70,6 +70,10 @@ pub fn build_libk23(variant: Variant) -> SimElf {
     b.asm.cmp_imm(Reg::Rax, nr::SYS_EXECVE as i32);
     b.asm.jcc(Cond::E, "k23_execve_guard");
     b.asm.label("k23_do_syscall");
+    // Errnos — including an injected EINTR on the forwarded call — are
+    // passed through unchanged: POSIX already obliges the application to
+    // handle them, and rewriting the result here would make the interposed
+    // run observably different from a native one under the same fault plan.
     if variant.stack_switch() {
         // clone must not run the switch epilogue in the child (the child
         // starts right after the forwarded syscall with a fresh stack and no
@@ -96,6 +100,8 @@ pub fn build_libk23(variant: Variant) -> SimElf {
         b.asm.mov_reg(Reg::Rsp, Reg::Rbx);
         b.asm.pop(Reg::Rbx);
         b.asm.ret();
+        // Raw clone path: child resumes right after this syscall on its
+        // fresh stack and immediately returns to the app.
         b.asm.label("__k23_forward_noswitch");
         b.asm.syscall();
     }
@@ -138,8 +144,9 @@ pub fn build_libk23(variant: Variant) -> SimElf {
     b.asm.label("k23_ctor");
     // Host side: trampoline + selective rewrite + hash-set fill.
     b.asm.call("__host_k23_init");
-    // rt_sigaction(SIGSYS, fallback handler)
-    b.asm.mov_imm(Reg::Rdi, nr::SIGSYS);
+    // rt_sigaction(SIGSYS, fallback handler), masked against nested
+    // delivery while the handler emulates a call.
+    b.asm.mov_imm(Reg::Rdi, nr::SIGSYS | nr::SIGACT_MASK_ALL);
     b.asm.lea_label(Reg::Rsi, "k23_sud_handler");
     b.asm.mov_imm(Reg::Rax, nr::SYS_RT_SIGACTION);
     b.asm.syscall();

@@ -70,12 +70,27 @@ impl K23 {
     }
 }
 
+/// Registers all three K23 variants in the [`interpose::registry`].
+pub fn register() {
+    interpose::register("k23", || Box::new(K23::new(crate::Variant::Default)));
+    interpose::register("k23-ultra", || Box::new(K23::new(crate::Variant::Ultra)));
+    interpose::register("k23-ultra+", || Box::new(K23::new(crate::Variant::UltraPlus)));
+}
+
 impl Interposer for K23 {
+    fn name(&self) -> &'static str {
+        match self.variant {
+            crate::Variant::Default => "k23",
+            crate::Variant::Ultra => "k23-ultra",
+            crate::Variant::UltraPlus => "k23-ultra+",
+        }
+    }
+
     fn label(&self) -> String {
         self.variant.label().to_string()
     }
 
-    fn prepare(&self, k: &mut Kernel) {
+    fn install(&self, k: &mut Kernel) {
         build_libk23(self.variant).install(&mut k.vfs);
         sim_obs::register_region_path(K23_LIB, &self.label());
 
@@ -180,7 +195,7 @@ impl Interposer for K23 {
         k.spawn(path, argv, &env, Some((tracer, K23::trace_opts())))
     }
 
-    fn handler_region(&self) -> Option<String> {
+    fn attribution_path(&self) -> Option<String> {
         Some(K23_LIB.to_string())
     }
 

@@ -40,6 +40,8 @@ pub struct SigsysHandlerOpts {
 /// 2. optionally calls `pre_call(si_call_addr, nr)`,
 /// 3. reloads the trapped syscall's registers from the saved context and
 ///    re-issues the syscall (the *empty interposition function*),
+///    restarting it as long as it returns `EINTR` (the interposer — not
+///    the application — ate the interruption, so it must retry),
 /// 4. stores the result into the saved `rax`,
 /// 5. restores the selector to BLOCK and `rt_sigreturn`s.
 pub fn emit_sigsys_handler(b: &mut ImageBuilder, opts: &SigsysHandlerOpts) {
@@ -69,13 +71,23 @@ pub fn emit_sigsys_handler(b: &mut ImageBuilder, opts: &SigsysHandlerOpts) {
     a.load(Reg::R8, Reg::R14, uc_reg(Reg::R8) as i32);
     a.load(Reg::R9, Reg::R14, uc_reg(Reg::R9) as i32);
     // Hook point (empty interposition function) + forward the syscall.
-    if opts.forward_label.is_empty() {
-        a.label("__interpose_forward");
+    let fwd = if opts.forward_label.is_empty() {
+        "__interpose_forward".to_string()
     } else {
-        let label = opts.forward_label.clone();
-        a.label(&label);
-    }
+        opts.forward_label.clone()
+    };
+    a.label(&fwd);
     a.syscall();
+    // EINTR restart: the signal interrupted *our* forwarded call, so the
+    // application must never observe it — reload the number from the saved
+    // context and re-issue. rcx/r11 are dead (kernel-clobbered).
+    let done = format!("{fwd}_done");
+    a.mov_imm(Reg::R11, nr::err(nr::EINTR));
+    a.cmp_reg(Reg::Rax, Reg::R11);
+    a.jnz(&done);
+    a.load(Reg::Rax, Reg::R14, uc_reg(Reg::Rax) as i32);
+    a.jmp(&fwd);
+    a.label(&done);
     a.store(Reg::R14, uc_reg(Reg::Rax) as i32, Reg::Rax);
     if !opts.no_selector_toggle {
         a.lea_label(Reg::R11, &opts.selector_label);
@@ -117,8 +129,10 @@ pub struct SudCtorOpts {
 pub fn emit_sud_ctor(b: &mut ImageBuilder, opts: &SudCtorOpts) {
     let a = &mut b.asm;
     a.label(&opts.ctor_label);
-    // rt_sigaction(SIGSYS, handler)
-    a.mov_imm(Reg::Rdi, nr::SIGSYS);
+    // rt_sigaction(SIGSYS, handler), masking other signals while the
+    // handler runs: a signal landing mid-emulation would otherwise nest a
+    // second handler frame over the half-updated context.
+    a.mov_imm(Reg::Rdi, nr::SIGSYS | nr::SIGACT_MASK_ALL);
     a.lea_label(Reg::Rsi, &opts.handler_label);
     a.mov_imm(Reg::Rax, nr::SYS_RT_SIGACTION);
     a.syscall();

@@ -11,21 +11,38 @@
 
 pub mod handler_asm;
 pub mod ptrace;
+pub mod registry;
 pub mod sud;
 
 pub use ptrace::PtraceInterposer;
+pub use registry::{all, by_name, names, register};
 pub use sud::{SudInterposer, SudMode};
 
 use sim_kernel::{Kernel, Pid};
 
-/// A system call interposition mechanism.
+/// A system call interposition mechanism (object-safe: benches, the
+/// pitfalls matrix, and the fault explorer all drive
+/// `Box<dyn Interposer>` instances obtained from the [`registry`]).
 pub trait Interposer {
-    /// Short display name (matches the paper's configuration labels).
-    fn label(&self) -> String;
+    /// Canonical registry name (lowercase; the key [`registry::by_name`]
+    /// resolves and the name replay commands use).
+    fn name(&self) -> &'static str;
+
+    /// Display label matching the paper's configuration labels
+    /// (e.g. `"K23-ultra+"`, `"SUD-no-interposition"`).
+    fn label(&self) -> String {
+        self.name().to_string()
+    }
 
     /// Installs guest libraries into the VFS and registers hostcalls.
     /// Must be called once per kernel before [`Interposer::spawn`].
-    fn prepare(&self, k: &mut Kernel);
+    fn install(&self, k: &mut Kernel);
+
+    /// Former name of [`Interposer::install`].
+    #[deprecated(note = "renamed to install()")]
+    fn prepare(&self, k: &mut Kernel) {
+        self.install(k);
+    }
 
     /// Spawns `path` under this interposer.
     ///
@@ -40,9 +57,16 @@ pub trait Interposer {
         env: &[String],
     ) -> Result<Pid, i64>;
 
-    /// The guest region containing this mechanism's handler library, if any.
-    fn handler_region(&self) -> Option<String> {
+    /// The guest path syscalls are attributed to when they are issued by
+    /// this mechanism's handler library, if any.
+    fn attribution_path(&self) -> Option<String> {
         None
+    }
+
+    /// Former name of [`Interposer::attribution_path`].
+    #[deprecated(note = "renamed to attribution_path()")]
+    fn handler_region(&self) -> Option<String> {
+        self.attribution_path()
     }
 
     /// Fully-qualified symbol names (`"lib basename:symbol"`) of the
@@ -71,11 +95,11 @@ pub trait Interposer {
 pub struct Native;
 
 impl Interposer for Native {
-    fn label(&self) -> String {
-        "native".to_string()
+    fn name(&self) -> &'static str {
+        "native"
     }
 
-    fn prepare(&self, _k: &mut Kernel) {}
+    fn install(&self, _k: &mut Kernel) {}
 
     fn spawn(
         &self,

@@ -41,11 +41,11 @@ impl PtraceInterposer {
 }
 
 impl Interposer for PtraceInterposer {
-    fn label(&self) -> String {
-        "ptrace".to_string()
+    fn name(&self) -> &'static str {
+        "ptrace"
     }
 
-    fn prepare(&self, _k: &mut Kernel) {}
+    fn install(&self, _k: &mut Kernel) {}
 
     fn spawn(
         &self,
@@ -54,7 +54,7 @@ impl Interposer for PtraceInterposer {
         argv: &[String],
         env: &[String],
     ) -> Result<Pid, i64> {
-        k.spawn(
+        let pid = k.spawn(
             path,
             argv,
             env,
@@ -67,7 +67,10 @@ impl Interposer for PtraceInterposer {
                     disable_vdso: true,
                 },
             )),
-        )
+        )?;
+        // ptrace interposes from the very first instruction — live at spawn.
+        k.mark_interposer_live(pid);
+        Ok(pid)
     }
 
     fn interposed_count(&self, _k: &Kernel, _pid: Pid) -> u64 {
@@ -92,7 +95,7 @@ mod tests {
         b.asm.ret();
         b.finish().install(&mut k.vfs);
         let ip = PtraceInterposer::new();
-        ip.prepare(&mut k);
+        ip.install(&mut k);
         let pid = ip.spawn(&mut k, "/usr/bin/tiny", &[], &[]).unwrap();
         k.run(5_000_000_000);
         let p = k.process(pid).unwrap();

@@ -1,0 +1,116 @@
+//! Interposer registry: canonical names → constructors.
+//!
+//! Every mechanism registers a constructor under a stable lowercase name,
+//! so drivers (simperf, simtrace, simfault, the pitfalls matrix, the
+//! table/figure generators) resolve interposers uniformly instead of each
+//! maintaining its own per-mechanism `match`. The builtins defined in this
+//! crate (native, ptrace, SUD) are pre-seeded; mechanism crates higher in
+//! the dependency graph add theirs via [`register`] (each exports a
+//! `register()` convenience, and `pitfalls::register_all()` installs the
+//! full set).
+
+use crate::ptrace::PtraceInterposer;
+use crate::sud::SudInterposer;
+use crate::{Interposer, Native};
+use std::sync::{LazyLock, Mutex};
+
+/// Constructor for one registered interposer.
+pub type Maker = fn() -> Box<dyn Interposer>;
+
+/// Canonical registry order: baselines first, then mechanisms in the
+/// paper's presentation order, cheapest variant first.
+const ORDER: &[&str] = &[
+    "native",
+    "ptrace",
+    "sud",
+    "sud-armed",
+    "zpoline",
+    "zpoline-ultra",
+    "lazypoline",
+    "k23",
+    "k23-ultra",
+    "k23-ultra+",
+];
+
+static REGISTRY: LazyLock<Mutex<Vec<(&'static str, Maker)>>> = LazyLock::new(|| {
+    Mutex::new(vec![
+        ("native", (|| Box::new(Native)) as Maker),
+        ("ptrace", || Box::new(PtraceInterposer::new())),
+        ("sud", || Box::new(SudInterposer::new())),
+        ("sud-armed", || Box::new(SudInterposer::armed_only())),
+    ])
+});
+
+/// Registers (or replaces) the constructor for `name`.
+///
+/// Idempotent: re-registering the same name overwrites the previous
+/// constructor, so crate-level `register()` helpers are safe to call from
+/// every test.
+pub fn register(name: &'static str, maker: Maker) {
+    let mut reg = REGISTRY.lock().unwrap();
+    if let Some(slot) = reg.iter_mut().find(|(n, _)| *n == name) {
+        slot.1 = maker;
+    } else {
+        reg.push((name, maker));
+    }
+}
+
+/// Builds the interposer registered under `name`, if any.
+pub fn by_name(name: &str) -> Option<Box<dyn Interposer>> {
+    let maker = {
+        let reg = REGISTRY.lock().unwrap();
+        reg.iter().find(|(n, _)| *n == name).map(|(_, m)| *m)
+    };
+    maker.map(|m| m())
+}
+
+/// Currently registered names, in canonical order (names outside
+/// [`ORDER`] follow, in registration order).
+pub fn names() -> Vec<&'static str> {
+    let reg = REGISTRY.lock().unwrap();
+    let mut out: Vec<&'static str> = ORDER
+        .iter()
+        .copied()
+        .filter(|o| reg.iter().any(|(n, _)| n == o))
+        .collect();
+    for (n, _) in reg.iter() {
+        if !out.contains(n) {
+            out.push(n);
+        }
+    }
+    out
+}
+
+/// Builds every registered interposer, in canonical order.
+pub fn all() -> Vec<Box<dyn Interposer>> {
+    names().iter().filter_map(|n| by_name(n)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtins_resolve_and_roundtrip_names() {
+        for name in ["native", "ptrace", "sud", "sud-armed"] {
+            let ip = by_name(name).expect("builtin registered");
+            assert_eq!(ip.name(), name);
+        }
+        assert!(by_name("no-such-mechanism").is_none());
+    }
+
+    #[test]
+    fn names_are_canonically_ordered() {
+        let ns = names();
+        let native = ns.iter().position(|n| *n == "native").unwrap();
+        let sud = ns.iter().position(|n| *n == "sud").unwrap();
+        assert!(native < sud);
+    }
+
+    #[test]
+    fn register_replaces_existing_entry() {
+        register("native", || Box::new(Native));
+        let ip = by_name("native").unwrap();
+        assert_eq!(ip.label(), "native");
+    }
+}

@@ -94,6 +94,13 @@ impl Default for SudInterposer {
 }
 
 impl Interposer for SudInterposer {
+    fn name(&self) -> &'static str {
+        match self.mode {
+            SudMode::Interpose => "sud",
+            SudMode::Armed => "sud-armed",
+        }
+    }
+
     fn label(&self) -> String {
         match self.mode {
             SudMode::Interpose => "SUD".to_string(),
@@ -101,7 +108,7 @@ impl Interposer for SudInterposer {
         }
     }
 
-    fn prepare(&self, k: &mut Kernel) {
+    fn install(&self, k: &mut Kernel) {
         self.build_lib().install(&mut k.vfs);
         sim_obs::register_region_path(SUD_LIB, &self.label());
         k.register_hostcall("__host_sud_mark_live", |k, pid, _tid| {
@@ -120,7 +127,7 @@ impl Interposer for SudInterposer {
         k.spawn(path, argv, &env, None)
     }
 
-    fn handler_region(&self) -> Option<String> {
+    fn attribution_path(&self) -> Option<String> {
         Some(SUD_LIB.to_string())
     }
 
@@ -157,7 +164,7 @@ mod tests {
     fn sud_interposes_app_syscalls() {
         let mut k = boot_kernel();
         let ip = SudInterposer::new();
-        ip.prepare(&mut k);
+        ip.install(&mut k);
         stress_app(10).install(&mut k.vfs);
         let pid = ip.spawn(&mut k, "/usr/bin/stress", &[], &[]).unwrap();
         let exit = k.run(2_000_000_000);
@@ -178,7 +185,7 @@ mod tests {
     fn armed_mode_never_traps() {
         let mut k = boot_kernel();
         let ip = SudInterposer::armed_only();
-        ip.prepare(&mut k);
+        ip.install(&mut k);
         stress_app(10).install(&mut k.vfs);
         let pid = ip.spawn(&mut k, "/usr/bin/stress", &[], &[]).unwrap();
         k.run(2_000_000_000);
@@ -193,7 +200,7 @@ mod tests {
         // The shape of Table 5's SUD row: interposing costs ~10-20x.
         let run = |ip: &dyn Interposer| -> (u64, u64) {
             let mut k = boot_kernel();
-            ip.prepare(&mut k);
+            ip.install(&mut k);
             stress_app(200).install(&mut k.vfs);
             let pid = ip.spawn(&mut k, "/usr/bin/stress", &[], &[]).unwrap();
             // Cycles consumed once the app's own loop starts: measure whole

@@ -97,12 +97,30 @@ impl Lazypoline {
         for r in [Reg::R9, Reg::R8, Reg::R10, Reg::Rdx, Reg::Rsi, Reg::Rdi] {
             b.asm.pop(r);
         }
+        // Restart the forward on EINTR, spilling the number to the
+        // per-thread application stack (rcx/r11 are kernel-clobbered at
+        // syscall exit). clone bypasses the spill: its child resumes on a
+        // fresh stack that must see the pre-handler layout.
+        b.asm.cmp_imm(Reg::Rax, nr::SYS_CLONE as i32);
+        b.asm.jz("__lp_forward_raw");
+        b.asm.push(Reg::Rax);
         b.asm.label("__lp_forward");
         b.asm.syscall();
+        b.asm.mov_imm(Reg::R11, nr::err(nr::EINTR));
+        b.asm.cmp_reg(Reg::Rax, Reg::R11);
+        b.asm.jnz("__lp_forward_done");
+        b.asm.load(Reg::Rax, Reg::Rsp, 0);
+        b.asm.jmp("__lp_forward");
+        b.asm.label("__lp_forward_done");
+        b.asm.add_imm(Reg::Rsp, 8);
+        b.asm.label("__lp_restore_selector");
         b.asm.lea_label(Reg::R11, "__lp_selector");
         b.asm.mov_imm(Reg::Rcx, nr::SYSCALL_DISPATCH_FILTER_BLOCK as u64);
         b.asm.store_byte(Reg::R11, 0, Reg::Rcx);
         b.asm.ret();
+        b.asm.label("__lp_forward_raw");
+        b.asm.syscall();
+        b.asm.jmp("__lp_restore_selector");
 
         // Rewrite thunk invoked from the SIGSYS handler with
         // rdi = si_call_addr, rsi = syscall nr.
@@ -143,12 +161,17 @@ impl Default for Lazypoline {
     }
 }
 
+/// Registers lazypoline in the [`interpose::registry`].
+pub fn register() {
+    interpose::register("lazypoline", || Box::new(Lazypoline::new()));
+}
+
 impl Interposer for Lazypoline {
-    fn label(&self) -> String {
-        "lazypoline".to_string()
+    fn name(&self) -> &'static str {
+        "lazypoline"
     }
 
-    fn prepare(&self, k: &mut Kernel) {
+    fn install(&self, k: &mut Kernel) {
         self.build_lib().install(&mut k.vfs);
         sim_obs::register_region_path(LAZYPOLINE_LIB, &self.label());
         let state = self.state.clone();
@@ -189,7 +212,7 @@ impl Interposer for Lazypoline {
         k.spawn(path, argv, &env, None)
     }
 
-    fn handler_region(&self) -> Option<String> {
+    fn attribution_path(&self) -> Option<String> {
         Some(LAZYPOLINE_LIB.to_string())
     }
 
@@ -256,7 +279,7 @@ mod tests {
     fn first_call_traps_then_fast_path() {
         let mut k = boot_kernel();
         let lp = Lazypoline::new();
-        lp.prepare(&mut k);
+        lp.install(&mut k);
         stress_app(50).install(&mut k.vfs);
         let pid = lp.spawn(&mut k, "/usr/bin/stress", &[], &[]).unwrap();
         let exit = k.run(10_000_000_000);
@@ -280,7 +303,7 @@ mod tests {
         // rewritten.
         let mut k = boot_kernel();
         let lp = Lazypoline::new();
-        lp.prepare(&mut k);
+        lp.install(&mut k);
         stress_app(5).install(&mut k.vfs);
         let pid = lp.spawn(&mut k, "/usr/bin/stress", &[], &[]).unwrap();
         k.run(10_000_000_000);
@@ -322,7 +345,7 @@ mod tests {
 
         let mut k = boot_kernel();
         let lp = Lazypoline::new();
-        lp.prepare(&mut k);
+        lp.install(&mut k);
         b.finish().install(&mut k.vfs);
         let pid = lp.spawn(&mut k, "/usr/bin/bypass", &[], &[]).unwrap();
         k.run(10_000_000_000);
@@ -376,7 +399,7 @@ mod tests {
 
         let mut k = boot_kernel();
         let lp = Lazypoline::with_torn_window(200_000);
-        lp.prepare(&mut k);
+        lp.install(&mut k);
         b.finish().install(&mut k.vfs);
         let pid = lp.spawn(&mut k, "/usr/bin/mt", &[], &[]).unwrap();
         k.run(50_000_000_000);
@@ -427,7 +450,7 @@ mod tests {
 
         let mut k = boot_kernel();
         let lp = Lazypoline::new();
-        lp.prepare(&mut k);
+        lp.install(&mut k);
         b.finish().install(&mut k.vfs);
         let pid = lp.spawn(&mut k, "/usr/bin/jitw", &[], &[]).unwrap();
         k.run(10_000_000_000);

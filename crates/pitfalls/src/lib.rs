@@ -5,14 +5,25 @@
 //! ([`matrix`]) runs every PoC under zpoline, lazypoline, and K23 and
 //! records who defends what — regenerating Table 3.
 
+pub mod fault;
 pub mod matrix;
 pub mod pocs;
 
+pub use fault::{full_fault_matrix, render_fault_matrix, Scenario};
 pub use matrix::{
     evaluate, full_matrix, p4b_footprint, render_matrix, P4bFootprint, Pitfall, Subject, Verdict,
     P4B_THRESHOLD_BYTES,
 };
 pub use pocs::install_pocs;
+
+/// Registers every interposition mechanism in the [`interpose::registry`]:
+/// the builtins (native, ptrace, SUD) are pre-seeded there; this adds both
+/// zpoline variants, lazypoline, and all three K23 variants. Idempotent.
+pub fn register_all() {
+    zpoline::register();
+    lazypoline::register();
+    k23::register();
+}
 
 #[cfg(test)]
 mod tests {

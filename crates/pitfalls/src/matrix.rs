@@ -174,7 +174,7 @@ pub fn evaluate(s: Subject, p: Pitfall) -> Verdict {
             let mut k = fresh_kernel();
             maybe_offline(&mut k, s, "/usr/bin/p1a-parent");
             let ip = make_interposer(s, p);
-            ip.prepare(&mut k);
+            ip.install(&mut k);
             spawn_and_run(&mut k, ip.as_ref(), "/usr/bin/p1a-parent");
             // Find the exec'd victim and check whether its known site ran
             // natively.
@@ -200,7 +200,7 @@ pub fn evaluate(s: Subject, p: Pitfall) -> Verdict {
             let mut k = fresh_kernel();
             maybe_offline(&mut k, s, "/usr/bin/p1b-poc");
             let ip = make_interposer(s, p);
-            ip.prepare(&mut k);
+            ip.install(&mut k);
             let pid = spawn_and_run(&mut k, ip.as_ref(), "/usr/bin/p1b-poc");
             let aborted = exit_of(&k, pid) == Some(134);
             let native = k
@@ -222,7 +222,7 @@ pub fn evaluate(s: Subject, p: Pitfall) -> Verdict {
             let mut k = fresh_kernel();
             maybe_offline(&mut k, s, "/usr/bin/p2a-jit");
             let ip = make_interposer(s, p);
-            ip.prepare(&mut k);
+            ip.install(&mut k);
             let pid = spawn_and_run(&mut k, ip.as_ref(), "/usr/bin/p2a-jit");
             let native = k
                 .process(pid)
@@ -238,7 +238,7 @@ pub fn evaluate(s: Subject, p: Pitfall) -> Verdict {
             let mut k = fresh_kernel();
             maybe_offline(&mut k, s, "/usr/bin/p2b-poc");
             let ip = make_interposer(s, p);
-            ip.prepare(&mut k);
+            ip.install(&mut k);
             let pid = spawn_and_run(&mut k, ip.as_ref(), "/usr/bin/p2b-poc");
             let Some(pr) = k.process(pid) else {
                 return Verdict::Vulnerable;
@@ -260,7 +260,7 @@ pub fn evaluate(s: Subject, p: Pitfall) -> Verdict {
             let mut k = fresh_kernel();
             maybe_offline(&mut k, s, app);
             let ip = make_interposer(s, p);
-            ip.prepare(&mut k);
+            ip.install(&mut k);
             // The attack path is argv-gated so the offline run stays benign.
             let pid = spawn_and_run_args(
                 &mut k,
@@ -278,7 +278,7 @@ pub fn evaluate(s: Subject, p: Pitfall) -> Verdict {
             let mut k = fresh_kernel();
             maybe_offline(&mut k, s, "/usr/bin/p4a-poc");
             let ip = make_interposer(s, p);
-            ip.prepare(&mut k);
+            ip.install(&mut k);
             let pid = spawn_and_run(&mut k, ip.as_ref(), "/usr/bin/p4a-poc");
             // Defended = the stray NULL execution was detected and aborted.
             if exit_of(&k, pid) == Some(134) {
@@ -292,7 +292,7 @@ pub fn evaluate(s: Subject, p: Pitfall) -> Verdict {
             let mut k = fresh_kernel();
             maybe_offline(&mut k, s, "/usr/bin/p5-mt");
             let ip = make_interposer(s, p);
-            ip.prepare(&mut k);
+            ip.install(&mut k);
             let pid = spawn_and_run_args(
                 &mut k,
                 ip.as_ref(),
@@ -326,7 +326,7 @@ pub fn p4b_footprint(s: Subject) -> P4bFootprint {
     match s {
         Subject::Zpoline => {
             let ip = Zpoline::ultra();
-            ip.prepare(&mut k);
+            ip.install(&mut k);
             let pid = ip
                 .spawn(&mut k, "/usr/bin/p-stress", &[], &[])
                 .expect("spawn");
@@ -340,7 +340,7 @@ pub fn p4b_footprint(s: Subject) -> P4bFootprint {
         }
         Subject::Lazypoline => {
             let ip = Lazypoline::new();
-            ip.prepare(&mut k);
+            ip.install(&mut k);
             ip.spawn(&mut k, "/usr/bin/p-stress", &[], &[]).expect("spawn");
             k.run(BUDGET);
             // lazypoline keeps no validity structure at all.
@@ -352,7 +352,7 @@ pub fn p4b_footprint(s: Subject) -> P4bFootprint {
         Subject::K23 => {
             maybe_offline(&mut k, Subject::K23, "/usr/bin/p-stress");
             let ip = K23::new(Variant::Ultra);
-            ip.prepare(&mut k);
+            ip.install(&mut k);
             ip.spawn(&mut k, "/usr/bin/p-stress", &[], &[]).expect("spawn");
             k.run(BUDGET);
             let st = ip.stats();

@@ -104,6 +104,18 @@ pub struct BlockExit {
     pub inst: Option<Inst>,
 }
 
+/// Which icache flush strategy a core uses at serialization points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IcacheMode {
+    /// Generation-based revalidation against page content versions (the
+    /// fast path).
+    #[default]
+    Revalidate,
+    /// Drop every cached decode at every serialization point (the original
+    /// engine's behavior, kept as the benchmarking baseline).
+    SeedFlush,
+}
+
 /// One guest core: registers + flags + PKRU + a decoded-instruction cache.
 #[derive(Debug, Clone)]
 pub struct Cpu {
@@ -203,10 +215,32 @@ impl Cpu {
         }
     }
 
+    /// Selects the icache flush strategy: [`IcacheMode::Revalidate`] is the
+    /// generation-based fast path; [`IcacheMode::SeedFlush`] reproduces the
+    /// original engine's flush-everything behavior (the benchmarking
+    /// baseline). Guest-invisible either way.
+    pub fn set_icache_mode(&mut self, mode: IcacheMode) {
+        self.seed_flush = mode == IcacheMode::SeedFlush;
+    }
+
+    /// The currently selected icache flush strategy.
+    pub fn icache_mode(&self) -> IcacheMode {
+        if self.seed_flush {
+            IcacheMode::SeedFlush
+        } else {
+            IcacheMode::Revalidate
+        }
+    }
+
     /// Selects the original engine's flush-everything behavior (the
     /// benchmarking baseline) over generation-based revalidation.
+    #[deprecated(note = "use set_icache_mode(IcacheMode::SeedFlush | IcacheMode::Revalidate)")]
     pub fn set_seed_flush(&mut self, seed: bool) {
-        self.seed_flush = seed;
+        self.set_icache_mode(if seed {
+            IcacheMode::SeedFlush
+        } else {
+            IcacheMode::Revalidate
+        });
     }
 
     /// Number of decoded entries currently cached (observability for P5

@@ -19,5 +19,5 @@ pub mod cpu;
 pub mod fasthash;
 
 pub use cost::CostModel;
-pub use cpu::{Cpu, Step, StepEvent};
+pub use cpu::{Cpu, IcacheMode, Step, StepEvent};
 pub use fasthash::FastMap;

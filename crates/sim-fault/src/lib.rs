@@ -1,0 +1,489 @@
+//! # sim-fault — deterministic fault & adversarial-schedule injection plans
+//!
+//! A [`FaultPlan`] is a *pure description* of perturbations to apply to one
+//! simulated run: errno faults at chosen syscall occurrences, asynchronous
+//! signals at chosen instruction boundaries, adversarial scheduler
+//! decisions, and transient page-permission flips. The plan owns a seed and
+//! a splittable PRNG ([`Rng`]) but never consults wall-clock time or any
+//! other ambient state, so the same plan applied to the same guest produces
+//! the same run, byte for byte, under both the block engine and the
+//! stepwise oracle (rr's "chaos mode" and DiOS pioneered this
+//! seed-replayable style of perturbation).
+//!
+//! The crate is dependency-free on purpose: `sim-kernel` consumes plans,
+//! and the `simfault` explorer in `bench` generates them, but the plan
+//! itself is plain data with a compact string encoding
+//! ([`FaultPlan::encode`]/[`FaultPlan::decode`]) so any failing sweep cell
+//! can be replayed with one command.
+//!
+//! Decision methods are pure functions of `(plan, architectural state)` —
+//! retired-instruction counts, scheduler round numbers, syscall occurrence
+//! indices — never of engine-internal structure (block boundaries, icache
+//! state), which is what makes injection engine-invariant.
+
+/// A splittable splitmix64 PRNG: the only randomness source a plan (or a
+/// sweep generator) may use. Splitting derives an independent stream, so
+/// e.g. per-cell plans drawn from one sweep seed never correlate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rng(u64);
+
+const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The splitmix64 output mix.
+const fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// A stream seeded with `seed`.
+    pub const fn new(seed: u64) -> Rng {
+        Rng(seed)
+    }
+
+    /// The next value in this stream.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(GOLDEN);
+        mix64(self.0)
+    }
+
+    /// A uniformly distributed value in `0..n` (`n` > 0).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// Derives an independent child stream (advances this one once).
+    pub fn split(&mut self) -> Rng {
+        Rng(mix64(self.next_u64() ^ 0x5851_F42D_4C95_7F2D))
+    }
+}
+
+/// Stateless deterministic hash of `(seed, a, b)` — used for per-round
+/// scheduler decisions so they depend only on architectural state, never on
+/// how many times a stateful stream was consulted.
+pub const fn mix(seed: u64, a: u64, b: u64) -> u64 {
+    mix64(
+        seed ^ a.wrapping_mul(GOLDEN)
+            ^ b.wrapping_mul(0xC2B2_AE3D_27D4_EB4F),
+    )
+}
+
+/// The errno-fault flavor injected at a syscall occurrence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Return `-EINTR` without executing the call (a signal "interrupted"
+    /// it). Correct interposers restart the call.
+    Eintr,
+    /// Return `-EAGAIN` without executing the call. Robust guests retry.
+    Eagain,
+    /// Return `-ENOMEM` without executing the call (mmap only).
+    Enomem,
+    /// Execute the call but cap its transfer length so it completes
+    /// partially (read/write only). Side effects stay faithful.
+    Partial,
+}
+
+impl FaultKind {
+    /// Stable lowercase tag used in plan encodings and obs events.
+    pub fn tag(self) -> &'static str {
+        match self {
+            FaultKind::Eintr => "eintr",
+            FaultKind::Eagain => "eagain",
+            FaultKind::Enomem => "enomem",
+            FaultKind::Partial => "partial",
+        }
+    }
+
+    fn parse(s: &str) -> Result<FaultKind, String> {
+        match s {
+            "eintr" => Ok(FaultKind::Eintr),
+            "eagain" => Ok(FaultKind::Eagain),
+            "enomem" => Ok(FaultKind::Enomem),
+            "partial" => Ok(FaultKind::Partial),
+            _ => Err(format!("unknown fault kind {s:?}")),
+        }
+    }
+}
+
+/// One errno fault: the `occurrence`-th executed (post-`interposer_live`)
+/// occurrence of syscall `nr` gets `kind`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyscallFault {
+    /// Syscall number to match (Linux x86-64 ABI numbering).
+    pub nr: u64,
+    /// 0-based index among matching occurrences.
+    pub occurrence: u64,
+    /// What to inject.
+    pub kind: FaultKind,
+}
+
+/// Asynchronous signal injection at every `stride`-th instruction boundary
+/// in the retired-instruction window `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SignalWindow {
+    /// Signal number to deliver (to whichever thread is running).
+    pub signo: u64,
+    /// First retired-instruction boundary of the window.
+    pub start: u64,
+    /// One past the last boundary of the window.
+    pub end: u64,
+    /// Boundary stride within the window (>= 1).
+    pub stride: u64,
+}
+
+/// Adversarial scheduler perturbation, decided per scheduling round from
+/// [`mix`] so both engines agree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedPlan {
+    /// Every `rotate_period`-th round, rotate the runnable list by a
+    /// seed-derived amount (priority inversion: the fair order is
+    /// adversarially deprioritized). 0 disables rotation.
+    pub rotate_period: u64,
+    /// If nonzero, cap each slice at `1 + mix(..) % slice_jitter`
+    /// instructions — adversarial preemption points. 0 disables.
+    pub slice_jitter: u64,
+}
+
+/// A transient page-permission flip: at retired-instruction boundary `at`,
+/// the page containing `page` in the *running* process's space gets raw
+/// permission bits `perms` for `duration` retired instructions, then its
+/// original permissions are restored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PermFlip {
+    /// Retired-instruction boundary at which the flip lands.
+    pub at: u64,
+    /// Guest address identifying the target page.
+    pub page: u64,
+    /// Raw permission bits (sim-mem `Perms` encoding: R=1, W=2, X=4).
+    pub perms: u8,
+    /// Retired instructions until restoration.
+    pub duration: u64,
+}
+
+/// A complete, replayable perturbation plan for one run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// Seed for all seed-derived decisions (scheduler perturbation).
+    pub seed: u64,
+    /// Errno faults, keyed by (nr, occurrence).
+    pub syscall_faults: Vec<SyscallFault>,
+    /// Asynchronous signal storm window, if any.
+    pub signal_window: Option<SignalWindow>,
+    /// Scheduler perturbation, if any.
+    pub sched: Option<SchedPlan>,
+    /// Transient page-permission flips.
+    pub perm_flips: Vec<PermFlip>,
+}
+
+/// Syscall numbers eligible for `Eintr`/`Eagain` injection: calls whose
+/// callers must already tolerate those errnos on real Linux. Never inject
+/// into control-plane calls (rt_sigreturn, exit, execve, clone, prctl, …) —
+/// that would perturb the *machine*, not the workload.
+const RESTARTABLE: &[u64] = &[0, 1, 35, 42, 43, 61, 202, 500];
+
+impl FaultPlan {
+    /// An empty (guest-invisible) plan carrying only a seed.
+    pub fn zero(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// True if applying this plan must be guest-invisible.
+    pub fn is_zero(&self) -> bool {
+        self.syscall_faults.is_empty()
+            && self.signal_window.is_none()
+            && self.sched.is_none()
+            && self.perm_flips.is_empty()
+    }
+
+    /// Whether `kind` may be injected into syscall `nr` at all.
+    pub fn injectable(nr: u64, kind: FaultKind) -> bool {
+        match kind {
+            FaultKind::Eintr | FaultKind::Eagain => RESTARTABLE.contains(&nr),
+            FaultKind::Enomem => nr == 9,         // mmap
+            FaultKind::Partial => nr == 0 || nr == 1, // read/write
+        }
+    }
+
+    /// The fault to inject into the `occurrence`-th executed occurrence of
+    /// `nr`, if any. Ineligible (nr, kind) pairs never fire, so a decoded
+    /// plan cannot perturb control-plane syscalls.
+    pub fn syscall_fault(&self, nr: u64, occurrence: u64) -> Option<FaultKind> {
+        self.syscall_faults
+            .iter()
+            .find(|f| {
+                f.nr == nr && f.occurrence == occurrence && Self::injectable(nr, f.kind)
+            })
+            .map(|f| f.kind)
+    }
+
+    /// The signal to deliver at retired-instruction boundary `retired`.
+    pub fn boundary_signal(&self, retired: u64) -> Option<u64> {
+        let w = self.signal_window?;
+        let stride = w.stride.max(1);
+        (retired >= w.start && retired < w.end && (retired - w.start).is_multiple_of(stride))
+            .then_some(w.signo)
+    }
+
+    /// The earliest signal-injection boundary at or after `retired`.
+    pub fn next_signal_at(&self, retired: u64) -> Option<u64> {
+        let w = self.signal_window?;
+        let stride = w.stride.max(1);
+        let at = if retired <= w.start {
+            w.start
+        } else {
+            w.start + (retired - w.start).div_ceil(stride) * stride
+        };
+        (at < w.end).then_some(at)
+    }
+
+    /// The earliest permission-flip boundary at or after `retired`.
+    pub fn next_flip_at(&self, retired: u64) -> Option<u64> {
+        self.perm_flips
+            .iter()
+            .map(|f| f.at)
+            .filter(|&at| at >= retired)
+            .min()
+    }
+
+    /// Flips landing exactly at boundary `retired`.
+    pub fn flips_at(&self, retired: u64) -> impl Iterator<Item = &PermFlip> {
+        self.perm_flips.iter().filter(move |f| f.at == retired)
+    }
+
+    /// The earliest plan-driven boundary event (signal or flip start) at or
+    /// after `retired`. Restoration boundaries are tracked by the kernel,
+    /// which knows what it flipped.
+    pub fn next_boundary(&self, retired: u64) -> Option<u64> {
+        match (self.next_signal_at(retired), self.next_flip_at(retired)) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// How far to rotate an `n`-entry runnable list in scheduling round
+    /// `round` (0 = fair order preserved).
+    pub fn sched_rotation(&self, round: u64, n: usize) -> usize {
+        let Some(s) = self.sched else { return 0 };
+        if s.rotate_period == 0 || n < 2 || !round.is_multiple_of(s.rotate_period) {
+            return 0;
+        }
+        (mix(self.seed, round, 1) % n as u64) as usize
+    }
+
+    /// The adversarial slice cap (in instructions) for runnable slot `slot`
+    /// in round `round`, if the plan preempts at all.
+    pub fn slice_cap(&self, round: u64, slot: u64) -> Option<u64> {
+        let s = self.sched?;
+        (s.slice_jitter > 0).then(|| 1 + mix(self.seed, round, slot.wrapping_add(2)) % s.slice_jitter)
+    }
+
+    /// Compact single-token encoding, e.g.
+    /// `s=7;f=0:2:eintr;w=10:5000:6000:100;c=3:40;p=0:0:0:200`.
+    pub fn encode(&self) -> String {
+        let mut parts = vec![format!("s={}", self.seed)];
+        if !self.syscall_faults.is_empty() {
+            let fs: Vec<String> = self
+                .syscall_faults
+                .iter()
+                .map(|f| format!("{}:{}:{}", f.nr, f.occurrence, f.kind.tag()))
+                .collect();
+            parts.push(format!("f={}", fs.join(",")));
+        }
+        if let Some(w) = self.signal_window {
+            parts.push(format!("w={}:{}:{}:{}", w.signo, w.start, w.end, w.stride));
+        }
+        if let Some(c) = self.sched {
+            parts.push(format!("c={}:{}", c.rotate_period, c.slice_jitter));
+        }
+        if !self.perm_flips.is_empty() {
+            let ps: Vec<String> = self
+                .perm_flips
+                .iter()
+                .map(|p| format!("{}:{}:{}:{}", p.at, p.page, p.perms, p.duration))
+                .collect();
+            parts.push(format!("p={}", ps.join(",")));
+        }
+        parts.join(";")
+    }
+
+    /// Parses [`FaultPlan::encode`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed field.
+    pub fn decode(s: &str) -> Result<FaultPlan, String> {
+        fn num(s: &str) -> Result<u64, String> {
+            s.parse::<u64>().map_err(|_| format!("bad number {s:?}"))
+        }
+        fn fields<const N: usize>(s: &str) -> Result<[&str; N], String> {
+            let v: Vec<&str> = s.split(':').collect();
+            v.try_into()
+                .map_err(|_| format!("expected {N} ':'-fields in {s:?}"))
+        }
+        let mut plan = FaultPlan::default();
+        for part in s.split(';').filter(|p| !p.is_empty()) {
+            let (key, val) = part
+                .split_once('=')
+                .ok_or_else(|| format!("missing '=' in {part:?}"))?;
+            match key {
+                "s" => plan.seed = num(val)?,
+                "f" => {
+                    for item in val.split(',') {
+                        let [nr, occ, kind] = fields::<3>(item)?;
+                        plan.syscall_faults.push(SyscallFault {
+                            nr: num(nr)?,
+                            occurrence: num(occ)?,
+                            kind: FaultKind::parse(kind)?,
+                        });
+                    }
+                }
+                "w" => {
+                    let [signo, start, end, stride] = fields::<4>(val)?;
+                    plan.signal_window = Some(SignalWindow {
+                        signo: num(signo)?,
+                        start: num(start)?,
+                        end: num(end)?,
+                        stride: num(stride)?,
+                    });
+                }
+                "c" => {
+                    let [rot, jit] = fields::<2>(val)?;
+                    plan.sched = Some(SchedPlan {
+                        rotate_period: num(rot)?,
+                        slice_jitter: num(jit)?,
+                    });
+                }
+                "p" => {
+                    for item in val.split(',') {
+                        let [at, page, perms, dur] = fields::<4>(item)?;
+                        plan.perm_flips.push(PermFlip {
+                            at: num(at)?,
+                            page: num(page)?,
+                            perms: u8::try_from(num(perms)?)
+                                .map_err(|_| format!("perms out of range in {item:?}"))?,
+                            duration: num(dur)?,
+                        });
+                    }
+                }
+                _ => return Err(format!("unknown field {key:?}")),
+            }
+        }
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_and_splittable() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        let mut a = Rng::new(42);
+        let mut child = a.split();
+        // The child stream diverges from the parent's continuation.
+        assert_ne!(child.next_u64(), a.next_u64());
+        assert!(Rng::new(1).below(10) < 10);
+    }
+
+    #[test]
+    fn mix_is_stateless_and_spreads() {
+        assert_eq!(mix(7, 1, 2), mix(7, 1, 2));
+        assert_ne!(mix(7, 1, 2), mix(7, 2, 1));
+        assert_ne!(mix(7, 1, 2), mix(8, 1, 2));
+    }
+
+    #[test]
+    fn zero_plan_decides_nothing() {
+        let p = FaultPlan::zero(9);
+        assert!(p.is_zero());
+        assert_eq!(p.syscall_fault(0, 0), None);
+        assert_eq!(p.boundary_signal(123), None);
+        assert_eq!(p.next_boundary(0), None);
+        assert_eq!(p.sched_rotation(5, 4), 0);
+        assert_eq!(p.slice_cap(5, 0), None);
+    }
+
+    #[test]
+    fn syscall_fault_matches_occurrence_and_eligibility() {
+        let p = FaultPlan {
+            syscall_faults: vec![
+                SyscallFault { nr: 0, occurrence: 2, kind: FaultKind::Eintr },
+                // rt_sigreturn is never injectable, even if a plan says so.
+                SyscallFault { nr: 15, occurrence: 0, kind: FaultKind::Eintr },
+            ],
+            ..FaultPlan::default()
+        };
+        assert_eq!(p.syscall_fault(0, 2), Some(FaultKind::Eintr));
+        assert_eq!(p.syscall_fault(0, 1), None);
+        assert_eq!(p.syscall_fault(15, 0), None);
+        assert!(!FaultPlan::injectable(9, FaultKind::Eintr));
+        assert!(FaultPlan::injectable(9, FaultKind::Enomem));
+        assert!(!FaultPlan::injectable(2, FaultKind::Partial));
+    }
+
+    #[test]
+    fn signal_window_boundaries() {
+        let p = FaultPlan {
+            signal_window: Some(SignalWindow { signo: 10, start: 100, end: 160, stride: 25 }),
+            ..FaultPlan::default()
+        };
+        assert_eq!(p.boundary_signal(100), Some(10));
+        assert_eq!(p.boundary_signal(125), Some(10));
+        assert_eq!(p.boundary_signal(150), Some(10));
+        assert_eq!(p.boundary_signal(124), None);
+        assert_eq!(p.boundary_signal(175), None);
+        assert_eq!(p.next_signal_at(0), Some(100));
+        assert_eq!(p.next_signal_at(101), Some(125));
+        assert_eq!(p.next_signal_at(150), Some(150));
+        assert_eq!(p.next_signal_at(151), None);
+    }
+
+    #[test]
+    fn sched_decisions_are_bounded_and_engine_free() {
+        let p = FaultPlan {
+            seed: 3,
+            sched: Some(SchedPlan { rotate_period: 2, slice_jitter: 10 }),
+            ..FaultPlan::default()
+        };
+        for round in 0..20 {
+            let r = p.sched_rotation(round, 4);
+            assert!(r < 4);
+            if round % 2 != 0 {
+                assert_eq!(r, 0);
+            }
+            let cap = p.slice_cap(round, 1).unwrap();
+            assert!((1..=10).contains(&cap));
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let p = FaultPlan {
+            seed: 77,
+            syscall_faults: vec![
+                SyscallFault { nr: 0, occurrence: 3, kind: FaultKind::Partial },
+                SyscallFault { nr: 202, occurrence: 0, kind: FaultKind::Eagain },
+            ],
+            signal_window: Some(SignalWindow { signo: 10, start: 5_000, end: 9_000, stride: 500 }),
+            sched: Some(SchedPlan { rotate_period: 3, slice_jitter: 17 }),
+            perm_flips: vec![PermFlip { at: 12_345, page: 0, perms: 1, duration: 400 }],
+        };
+        let s = p.encode();
+        assert_eq!(FaultPlan::decode(&s).unwrap(), p);
+        // Zero plan round-trips too.
+        let z = FaultPlan::zero(5);
+        assert_eq!(FaultPlan::decode(&z.encode()).unwrap(), z);
+        assert!(FaultPlan::decode("x=1").is_err());
+        assert!(FaultPlan::decode("f=0:0").is_err());
+        assert!(FaultPlan::decode("w=1:2:3").is_err());
+    }
+}

@@ -1,0 +1,143 @@
+//! Typed engine configuration and the kernel-side fault-injection session.
+//!
+//! [`EngineConfig`] replaces the accreted bool setters (`set_stepwise`,
+//! `set_legacy_mode`, `set_seed_flush`) with one builder applied through
+//! [`crate::Kernel::configure`]. [`FaultSession`] is the kernel's live
+//! state for one [`FaultPlan`]: architectural counters (retired
+//! instructions, syscall occurrences, scheduling rounds) plus pending
+//! permission restorations — all of which advance identically under the
+//! block engine and the stepwise oracle.
+
+use crate::process::Pid;
+use sim_cpu::IcacheMode;
+use sim_fault::FaultPlan;
+use sim_mem::{MemMode, Perms};
+use std::collections::BTreeMap;
+
+/// Which scheduler engine executes guest code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// The block-based fast path ([`sim_cpu::Cpu::run_block`]).
+    #[default]
+    Block,
+    /// The original per-step loop, retained as the determinism oracle and
+    /// benchmarking baseline.
+    Stepwise,
+}
+
+/// One typed configuration for the execution engine.
+///
+/// ```
+/// use sim_kernel::{Engine, EngineConfig, IcacheMode, MemMode};
+///
+/// let fast = EngineConfig::new();
+/// assert_eq!(fast.engine, Engine::Block);
+/// let oracle = EngineConfig::stepwise();
+/// assert_eq!(oracle.icache, IcacheMode::SeedFlush);
+/// let legacy = EngineConfig::new().mem(MemMode::Legacy);
+/// assert_eq!(legacy.mem, MemMode::Legacy);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EngineConfig {
+    /// Scheduler engine.
+    pub engine: Engine,
+    /// Guest memory access mode (applied to every address space).
+    pub mem: MemMode,
+    /// Decoded-instruction cache policy (applied to every core).
+    pub icache: IcacheMode,
+    /// Fault-injection plan, if any.
+    pub fault: Option<FaultPlan>,
+}
+
+impl EngineConfig {
+    /// The default fast configuration: block engine, page-run memory,
+    /// revalidating icache, no fault injection.
+    pub fn new() -> EngineConfig {
+        EngineConfig::default()
+    }
+
+    /// The oracle configuration the determinism tests compare against:
+    /// the stepwise engine with the original seeded icache flushing.
+    pub fn stepwise() -> EngineConfig {
+        EngineConfig {
+            engine: Engine::Stepwise,
+            icache: IcacheMode::SeedFlush,
+            ..EngineConfig::default()
+        }
+    }
+
+    /// Selects the scheduler engine.
+    pub fn engine(mut self, engine: Engine) -> EngineConfig {
+        self.engine = engine;
+        self
+    }
+
+    /// Selects the guest memory access mode.
+    pub fn mem(mut self, mem: MemMode) -> EngineConfig {
+        self.mem = mem;
+        self
+    }
+
+    /// Selects the decoded-instruction cache policy.
+    pub fn icache(mut self, icache: IcacheMode) -> EngineConfig {
+        self.icache = icache;
+        self
+    }
+
+    /// Installs a fault-injection plan.
+    pub fn fault(mut self, plan: FaultPlan) -> EngineConfig {
+        self.fault = Some(plan);
+        self
+    }
+}
+
+/// Kernel-side state for applying one [`FaultPlan`].
+pub(crate) struct FaultSession {
+    /// The plan being applied.
+    pub plan: FaultPlan,
+    /// Retired guest instructions (architectural; engine-invariant).
+    pub retired: u64,
+    /// Plan boundaries strictly below this have fired. Injection retires
+    /// no instructions, so without the cursor a boundary would re-fire
+    /// forever at the same retired count.
+    pub fired_until: u64,
+    /// Per-syscall-nr executed-occurrence counters (counted only after
+    /// `interposer_live`, never for in-kernel restarts).
+    pub occurrences: BTreeMap<u64, u64>,
+    /// Pending permission restorations:
+    /// `(due boundary, pid, page base, saved perms)`.
+    pub restores: Vec<(u64, Pid, u64, Perms)>,
+    /// Scheduling round counter (drives [`FaultPlan::sched_rotation`]).
+    pub round: u64,
+}
+
+impl FaultSession {
+    pub fn new(plan: FaultPlan) -> FaultSession {
+        FaultSession {
+            plan,
+            retired: 0,
+            fired_until: 0,
+            occurrences: BTreeMap::new(),
+            restores: Vec::new(),
+            round: 0,
+        }
+    }
+
+    /// The next boundary (plan event or scheduled restore) the engines
+    /// must stop at, skipping plan boundaries that already fired.
+    pub fn next_stop(&self) -> Option<u64> {
+        let from = self.retired.max(self.fired_until);
+        let plan_next = self.plan.next_boundary(from);
+        let restore_next = self.restores.iter().map(|r| r.0).min();
+        match (plan_next, restore_next) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// True if a boundary is due at (or overdue for) the current retired
+    /// count.
+    pub fn due(&self) -> bool {
+        self.next_stop().is_some_and(|s| s <= self.retired)
+    }
+}

@@ -2,15 +2,17 @@
 //! and process lifecycle. Syscall implementations live in the private
 //! `sys` module.
 
+use crate::config::{Engine, EngineConfig, FaultSession};
 use crate::net::Net;
 use crate::nr;
 use crate::process::{FdEntry, Pid, Process, SeccompAction, SigAction, Thread, ThreadState, Tid, Wait};
 use crate::ptrace_if::{Stop, TraceOpts, Tracer, TracerAction};
 use crate::signal::{self, SigInfo};
 use crate::vfs::Vfs;
-use sim_cpu::{CostModel, Cpu, Step, StepEvent};
+use sim_cpu::{CostModel, Cpu, IcacheMode, Step, StepEvent};
+use sim_fault::{FaultKind, FaultPlan, PermFlip};
 use sim_isa::Reg;
-use sim_mem::AddressSpace;
+use sim_mem::{AddressSpace, MemMode, Perms, PAGE_SIZE};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
@@ -139,9 +141,14 @@ pub struct Kernel {
     /// multi-worker workloads).
     pub thread_cycles: sim_cpu::FastMap<(Pid, Tid), u64>,
     current: Option<(Pid, Tid)>,
-    /// Use the original per-step scheduler loop instead of
-    /// [`Cpu::run_block`] (determinism oracle / benchmarking baseline).
-    stepwise: bool,
+    /// Scheduler engine (see [`EngineConfig`]).
+    engine: Engine,
+    /// Icache policy stamped onto each core at slice entry.
+    icache: IcacheMode,
+    /// Memory access mode stamped onto every address space.
+    mem_mode: MemMode,
+    /// Live fault-injection session, when configured.
+    fault: Option<FaultSession>,
     /// When `Some`, every step is recorded (both scheduler modes).
     exec_trace: Option<Vec<TraceEntry>>,
 }
@@ -168,16 +175,47 @@ impl Kernel {
             rng_state: 0x5eed,
             thread_cycles: sim_cpu::FastMap::default(),
             current: None,
-            stepwise: false,
+            engine: Engine::Block,
+            icache: IcacheMode::Revalidate,
+            mem_mode: MemMode::PageRun,
+            fault: None,
             exec_trace: None,
         }
+    }
+
+    /// Applies a typed engine configuration. The memory mode propagates
+    /// to every existing address space; spaces created by later execs
+    /// inherit it too. Installing a [`FaultPlan`] resets its session
+    /// state (retired counts, occurrence counters), so configuring is
+    /// the replay point.
+    pub fn configure(&mut self, cfg: EngineConfig) {
+        self.engine = cfg.engine;
+        self.icache = cfg.icache;
+        self.mem_mode = cfg.mem;
+        self.fault = cfg.fault.map(FaultSession::new);
+        for p in self.procs.values_mut() {
+            p.space.set_mem_mode(cfg.mem);
+        }
+    }
+
+    /// The active fault-injection plan, if one was configured (replay
+    /// and failure reporting).
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref().map(|f| &f.plan)
     }
 
     /// Selects the scheduler engine: `true` runs the original per-step
     /// loop (the pre-fast-path baseline, kept as the determinism oracle),
     /// `false` (default) runs the block-based fast path.
+    #[deprecated(
+        note = "use configure(EngineConfig::stepwise()) or configure(EngineConfig::new())"
+    )]
     pub fn set_stepwise(&mut self, stepwise: bool) {
-        self.stepwise = stepwise;
+        self.configure(if stepwise {
+            EngineConfig::stepwise()
+        } else {
+            EngineConfig::new()
+        });
     }
 
     /// Starts recording an instruction-level execution trace.
@@ -422,6 +460,7 @@ impl Kernel {
             let tid = p.threads[0].tid;
             p.exe = path.to_string();
             p.space = img.space;
+            p.space.set_mem_mode(self.mem_mode);
             p.threads = vec![Thread::new(tid)];
             p.threads[0].cpu.rip = img.entry;
             p.threads[0].cpu.set(Reg::Rsp, img.rsp);
@@ -635,8 +674,20 @@ impl Kernel {
         let Some(p) = self.procs.get_mut(&pid) else {
             return;
         };
+        // While a handler registered with SIGACT_MASK_ALL runs,
+        // asynchronous signals queue until sigreturn. Synchronous faults
+        // (SIGSEGV) and SUD's SIGSYS must deliver immediately: deferring
+        // them would decouple them from the instruction that caused them.
+        if info.signo != nr::SIGSEGV && info.signo != nr::SIGSYS {
+            if let Some(t) = p.thread_mut(tid) {
+                if t.frame_masked.iter().any(|m| *m) {
+                    t.pending_signals.push(info);
+                    return;
+                }
+            }
+        }
         p.stats.signals += 1;
-        let Some(SigAction { handler }) = p.sigactions.get(&info.signo).copied() else {
+        let Some(SigAction { handler, mask_all }) = p.sigactions.get(&info.signo).copied() else {
             // Default action: terminate.
             let status = 128 + info.signo as i64;
             self.tracer_stop(pid, tid, Stop::FatalSignal { sig: info.signo }, |_| true);
@@ -679,6 +730,7 @@ impl Kernel {
             .and_then(|p| p.thread_mut(tid))
             .expect("thread vanished");
         t.sig_frames.push(base);
+        t.frame_masked.push(mask_all);
         t.cpu.set(Reg::Rsp, base);
         t.cpu.set(Reg::Rdi, info.signo);
         t.cpu.set(Reg::Rsi, base + signal::SI_SIGNO);
@@ -734,6 +786,17 @@ impl Kernel {
                     }
                 }
             }
+            // Adversarial scheduler perturbation: rotate the fair runnable
+            // order by a seed-derived amount on plan-chosen rounds. The
+            // round number is architectural (one per rebuild), so both
+            // engines rotate identically.
+            if let Some(fs) = self.fault.as_mut() {
+                fs.round += 1;
+                let rot = fs.plan.sched_rotation(fs.round, runnable.len());
+                if rot > 0 {
+                    runnable.rotate_left(rot);
+                }
+            }
             for &(pid, tid) in &runnable {
                 self.run_slice(pid, tid);
                 if self.clock >= deadline {
@@ -743,11 +806,136 @@ impl Kernel {
         }
     }
 
+    /// The slice budget for `tid` this round: the configured slice, or
+    /// the fault plan's adversarial preemption cap when one is active.
+    fn effective_slice(&self, tid: Tid) -> u64 {
+        let base = self.slice as u64;
+        match &self.fault {
+            Some(fs) => match fs.plan.slice_cap(fs.round, tid) {
+                Some(cap) => cap.min(base),
+                None => base,
+            },
+            None => base,
+        }
+    }
+
+    /// True if a fault boundary (signal injection, permission flip, or
+    /// scheduled restore) is due at the current retired count.
+    fn fault_boundary_due(&self) -> bool {
+        self.fault.as_ref().is_some_and(FaultSession::due)
+    }
+
+    /// Caps an execution budget so the engine stops exactly at the next
+    /// fault boundary — both engines then observe it at the identical
+    /// architectural instruction.
+    fn fault_capped(&self, budget: u64) -> u64 {
+        match &self.fault {
+            Some(fs) => match fs.next_stop() {
+                Some(s) => budget.min(s.saturating_sub(fs.retired).max(1)),
+                None => budget,
+            },
+            None => budget,
+        }
+    }
+
+    /// Credits retired instructions to the fault session.
+    fn fault_retire(&mut self, steps: u64) {
+        if let Some(fs) = self.fault.as_mut() {
+            fs.retired += steps;
+        }
+    }
+
+    /// Applies every injection due at the current boundary: permission
+    /// restorations first, then new flips, then the asynchronous signal.
+    /// The slice ends after a boundary fires (both engines agree on
+    /// that), and `fired_until` advances so a boundary — which retires no
+    /// instructions — cannot re-fire at the same retired count.
+    fn apply_fault_boundary(&mut self, pid: Pid, tid: Tid) {
+        let clock = self.clock;
+        let obs = sim_obs::enabled();
+        let Some(fs) = self.fault.as_mut() else {
+            return;
+        };
+        let at = fs.retired;
+        fs.fired_until = at + 1;
+        let mut due_restores = Vec::new();
+        fs.restores.retain(|r| {
+            if r.0 <= at {
+                due_restores.push(*r);
+                false
+            } else {
+                true
+            }
+        });
+        let flips: Vec<PermFlip> = fs.plan.flips_at(at).copied().collect();
+        let signo = fs.plan.boundary_signal(at);
+
+        let mut serialized = false;
+        for (_, rpid, base, saved) in due_restores {
+            if let Some(p) = self.procs.get_mut(&rpid) {
+                let _ = p.space.protect(base, PAGE_SIZE, saved);
+                serialized = true;
+            }
+            if obs {
+                sim_obs::fault_flip(clock, base, true);
+            }
+        }
+        for f in flips {
+            let base = f.page & !(PAGE_SIZE - 1);
+            let saved = self.procs.get_mut(&pid).and_then(|p| {
+                let saved = p.space.page_perms(base)?;
+                p.space
+                    .protect(base, PAGE_SIZE, Perms::from_bits(f.perms))
+                    .ok()?;
+                Some(saved)
+            });
+            if let Some(saved) = saved {
+                serialized = true;
+                if obs {
+                    sim_obs::fault_flip(clock, base, false);
+                }
+                if let Some(fs) = self.fault.as_mut() {
+                    fs.restores.push((at + f.duration.max(1), pid, base, saved));
+                }
+            }
+        }
+        if serialized {
+            // A permission change behaves like an mprotect IPI: the
+            // running core serializes its instruction stream.
+            if let Some(t) = self.procs.get_mut(&pid).and_then(|p| p.thread_mut(tid)) {
+                t.cpu.flush_icache();
+            }
+        }
+        if let Some(signo) = signo {
+            // Only deliverable signals are injected: with no handler the
+            // default action would kill the guest, turning every cell of a
+            // sweep into a trivial death instead of a stress result. The
+            // skip is recorded so the decision stays visible.
+            let has_handler = self
+                .procs
+                .get(&pid)
+                .is_some_and(|p| p.sigactions.contains_key(&signo));
+            if obs {
+                sim_obs::fault_signal(clock, signo, has_handler);
+            }
+            if has_handler {
+                self.deliver_signal(
+                    pid,
+                    tid,
+                    SigInfo {
+                        signo,
+                        ..SigInfo::default()
+                    },
+                );
+            }
+        }
+    }
+
     /// Runs `(pid, tid)` for up to one scheduler slice.
     ///
     /// Dispatches to the block-based fast engine or, when
-    /// [`Kernel::set_stepwise`] selected it, the original per-step loop.
-    /// Both produce identical clocks, stats, and guest-visible behavior —
+    /// [`EngineConfig`] selected it, the original per-step loop. Both
+    /// produce identical clocks, stats, and guest-visible behavior —
     /// enforced by the determinism regression tests.
     fn run_slice(&mut self, pid: Pid, tid: Tid) {
         if sim_obs::enabled() {
@@ -757,10 +945,9 @@ impl Kernel {
                 sim_obs::set_cpu(pid, tid);
             }
         }
-        if self.stepwise {
-            self.run_slice_stepwise(pid, tid);
-        } else {
-            self.run_slice_blocks(pid, tid);
+        match self.engine {
+            Engine::Stepwise => self.run_slice_stepwise(pid, tid),
+            Engine::Block => self.run_slice_blocks(pid, tid),
         }
     }
 
@@ -771,8 +958,14 @@ impl Kernel {
     /// kernel or guest state.
     fn run_slice_blocks(&mut self, pid: Pid, tid: Tid) {
         self.current = Some((pid, tid));
-        let mut remaining = self.slice as u64;
+        let icache = self.icache;
+        let mut remaining = self.effective_slice(tid);
         while remaining > 0 {
+            if self.fault_boundary_due() {
+                self.apply_fault_boundary(pid, tid);
+                return;
+            }
+            let budget = self.fault_capped(remaining);
             let clock = self.clock;
             let cost = self.cost;
             let mut trace = self.exec_trace.take();
@@ -795,9 +988,9 @@ impl Kernel {
                     return;
                 }
                 let mut traced_clock = clock;
-                t.cpu.set_seed_flush(false);
+                t.cpu.set_icache_mode(icache);
                 t.cpu
-                    .run_block(space, clock, &cost, remaining, |rip, step: &Step| {
+                    .run_block(space, clock, &cost, budget, |rip, step: &Step| {
                         if let Some(rec) = trace.as_mut() {
                             traced_clock += step.cycles;
                             rec.push(TraceEntry {
@@ -813,6 +1006,7 @@ impl Kernel {
             self.exec_trace = trace;
             self.charge(block.cycles);
             remaining -= block.steps;
+            self.fault_retire(block.steps);
             if block.vdso_calls > 0 {
                 if let Some(p) = self.procs.get_mut(&pid) {
                     p.stats.vdso_calls += block.vdso_calls;
@@ -854,7 +1048,13 @@ impl Kernel {
     /// determinism oracle and benchmarking baseline.
     fn run_slice_stepwise(&mut self, pid: Pid, tid: Tid) {
         self.current = Some((pid, tid));
-        for _ in 0..self.slice {
+        let icache = self.icache;
+        let slice = self.effective_slice(tid);
+        for _ in 0..slice {
+            if self.fault_boundary_due() {
+                self.apply_fault_boundary(pid, tid);
+                return;
+            }
             let clock = self.clock;
             let cost = self.cost;
             let (step, rip) = {
@@ -872,10 +1072,11 @@ impl Kernel {
                     return;
                 }
                 let rip = t.cpu.rip;
-                t.cpu.set_seed_flush(true);
+                t.cpu.set_icache_mode(icache);
                 (t.cpu.step(space, clock, &cost), rip)
             };
             self.charge(step.cycles);
+            self.fault_retire(1);
             if let Some(rec) = self.exec_trace.as_mut() {
                 rec.push(TraceEntry {
                     pid,
@@ -1186,8 +1387,46 @@ impl Kernel {
             }
         }
 
+        // sim-fault errno injection: decided purely by (plan, nr,
+        // executed-occurrence index). Occurrences count only once the
+        // interposer is live and never for in-kernel restarts, so the
+        // numbering is architectural — identical under both engines.
+        let injected = if self.fault.is_some() && !restarting {
+            let live = self.procs.get(&pid).is_some_and(|p| p.interposer_live);
+            match self.fault.as_mut() {
+                Some(fs) if live => {
+                    let occ = fs.occurrences.entry(nr_).or_insert(0);
+                    let idx = *occ;
+                    *occ += 1;
+                    fs.plan.syscall_fault(nr_, idx)
+                }
+                _ => None,
+            }
+        } else {
+            None
+        };
+        if let Some(kind) = injected {
+            if obs {
+                sim_obs::fault_errno(self.clock, nr_, kind.tag());
+            }
+        }
+
         // Dispatch.
-        let disp = self.sys_dispatch(pid, tid, nr_, args, site);
+        let disp = match injected {
+            Some(FaultKind::Eintr) => crate::sys::Disp::Ret(nr::err(nr::EINTR)),
+            Some(FaultKind::Eagain) => crate::sys::Disp::Ret(nr::err(nr::EAGAIN)),
+            Some(FaultKind::Enomem) => crate::sys::Disp::Ret(nr::err(nr::ENOMEM)),
+            Some(FaultKind::Partial) => {
+                // Cap the transfer length: the call executes with faithful
+                // side effects and itself returns the short count.
+                let mut capped = args;
+                if capped[2] > 1 {
+                    capped[2] /= 2;
+                }
+                self.sys_dispatch(pid, tid, nr_, capped, site)
+            }
+            None => self.sys_dispatch(pid, tid, nr_, args, site),
+        };
         match disp {
             crate::sys::Disp::Ret(ret) => {
                 if let Some(t) = self.procs.get_mut(&pid).and_then(|p| p.thread_mut(tid)) {
@@ -1278,8 +1517,11 @@ impl Kernel {
         child.threads[0].cpu = ccpu;
         child.threads[0].sud = t.sud;
         // A fork from inside a signal handler inherits the handler context:
-        // the child's stack is a copy, so its live signal frames are too.
+        // the child's stack is a copy, so its live signal frames — and any
+        // masking state and deferred signals — are too.
         child.threads[0].sig_frames = t.sig_frames.clone();
+        child.threads[0].frame_masked = t.frame_masked.clone();
+        child.threads[0].pending_signals = t.pending_signals.clone();
 
         // Channel and listener refcounts for duplicated descriptors.
         let chans: Vec<(usize, crate::net::End)> = child

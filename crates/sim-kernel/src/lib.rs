@@ -22,6 +22,7 @@
 //! registered address) — how interposer libraries bridge to their host-side
 //! runtime.
 
+pub mod config;
 pub mod kernel;
 pub mod net;
 pub mod nr;
@@ -31,7 +32,13 @@ pub mod signal;
 mod sys;
 pub mod vfs;
 
+pub use config::{Engine, EngineConfig};
 pub use kernel::{ExecLoader, ExecOpts, HostcallFn, Kernel, LoadedImage, RunExit, TraceEntry};
+// Configuration building blocks re-exported so callers assemble an
+// `EngineConfig` from this crate alone.
+pub use sim_cpu::IcacheMode;
+pub use sim_fault::FaultPlan;
+pub use sim_mem::MemMode;
 pub use net::{Channel, End, Net};
 pub use process::{FdEntry, Pid, ProcStats, Process, SeccompAction, SeccompFilter, SigAction, Sud, Thread, ThreadState, Tid, Wait};
 pub use ptrace_if::{CountingTracer, Stop, TraceOpts, Tracer, TracerAction};

@@ -84,10 +84,20 @@ pub const SIGTRAP: u64 = 5;
 pub const SIGCHLD: u64 = 17;
 pub const SIGKILL: u64 = 9;
 pub const SIGABRT: u64 = 6;
+pub const SIGUSR1: u64 = 10;
+
+/// Flag OR-ed into `rt_sigaction`'s signal-number argument (simplified
+/// ABI): while the registered handler runs, further asynchronous signals
+/// are deferred until `rt_sigreturn` — the stand-in for an all-signals
+/// `sa_mask`. Interposer SIGSYS handlers register with this to survive
+/// adversarial signal storms (nested-delivery hardening).
+pub const SIGACT_MASK_ALL: u64 = 0x100;
 
 // errno (returned as -errno)
 pub const EPERM: i64 = 1;
 pub const ENOENT: i64 = 2;
+pub const ESRCH: i64 = 3;
+pub const EINTR: i64 = 4;
 pub const EBADF: i64 = 9;
 pub const ECHILD: i64 = 10;
 pub const EAGAIN: i64 = 11;

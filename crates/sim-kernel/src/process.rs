@@ -61,6 +61,11 @@ impl SeccompFilter {
 pub struct SigAction {
     /// Guest address of the handler entry point.
     pub handler: u64,
+    /// Registered with [`crate::nr::SIGACT_MASK_ALL`]: while this handler
+    /// runs, further asynchronous signals queue until `rt_sigreturn`
+    /// (the simplified stand-in for `sa_mask = all`). Synchronous faults
+    /// (SIGSEGV, SIGSYS) still deliver immediately.
+    pub mask_all: bool,
 }
 
 /// What a blocked thread is waiting for.
@@ -117,6 +122,12 @@ pub struct Thread {
     pub sud: Option<Sud>,
     /// Stack of live signal-frame base addresses (innermost last).
     pub sig_frames: Vec<u64>,
+    /// Parallel to `sig_frames`: whether each live frame's handler was
+    /// registered with `SIGACT_MASK_ALL` (defers async signals).
+    pub frame_masked: Vec<bool>,
+    /// Asynchronous signals deferred while a masking handler runs,
+    /// delivered FIFO at `rt_sigreturn`.
+    pub pending_signals: Vec<crate::signal::SigInfo>,
     /// Set while the thread is re-executing a syscall it blocked in: the
     /// retry resumes *in-kernel* (no second entry cost, no re-dispatch).
     pub restarting: bool,
@@ -131,6 +142,8 @@ impl Thread {
             state: ThreadState::Runnable,
             sud: None,
             sig_frames: Vec::new(),
+            frame_masked: Vec::new(),
+            pending_signals: Vec::new(),
             restarting: false,
         }
     }

@@ -146,13 +146,14 @@ impl Kernel {
             }
             nr::SYS_BRK => Disp::Ret(0),
             nr::SYS_RT_SIGACTION => {
-                let sig = args[0];
+                let sig = args[0] & !nr::SIGACT_MASK_ALL;
+                let mask_all = args[0] & nr::SIGACT_MASK_ALL != 0;
                 let handler = args[1];
                 if let Some(p) = self.process_mut(pid) {
                     if handler == 0 {
                         p.sigactions.remove(&sig);
                     } else {
-                        p.sigactions.insert(sig, SigAction { handler });
+                        p.sigactions.insert(sig, SigAction { handler, mask_all });
                     }
                 }
                 Disp::Ret(0)
@@ -191,7 +192,7 @@ impl Kernel {
                 let fd = self
                     .process_mut(pid)
                     .map(|p| p.alloc_fd(FdEntry::SocketUnbound))
-                    .unwrap_or(-1);
+                    .unwrap_or(-nr::ESRCH);
                 Disp::Ret(fd as u64)
             }
             nr::SYS_BIND => self.sys_bind(pid, args),
@@ -446,7 +447,7 @@ impl Kernel {
             let fd = self
                 .process_mut(pid)
                 .map(|p| p.alloc_fd(FdEntry::Snapshot { data, offset: 0 }))
-                .unwrap_or(-1);
+                .unwrap_or(-nr::ESRCH);
             return Disp::Ret(fd as u64);
         }
         if !self.vfs.exists(&path) {
@@ -461,7 +462,7 @@ impl Kernel {
         let fd = self
             .process_mut(pid)
             .map(|p| p.alloc_fd(FdEntry::File { path, offset: 0 }))
-            .unwrap_or(-1);
+            .unwrap_or(-nr::ESRCH);
         Disp::Ret(fd as u64)
     }
 
@@ -562,6 +563,7 @@ impl Kernel {
             self.kill_process(pid, 128 + nr::SIGSEGV as i64);
             return Disp::NoReturn;
         };
+        t.frame_masked.pop();
         let mut frame = vec![0u8; crate::signal::FRAME_SIZE as usize];
         if p.space.read_raw(base, &mut frame).is_err() {
             self.kill_process(pid, 128 + nr::SIGSEGV as i64);
@@ -584,6 +586,18 @@ impl Kernel {
         }
         // Returning from the handler serializes (iret).
         t.cpu.flush_icache();
+        // A masking handler just left the stack: deliver the oldest
+        // deferred signal (one per sigreturn — each delivery pushes its own
+        // frame, whose sigreturn drains the next, keeping delivery points
+        // architecturally deterministic).
+        let pending = self
+            .process_mut(pid)
+            .and_then(|p| p.thread_mut(tid))
+            .filter(|t| !t.frame_masked.iter().any(|m| *m) && !t.pending_signals.is_empty())
+            .map(|t| t.pending_signals.remove(0));
+        if let Some(info) = pending {
+            self.deliver_signal(pid, tid, info);
+        }
         Disp::NoReturn
     }
 
@@ -618,7 +632,7 @@ impl Kernel {
         let nfd = self
             .process_mut(pid)
             .map(|p| p.alloc_fd(entry))
-            .unwrap_or(-1);
+            .unwrap_or(-nr::ESRCH);
         Disp::Ret(nfd as u64)
     }
 
@@ -695,7 +709,7 @@ impl Kernel {
         let nfd = self
             .process_mut(pid)
             .map(|p| p.alloc_fd(FdEntry::Socket { chan, end: End::B }))
-            .unwrap_or(-1);
+            .unwrap_or(-nr::ESRCH);
         Disp::Ret(nfd as u64)
     }
 

@@ -28,6 +28,19 @@ impl Perms {
     /// Read + write + execute.
     pub const RWX: Perms = Perms(7);
 
+    /// Permissions from raw bits (R=1, W=2, X=4; extra bits ignored) —
+    /// the encoding `sim-fault` plans use to stay dependency-free.
+    #[inline]
+    pub const fn from_bits(bits: u8) -> Perms {
+        Perms(bits & 7)
+    }
+
+    /// The raw bit encoding (R=1, W=2, X=4).
+    #[inline]
+    pub const fn bits(self) -> u8 {
+        self.0
+    }
+
     /// True if all bits in `other` are present.
     #[inline]
     pub const fn contains(self, other: Perms) -> bool {

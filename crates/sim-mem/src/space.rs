@@ -7,6 +7,18 @@ use std::fmt;
 /// Page size in bytes (4 KiB, as on x86-64).
 pub const PAGE_SIZE: u64 = 4096;
 
+/// Which memory engine services guest accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MemMode {
+    /// Page-run fast path: one permission check and one `copy_from_slice`
+    /// per page touched.
+    #[default]
+    PageRun,
+    /// Byte-at-a-time reference implementation (the pre-optimization
+    /// engine, kept for benchmarking and as the semantic oracle).
+    Legacy,
+}
+
 /// Why a guest memory access faulted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultReason {
@@ -186,11 +198,28 @@ impl AddressSpace {
         AddressSpace::default()
     }
 
-    /// Routes `read`/`write`/`fetch`/`read_raw`/`write_raw` through the
-    /// byte-at-a-time reference implementations. Used only to benchmark the
-    /// fast path against the original engine.
+    /// Selects the memory engine: [`MemMode::PageRun`] is the page-run fast
+    /// path; [`MemMode::Legacy`] routes `read`/`write`/`fetch`/`read_raw`/
+    /// `write_raw` through the byte-at-a-time reference implementations
+    /// (for benchmarking the fast path against the original engine).
+    pub fn set_mem_mode(&mut self, mode: MemMode) {
+        self.legacy = mode == MemMode::Legacy;
+    }
+
+    /// The currently selected memory engine.
+    pub fn mem_mode(&self) -> MemMode {
+        if self.legacy {
+            MemMode::Legacy
+        } else {
+            MemMode::PageRun
+        }
+    }
+
+    /// Routes the accessors through the byte-at-a-time reference
+    /// implementations.
+    #[deprecated(note = "use set_mem_mode(MemMode::Legacy | MemMode::PageRun)")]
     pub fn set_legacy_mode(&mut self, legacy: bool) {
-        self.legacy = legacy;
+        self.set_mem_mode(if legacy { MemMode::Legacy } else { MemMode::PageRun });
     }
 
     /// Bumps the TLB generation, invalidating every cached translation.

@@ -116,6 +116,30 @@ impl Recorder {
                 "signal",
                 vec![("addr", Value::UInt(addr))],
             ),
+            EventKind::FaultErrno { nr, kind } => (
+                "i",
+                format!("fault-errno:{kind}"),
+                "fault",
+                vec![("nr", Value::UInt(nr))],
+            ),
+            EventKind::FaultSignal { signo, delivered } => (
+                "i",
+                "fault-signal".to_string(),
+                "fault",
+                vec![
+                    ("signo", Value::UInt(signo)),
+                    ("delivered", Value::UInt(delivered as u64)),
+                ],
+            ),
+            EventKind::FaultPermFlip { page, restore } => (
+                "i",
+                "fault-perm-flip".to_string(),
+                "fault",
+                vec![
+                    ("page", Value::UInt(page)),
+                    ("restore", Value::UInt(restore as u64)),
+                ],
+            ),
             EventKind::TlbFill { page } => (
                 "i",
                 "tlb-fill".to_string(),
@@ -202,6 +226,9 @@ impl Recorder {
             ("sud_arms", Value::UInt(c.sud_arms)),
             ("sud_selector_flips", Value::UInt(c.sud_selector_flips)),
             ("pku_faults", Value::UInt(c.pku_faults)),
+            ("faults_errno", Value::UInt(c.faults_errno)),
+            ("faults_signal", Value::UInt(c.faults_signal)),
+            ("faults_flip", Value::UInt(c.faults_flip)),
             ("ptrace_hooks", Value::UInt(c.ptrace_hooks)),
             ("recorded_events", Value::UInt(self.total_events())),
             ("dropped_events", Value::UInt(self.total_dropped())),
@@ -232,6 +259,11 @@ impl Recorder {
             s,
             "sud/pku: {} arms, {} selector flips, {} pku faults, {} ptrace hooks",
             c.sud_arms, c.sud_selector_flips, c.pku_faults, c.ptrace_hooks
+        );
+        let _ = writeln!(
+            s,
+            "injected: {} errno faults, {} signals, {} perm flips",
+            c.faults_errno, c.faults_signal, c.faults_flip
         );
         let _ = writeln!(
             s,

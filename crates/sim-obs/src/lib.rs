@@ -95,6 +95,16 @@ pub enum EventKind {
     SudSelectorFlip { value: u8 },
     /// A protection-key fault (lazypoline/K23 PKU guard).
     PkuFault { addr: u64 },
+    /// `sim-fault` injected an errno (or partial-transfer cap) into a
+    /// syscall occurrence.
+    FaultErrno { nr: u64, kind: &'static str },
+    /// `sim-fault` injected an asynchronous signal at an instruction
+    /// boundary (`delivered` is false when the guest had no handler and
+    /// the injection was deterministically skipped).
+    FaultSignal { signo: u64, delivered: bool },
+    /// `sim-fault` transiently flipped (or restored) a page's
+    /// permissions.
+    FaultPermFlip { page: u64, restore: bool },
     /// Microarchitectural: software TLB miss filled a slot.
     TlbFill { page: u64 },
     /// Microarchitectural: a stale icache entry revalidated by version
@@ -249,6 +259,10 @@ pub struct Counters {
     pub sud_arms: u64,
     pub sud_selector_flips: u64,
     pub pku_faults: u64,
+    // sim-fault injections (architectural: identical across engines)
+    pub faults_errno: u64,
+    pub faults_signal: u64,
+    pub faults_flip: u64,
     // interposers
     pub ptrace_hooks: u64,
 }
@@ -583,6 +597,51 @@ pub fn pku_fault(clock: u64, addr: u64) {
     with_rec(|r| {
         r.counters.pku_faults += 1;
         r.record(cpu, clock, EventKind::PkuFault { addr });
+    });
+}
+
+/// `sim-fault` injected an errno (or partial-transfer cap) into the
+/// current syscall.
+#[inline]
+pub fn fault_errno(clock: u64, nr: u64, kind: &'static str) {
+    if !enabled() {
+        return;
+    }
+    set_clock(clock);
+    let cpu = CPU.with(|c| c.get());
+    with_rec(|r| {
+        r.counters.faults_errno += 1;
+        r.record(cpu, clock, EventKind::FaultErrno { nr, kind });
+    });
+}
+
+/// `sim-fault` injected an asynchronous signal at an instruction
+/// boundary (or deterministically skipped it: no handler registered).
+#[inline]
+pub fn fault_signal(clock: u64, signo: u64, delivered: bool) {
+    if !enabled() {
+        return;
+    }
+    set_clock(clock);
+    let cpu = CPU.with(|c| c.get());
+    with_rec(|r| {
+        r.counters.faults_signal += 1;
+        r.record(cpu, clock, EventKind::FaultSignal { signo, delivered });
+    });
+}
+
+/// `sim-fault` flipped (restore = false) or restored (restore = true)
+/// a page's permissions.
+#[inline]
+pub fn fault_flip(clock: u64, page: u64, restore: bool) {
+    if !enabled() {
+        return;
+    }
+    set_clock(clock);
+    let cpu = CPU.with(|c| c.get());
+    with_rec(|r| {
+        r.counters.faults_flip += 1;
+        r.record(cpu, clock, EventKind::FaultPermFlip { page, restore });
     });
 }
 

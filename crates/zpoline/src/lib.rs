@@ -130,7 +130,26 @@ impl Zpoline {
         for r in [Reg::R9, Reg::R8, Reg::R10, Reg::Rdx, Reg::Rsi, Reg::Rdi] {
             b.asm.pop(r);
         }
+        // Restart the forwarded call while it returns EINTR — the
+        // interruption targeted the handler, not the application. The
+        // number is spilled to the per-thread application stack (rcx/r11
+        // are kernel-clobbered at syscall exit, so no register survives).
+        // clone bypasses the spill: its child resumes on a fresh stack
+        // that must see exactly the pre-handler layout.
+        b.asm.cmp_imm(Reg::Rax, nr::SYS_CLONE as i32);
+        b.asm.jz("__zp_forward_raw");
+        b.asm.push(Reg::Rax);
         b.asm.label("__zp_forward");
+        b.asm.syscall();
+        b.asm.mov_imm(Reg::R11, nr::err(nr::EINTR));
+        b.asm.cmp_reg(Reg::Rax, Reg::R11);
+        b.asm.jnz("__zp_forward_done");
+        b.asm.load(Reg::Rax, Reg::Rsp, 0);
+        b.asm.jmp("__zp_forward");
+        b.asm.label("__zp_forward_done");
+        b.asm.add_imm(Reg::Rsp, 8);
+        b.asm.ret();
+        b.asm.label("__zp_forward_raw");
         b.asm.syscall();
         b.asm.ret();
 
@@ -184,7 +203,21 @@ pub fn rewrite_site_properly(k: &mut Kernel, pid: Pid, site: u64) {
         .expect("mprotect restore");
 }
 
+/// Registers both zpoline variants in the [`interpose::registry`].
+pub fn register() {
+    interpose::register("zpoline", || Box::new(Zpoline::default_variant()));
+    interpose::register("zpoline-ultra", || Box::new(Zpoline::ultra()));
+}
+
 impl Interposer for Zpoline {
+    fn name(&self) -> &'static str {
+        if self.null_check {
+            "zpoline-ultra"
+        } else {
+            "zpoline"
+        }
+    }
+
     fn label(&self) -> String {
         if self.null_check {
             "zpoline-ultra".to_string()
@@ -193,7 +226,7 @@ impl Interposer for Zpoline {
         }
     }
 
-    fn prepare(&self, k: &mut Kernel) {
+    fn install(&self, k: &mut Kernel) {
         self.build_lib().install(&mut k.vfs);
         sim_obs::register_region_path(ZPOLINE_LIB, &self.label());
         let stats = self.stats.clone();
@@ -216,7 +249,7 @@ impl Interposer for Zpoline {
         k.spawn(path, argv, &env, None)
     }
 
-    fn handler_region(&self) -> Option<String> {
+    fn attribution_path(&self) -> Option<String> {
         Some(ZPOLINE_LIB.to_string())
     }
 
@@ -326,7 +359,7 @@ mod tests {
     fn rewrites_and_interposes() {
         let mut k = boot_kernel();
         let zp = Zpoline::default_variant();
-        zp.prepare(&mut k);
+        zp.install(&mut k);
         stress_app(25).install(&mut k.vfs);
         let pid = zp.spawn(&mut k, "/usr/bin/stress", &[], &[]).unwrap();
         let exit = k.run(5_000_000_000);
@@ -359,7 +392,7 @@ mod tests {
 
         let mut k = boot_kernel();
         let zp = Zpoline::ultra();
-        zp.prepare(&mut k);
+        zp.install(&mut k);
         b.finish().install(&mut k.vfs);
         let pid = zp.spawn(&mut k, "/usr/bin/nullcall", &[], &[]).unwrap();
         k.run(5_000_000_000);
@@ -386,7 +419,7 @@ mod tests {
 
         let mut k = boot_kernel();
         let zp = Zpoline::default_variant();
-        zp.prepare(&mut k);
+        zp.install(&mut k);
         b.finish().install(&mut k.vfs);
         let pid = zp.spawn(&mut k, "/usr/bin/nullcall", &[], &[]).unwrap();
         k.run(5_000_000_000);
@@ -434,7 +467,7 @@ mod tests {
 
         let mut k = boot_kernel();
         let zp = Zpoline::default_variant();
-        zp.prepare(&mut k);
+        zp.install(&mut k);
         b.finish().install(&mut k.vfs);
         let pid = zp.spawn(&mut k, "/usr/bin/jit", &[], &[]).unwrap();
         k.run(5_000_000_000);

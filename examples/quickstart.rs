@@ -38,7 +38,7 @@ fn main() {
 
     // 3. K23 online phase on the same machine (the log is already sealed).
     let k23 = K23::new(Variant::Ultra);
-    k23.prepare(&mut kernel);
+    k23.install(&mut kernel);
     let pid = k23
         .spawn(&mut kernel, "/usr/bin/ls-sim", &["ls".into()], &[])
         .expect("spawn under K23");

@@ -34,7 +34,7 @@ fn main() {
     evil.finish().install(&mut kernel.vfs);
 
     let k23 = K23::new(Variant::UltraPlus);
-    k23.prepare(&mut kernel);
+    k23.install(&mut kernel);
     let pid = k23
         .spawn(&mut kernel, "/usr/bin/evil", &[], &[])
         .expect("spawn");
@@ -63,7 +63,7 @@ fn main() {
     laundry.finish().install(&mut kernel.vfs);
 
     let k23 = K23::new(Variant::UltraPlus);
-    k23.prepare(&mut kernel);
+    k23.install(&mut kernel);
     let pid = k23
         .spawn(&mut kernel, "/usr/bin/laundry", &[], &[])
         .expect("spawn");

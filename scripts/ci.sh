@@ -19,4 +19,9 @@ cargo run --release -q -p bench --bin simtrace -- \
     --trace-out target/SIMTRACE_smoke.json \
     --summary-out target/SIMTRACE_smoke.txt
 
+echo "==> simfault smoke (fault matrix, byte-determinism check)"
+cargo run --release -q -p bench --bin simfault -- --smoke > target/SIMFAULT_smoke_a.txt
+cargo run --release -q -p bench --bin simfault -- --smoke > target/SIMFAULT_smoke_b.txt
+cmp target/SIMFAULT_smoke_a.txt target/SIMFAULT_smoke_b.txt
+
 echo "==> ci.sh: all green"

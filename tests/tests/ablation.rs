@@ -21,7 +21,7 @@ fn byte_scan_is_superset_on_clean_code() {
         let mut k = boot_kernel();
         apps::install_world(&mut k.vfs);
         let z = zp(scan);
-        z.prepare(&mut k);
+        z.install(&mut k);
         let pid = z.spawn(&mut k, "/usr/bin/pwd-sim", &[], &[]).unwrap();
         k.run(1_000_000_000_000);
         let p = k.process(pid).unwrap();
@@ -38,7 +38,7 @@ fn byte_scan_corrupts_embedded_data() {
     let mut k = boot_kernel();
     pitfalls::install_pocs(&mut k.vfs);
     let z = zp(ScanStrategy::ByteScan);
-    z.prepare(&mut k);
+    z.install(&mut k);
     let pid = z.spawn(&mut k, "/usr/bin/p3a-poc", &[], &[]).unwrap();
     k.run(1_000_000_000_000);
     let p = k.process(pid).unwrap();

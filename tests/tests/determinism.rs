@@ -1,21 +1,29 @@
 //! Determinism regression: the block-based fast engine must be
 //! instruction-for-instruction identical to the retained per-step oracle
-//! ([`Kernel::set_stepwise`]) — same rips, same cycle stamps, same events,
+//! (`EngineConfig::stepwise()`) — same rips, same cycle stamps, same events,
 //! same scheduler interleaving — even for a multi-core self-modifying-code
 //! guest that exercises every P5 icache hazard the simulator models.
 
 use std::rc::Rc;
 
 use k23_tests::{smc_guest, RwxLoader};
-use sim_kernel::{Kernel, RunExit, TraceEntry};
+use sim_kernel::{EngineConfig, Kernel, RunExit, TraceEntry};
 use sim_loader::boot_kernel;
+
+fn engine_cfg(stepwise: bool) -> EngineConfig {
+    if stepwise {
+        EngineConfig::stepwise()
+    } else {
+        EngineConfig::new()
+    }
+}
 
 /// Run the SMC guest under one engine, returning the full execution trace,
 /// final clock, and exit status.
 fn run_smc(stepwise: bool) -> (Vec<TraceEntry>, u64, Option<i64>) {
     let (code, imm_addr) = smc_guest();
     let mut k = Kernel::new();
-    k.set_stepwise(stepwise);
+    k.configure(engine_cfg(stepwise));
     k.set_loader(Rc::new(RwxLoader(code)));
     let pid = k.spawn("/bin/smc", &[], &[], None).expect("spawn");
     // A deferred (torn) write to the same immediate exercises the
@@ -53,7 +61,7 @@ fn block_engine_trace_matches_stepwise_oracle() {
 fn engines_agree_on_real_application() {
     let run = |stepwise: bool| {
         let mut k = boot_kernel();
-        k.set_stepwise(stepwise);
+        k.configure(engine_cfg(stepwise));
         apps::install_world(&mut k.vfs);
         let pid = k
             .spawn("/usr/bin/ls-sim", &["/usr/bin/ls-sim".to_string()], &[], None)

@@ -30,7 +30,7 @@ fn coreutils_output_identical_under_all_interposers() {
         for ip in interposers() {
             let mut k = boot_kernel();
             apps::install_world(&mut k.vfs);
-            ip.prepare(&mut k);
+            ip.install(&mut k);
             let pid = ip
                 .spawn(&mut k, app, &[app.to_string()], &[])
                 .unwrap_or_else(|e| panic!("{app} under {}: {e}", ip.label()));
@@ -53,7 +53,7 @@ fn identical_runs_produce_identical_clocks() {
         let mut k = boot_kernel();
         apps::install_world(&mut k.vfs);
         let ip = K23::new(Variant::Ultra);
-        ip.prepare(&mut k);
+        ip.install(&mut k);
         let pid = ip.spawn(&mut k, "/usr/bin/ls-sim", &[], &[]).unwrap();
         k.run(1_000_000_000_000);
         (k.clock, k.process(pid).unwrap().stats.syscalls)
@@ -72,7 +72,7 @@ fn k23_full_pipeline_on_cat() {
     assert_eq!(log.len(), 11, "cat's Table 2 site count");
 
     let k23 = K23::new(Variant::UltraPlus);
-    k23.prepare(&mut k);
+    k23.install(&mut k);
     let pid = k23.spawn(&mut k, "/usr/bin/cat-sim", &[], &[]).unwrap();
     k.run(1_000_000_000_000);
     let p = k.process(pid).unwrap();
@@ -88,7 +88,7 @@ fn ptrace_trace_is_complete() {
     let mut k = boot_kernel();
     apps::install_world(&mut k.vfs);
     let ip = PtraceInterposer::new();
-    ip.prepare(&mut k);
+    ip.install(&mut k);
     let pid = ip.spawn(&mut k, "/usr/bin/clear-sim", &[], &[]).unwrap();
     k.run(1_000_000_000_000);
     let p = k.process(pid).unwrap();

@@ -16,7 +16,7 @@ use interpose::{Interposer, PtraceInterposer, SudInterposer};
 use k23::{OfflineSession, Variant, K23};
 use k23_tests::{smc_guest, smc_guest_param, RwxLoader};
 use proptest::prelude::*;
-use sim_kernel::{Kernel, RunExit};
+use sim_kernel::{EngineConfig, Kernel, RunExit};
 use sim_loader::boot_kernel;
 use sim_obs::ObsConfig;
 
@@ -32,7 +32,11 @@ fn run_smc_traced(
         sim_obs::enable(cfg);
     }
     let mut k = Kernel::new();
-    k.set_stepwise(stepwise);
+    k.configure(if stepwise {
+        EngineConfig::stepwise()
+    } else {
+        EngineConfig::new()
+    });
     k.set_loader(Rc::new(RwxLoader(code)));
     let pid = k.spawn("/bin/smc", &[], &[], None).expect("spawn");
     k.defer_write_u8(pid, imm_addr, 7, 40_000);
@@ -117,7 +121,7 @@ fn sud_run_emits_sigsys_and_selector_flips() {
     build_micro_app().install(&mut k.vfs);
     k.vfs.write_file(MICRO_CFG, &n.to_le_bytes()).expect("cfg");
     sim_obs::enable(ObsConfig::default());
-    ip.prepare(&mut k);
+    ip.install(&mut k);
     let pid = ip.spawn(&mut k, MICRO_APP, &[], &[]).expect("spawn");
     let exit = k.run(u64::MAX / 4);
     let rec = sim_obs::disable().expect("recorder");
@@ -158,7 +162,7 @@ fn k23_run_attributes_forwarded_syscalls() {
     k.vfs.write_file(MICRO_CFG, &n.to_le_bytes()).expect("cfg");
     let ip = K23::new(Variant::Default);
     sim_obs::enable(ObsConfig::default());
-    ip.prepare(&mut k);
+    ip.install(&mut k);
     let pid = ip.spawn(&mut k, MICRO_APP, &[], &[]).expect("spawn");
     let exit = k.run(u64::MAX / 4);
     let rec = sim_obs::disable().expect("recorder");
