@@ -98,6 +98,7 @@ impl Interposer for K23 {
         let stats = self.stats.clone();
         k.register_hostcall("__host_k23_init", move |k, pid, _tid| {
             k23_init(k, pid, variant, &stats);
+            interpose::register_handler_span(k, pid, K23_LIB, variant.label());
         });
 
         // Fast-path prctl guard: abort on any attempt to reconfigure SUD

@@ -112,6 +112,33 @@ impl Interposer for Native {
     }
 }
 
+/// Registers the handler library's mapped extent as a profiler span
+/// range (`"<label>/handler"`), so sampled time spent inside the
+/// interposition handler is attributed to the mechanism on the
+/// critical-path table. Called from each interposer's init hostcall,
+/// once the library is mapped; a no-op when observability is off and
+/// idempotent across repeated init calls.
+pub fn register_handler_span(k: &Kernel, pid: Pid, lib_path: &str, label: &str) {
+    if !sim_obs::enabled() {
+        return;
+    }
+    let Some(p) = k.process(pid) else {
+        return;
+    };
+    let base = lib_path.rsplit('/').next().unwrap_or(lib_path);
+    let mut lo = u64::MAX;
+    let mut hi = 0u64;
+    for m in p.space.mappings() {
+        if m.name.rsplit('/').next().unwrap_or(&m.name) == base {
+            lo = lo.min(m.start);
+            hi = hi.max(m.end);
+        }
+    }
+    if lo < hi {
+        sim_obs::register_span_range(pid, lo, hi, &format!("{label}/handler"));
+    }
+}
+
 /// Adds (or extends) `LD_PRELOAD` in an environment vector.
 pub fn env_with_preload(env: &[String], lib: &str) -> Vec<String> {
     let mut out = Vec::with_capacity(env.len() + 1);

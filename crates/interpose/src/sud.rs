@@ -111,8 +111,10 @@ impl Interposer for SudInterposer {
     fn install(&self, k: &mut Kernel) {
         self.build_lib().install(&mut k.vfs);
         sim_obs::register_region_path(SUD_LIB, &self.label());
-        k.register_hostcall("__host_sud_mark_live", |k, pid, _tid| {
+        let label = self.label();
+        k.register_hostcall("__host_sud_mark_live", move |k, pid, _tid| {
             k.mark_interposer_live(pid);
+            crate::register_handler_span(k, pid, SUD_LIB, &label);
         });
     }
 

@@ -182,6 +182,7 @@ impl Interposer for Lazypoline {
             zpoline::install_trampoline(k, pid, handler, "[lazypoline-trampoline]");
             // P4a: *no* NULL-execution check is installed.
             k.mark_interposer_live(pid);
+            interpose::register_handler_span(k, pid, LAZYPOLINE_LIB, "lazypoline");
         });
         let state2 = self.state.clone();
         let window = self.torn_window;

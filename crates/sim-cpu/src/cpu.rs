@@ -763,6 +763,11 @@ impl Cpu {
             cycles += s.cycles;
             inst = s.inst;
             on_step(rip_before, &s);
+            if obs {
+                // Post-step clock and RIP: identical to the stepwise
+                // engine's per-step hook, so range-span streams match.
+                sim_obs::span_step(clock + cycles, self.rip);
+            }
             match s.event {
                 StepEvent::Executed => {
                     if matches!(s.inst, Some(Inst::Vsyscall)) {

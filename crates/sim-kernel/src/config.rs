@@ -47,6 +47,8 @@ pub struct EngineConfig {
     pub icache: IcacheMode,
     /// Fault-injection plan, if any.
     pub fault: Option<FaultPlan>,
+    /// Profiler sample period in retired instructions, if sampling.
+    pub profile: Option<u64>,
 }
 
 impl EngineConfig {
@@ -89,6 +91,14 @@ impl EngineConfig {
         self.fault = Some(plan);
         self
     }
+
+    /// Enables the deterministic sampling profiler: one sample every
+    /// `period` retired instructions (clamped to ≥ 1). Samples land at
+    /// identical architectural boundaries under both engines.
+    pub fn profile(mut self, period: u64) -> EngineConfig {
+        self.profile = Some(period.max(1));
+        self
+    }
 }
 
 /// Kernel-side state for applying one [`FaultPlan`].
@@ -109,6 +119,36 @@ pub(crate) struct FaultSession {
     pub restores: Vec<(u64, Pid, u64, Perms)>,
     /// Scheduling round counter (drives [`FaultPlan::sched_rotation`]).
     pub round: u64,
+}
+
+/// Kernel-side state for the sampling profiler: like [`FaultSession`],
+/// it counts retired instructions (engine-invariant) and caps block
+/// budgets so sample boundaries land at identical architectural
+/// instructions under both engines.
+pub(crate) struct ProfSession {
+    /// Sample period in retired instructions (≥ 1).
+    pub period: u64,
+    /// Retired guest instructions.
+    pub retired: u64,
+    /// Next sample boundary (strictly greater than the last one taken).
+    pub next: u64,
+}
+
+impl ProfSession {
+    pub fn new(period: u64) -> ProfSession {
+        let period = period.max(1);
+        ProfSession {
+            period,
+            retired: 0,
+            next: period,
+        }
+    }
+
+    /// True when the boundary is reached; the caller takes the sample
+    /// and advances [`ProfSession::next`].
+    pub fn due(&self) -> bool {
+        self.retired >= self.next
+    }
 }
 
 impl FaultSession {

@@ -2,7 +2,7 @@
 //! and process lifecycle. Syscall implementations live in the private
 //! `sys` module.
 
-use crate::config::{Engine, EngineConfig, FaultSession};
+use crate::config::{Engine, EngineConfig, FaultSession, ProfSession};
 use crate::net::Net;
 use crate::nr;
 use crate::process::{FdEntry, Pid, Process, SeccompAction, SigAction, Thread, ThreadState, Tid, Wait};
@@ -149,6 +149,8 @@ pub struct Kernel {
     mem_mode: MemMode,
     /// Live fault-injection session, when configured.
     fault: Option<FaultSession>,
+    /// Live sampling-profiler session, when configured.
+    prof: Option<ProfSession>,
     /// When `Some`, every step is recorded (both scheduler modes).
     exec_trace: Option<Vec<TraceEntry>>,
 }
@@ -179,6 +181,7 @@ impl Kernel {
             icache: IcacheMode::Revalidate,
             mem_mode: MemMode::PageRun,
             fault: None,
+            prof: None,
             exec_trace: None,
         }
     }
@@ -193,9 +196,16 @@ impl Kernel {
         self.icache = cfg.icache;
         self.mem_mode = cfg.mem;
         self.fault = cfg.fault.map(FaultSession::new);
+        self.prof = cfg.profile.map(ProfSession::new);
         for p in self.procs.values_mut() {
             p.space.set_mem_mode(cfg.mem);
         }
+    }
+
+    /// Retired-instruction count of the profiler session (0 when not
+    /// profiling) — the engine-invariant workload size simprof gates on.
+    pub fn prof_retired(&self) -> u64 {
+        self.prof.as_ref().map_or(0, |p| p.retired)
     }
 
     /// The active fault-injection plan, if one was configured (replay
@@ -327,11 +337,21 @@ impl Kernel {
     /// `ESRCH`/`EFAULT`-or-nothing contract).
     #[allow(clippy::result_unit_err)]
     pub fn tr_read(&mut self, pid: Pid, addr: u64, len: usize) -> Result<Vec<u8>, ()> {
+        let obs = sim_obs::enabled();
+        if obs {
+            sim_obs::span_enter(self.clock, "ptrace/peek");
+        }
         self.charge(self.cost.ptrace_op);
-        let p = self.procs.get_mut(&pid).ok_or(())?;
-        let mut buf = vec![0u8; len];
-        p.space.read_raw(addr, &mut buf).map_err(|_| ())?;
-        Ok(buf)
+        let res = (|| {
+            let p = self.procs.get_mut(&pid).ok_or(())?;
+            let mut buf = vec![0u8; len];
+            p.space.read_raw(addr, &mut buf).map_err(|_| ())?;
+            Ok(buf)
+        })();
+        if obs {
+            sim_obs::span_exit(self.clock);
+        }
+        res
     }
 
     /// Tracer memory write (`process_vm_writev`-style; charged).
@@ -341,20 +361,45 @@ impl Kernel {
     /// `Err(())` on unmapped addresses or dead pid.
     #[allow(clippy::result_unit_err)]
     pub fn tr_write(&mut self, pid: Pid, addr: u64, data: &[u8]) -> Result<(), ()> {
+        let obs = sim_obs::enabled();
+        if obs {
+            sim_obs::span_enter(self.clock, "ptrace/poke");
+        }
         self.charge(self.cost.ptrace_op);
-        let p = self.procs.get_mut(&pid).ok_or(())?;
-        p.space.write_raw(addr, data).map_err(|_| ())
+        let res = match self.procs.get_mut(&pid) {
+            Some(p) => p.space.write_raw(addr, data).map_err(|_| ()),
+            None => Err(()),
+        };
+        if obs {
+            sim_obs::span_exit(self.clock);
+        }
+        res
     }
 
     /// Tracer register snapshot (PTRACE_GETREGS; charged).
     pub fn tr_getregs(&mut self, pid: Pid, tid: Tid) -> Option<Cpu> {
+        let obs = sim_obs::enabled();
+        if obs {
+            sim_obs::span_enter(self.clock, "ptrace/regs");
+        }
         self.charge(self.cost.ptrace_op);
-        self.procs.get(&pid)?.thread(tid).map(|t| t.cpu.clone())
+        let res = self.procs.get(&pid).and_then(|p| p.thread(tid)).map(|t| t.cpu.clone());
+        if obs {
+            sim_obs::span_exit(self.clock);
+        }
+        res
     }
 
     /// Tracer register write-back (PTRACE_SETREGS; charged).
     pub fn tr_setregs(&mut self, pid: Pid, tid: Tid, cpu: Cpu) {
+        let obs = sim_obs::enabled();
+        if obs {
+            sim_obs::span_enter(self.clock, "ptrace/regs");
+        }
         self.charge(self.cost.ptrace_op);
+        if obs {
+            sim_obs::span_exit(self.clock);
+        }
         if let Some(t) = self.procs.get_mut(&pid).and_then(|p| p.thread_mut(tid)) {
             t.cpu = cpu;
         }
@@ -362,8 +407,19 @@ impl Kernel {
 
     /// Tracer NUL-terminated string read (charged).
     pub fn tr_read_cstr(&mut self, pid: Pid, addr: u64) -> Option<String> {
+        let obs = sim_obs::enabled();
+        if obs {
+            sim_obs::span_enter(self.clock, "ptrace/peek");
+        }
         self.charge(self.cost.ptrace_op);
-        self.procs.get_mut(&pid)?.space.read_cstr(addr).ok()
+        let res = self
+            .procs
+            .get_mut(&pid)
+            .and_then(|p| p.space.read_cstr(addr).ok());
+        if obs {
+            sim_obs::span_exit(self.clock);
+        }
+        res
     }
 
     // ---- deferred writes (P5 torn-rewrite modeling) ------------------------
@@ -472,6 +528,7 @@ impl Kernel {
             p.vdso_base = img.vdso_base;
             p.symbols = img.symbols;
             p.lib_bases = img.lib_bases;
+            p.symcache = None;
             tid
         };
 
@@ -628,11 +685,20 @@ impl Kernel {
             return TracerAction::Continue;
         }
         let tracer = slot.tracer.clone();
+        let obs = sim_obs::enabled();
+        if obs {
+            // Whole round-trip span: switch-out, tracer work (nesting its
+            // own peek/poke/regs spans), switch back in.
+            sim_obs::span_enter(self.clock, &format!("ptrace/stop-{}", stop.kind_name()));
+        }
         self.charge(2 * self.cost.context_switch);
-        if sim_obs::enabled() {
+        if obs {
             sim_obs::tracer_stop(self.clock, stop.kind_name());
         }
         let action = tracer.borrow_mut().on_stop(self, pid, tid, &stop);
+        if obs {
+            sim_obs::span_exit(self.clock);
+        }
         match action {
             TracerAction::Detach => {
                 self.tracers.remove(&pid);
@@ -845,6 +911,78 @@ impl Kernel {
         }
     }
 
+    /// Caps an execution budget so the engine stops exactly at the next
+    /// profiler sample boundary; both engines then sample at the
+    /// identical architectural instruction. No-op when not profiling, so
+    /// block execution is untouched in ordinary runs.
+    fn prof_capped(&self, budget: u64) -> u64 {
+        match &self.prof {
+            Some(ps) => budget.min(ps.next.saturating_sub(ps.retired).max(1)),
+            None => budget,
+        }
+    }
+
+    /// Credits retired instructions to the profiler session and takes a
+    /// sample when a boundary is reached. Sampling reads guest state but
+    /// never writes it and charges no cycles: the profiled run's clock
+    /// stream is identical to the unprofiled one.
+    fn prof_retire_and_sample(&mut self, pid: Pid, tid: Tid, steps: u64) {
+        let Some(ps) = self.prof.as_mut() else {
+            return;
+        };
+        ps.retired += steps;
+        let mut due = false;
+        while ps.due() {
+            ps.next += ps.period;
+            due = true;
+        }
+        if due && sim_obs::enabled() {
+            self.take_prof_sample(pid, tid);
+        }
+    }
+
+    /// Captures one profiler sample: the post-step RIP plus a
+    /// conservative return-address scan of the guest stack (values in
+    /// the first [`Self::PROF_SCAN_SLOTS`] stack slots that point into
+    /// executable mappings), symbolized against the process's image maps.
+    fn take_prof_sample(&mut self, pid: Pid, tid: Tid) {
+        const MAX_FRAMES: usize = 16;
+        let clock = self.clock;
+        let Some(p) = self.procs.get_mut(&pid) else {
+            return;
+        };
+        let Some((rip, rsp)) = p
+            .threads
+            .iter()
+            .find(|t| t.tid == tid)
+            .map(|t| (t.cpu.rip, t.cpu.get(Reg::Rsp)))
+        else {
+            return;
+        };
+        let mut addrs = vec![rip];
+        for i in 0..Self::PROF_SCAN_SLOTS {
+            if addrs.len() >= MAX_FRAMES {
+                break;
+            }
+            let Some(at) = rsp.checked_add(8 * i) else {
+                break;
+            };
+            let mut b = [0u8; 8];
+            if p.space.read_raw(at, &mut b).is_err() {
+                break;
+            }
+            let v = u64::from_le_bytes(b);
+            if v != 0 && p.space.mapping_at(v).is_some_and(|m| m.perms.executable()) {
+                addrs.push(v);
+            }
+        }
+        let frames = p.symbolize_frames(&addrs);
+        sim_obs::profile_sample(clock, &frames);
+    }
+
+    /// Stack slots scanned per sample by the return-address walker.
+    const PROF_SCAN_SLOTS: u64 = 64;
+
     /// Applies every injection due at the current boundary: permission
     /// restorations first, then new flips, then the asynchronous signal.
     /// The slice ends after a boundary fires (both engines agree on
@@ -965,7 +1103,7 @@ impl Kernel {
                 self.apply_fault_boundary(pid, tid);
                 return;
             }
-            let budget = self.fault_capped(remaining);
+            let budget = self.prof_capped(self.fault_capped(remaining));
             let clock = self.clock;
             let cost = self.cost;
             let mut trace = self.exec_trace.take();
@@ -1007,6 +1145,7 @@ impl Kernel {
             self.charge(block.cycles);
             remaining -= block.steps;
             self.fault_retire(block.steps);
+            self.prof_retire_and_sample(pid, tid, block.steps);
             if block.vdso_calls > 0 {
                 if let Some(p) = self.procs.get_mut(&pid) {
                     p.stats.vdso_calls += block.vdso_calls;
@@ -1077,6 +1216,14 @@ impl Kernel {
             };
             self.charge(step.cycles);
             self.fault_retire(1);
+            if sim_obs::enabled() {
+                // Post-step RIP, matching the per-step hook inside
+                // `run_block` — the range-span streams are identical.
+                if let Some(rip_after) = self.cpu_mut(pid, tid).map(|c| c.rip) {
+                    sim_obs::span_step(self.clock, rip_after);
+                }
+            }
+            self.prof_retire_and_sample(pid, tid, 1);
             if let Some(rec) = self.exec_trace.as_mut() {
                 rec.push(TraceEntry {
                     pid,
@@ -1236,6 +1383,7 @@ impl Kernel {
                         }
                         if obs {
                             sim_obs::sigsys(self.clock, nr_, site, nr::syscall_name(nr_));
+                            sim_obs::span_enter(self.clock, "sud/sigsys-deliver");
                         }
                         self.deliver_signal(
                             pid,
@@ -1247,6 +1395,9 @@ impl Kernel {
                                 ..SigInfo::default()
                             },
                         );
+                        if obs {
+                            sim_obs::span_exit(self.clock);
+                        }
                         return;
                     }
                     Some(_) => {}

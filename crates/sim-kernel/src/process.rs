@@ -303,6 +303,10 @@ pub struct Process {
     /// while the space generation is unchanged, so mapping churn can never
     /// yield stale attribution.
     pub(crate) region_cache: sim_cpu::FastMap<u64, (u64, String)>,
+    /// Lazily built address-sorted symbol table for profiler
+    /// symbolization, keyed by `symbols.len()` for invalidation and
+    /// explicitly cleared on exec.
+    pub(crate) symcache: Option<(usize, Vec<(u64, String)>)>,
 }
 
 impl Process {
@@ -337,6 +341,7 @@ impl Process {
             lib_bases: BTreeMap::new(),
             seccomp: None,
             region_cache: sim_cpu::FastMap::default(),
+            symcache: None,
         }
     }
 
@@ -375,6 +380,47 @@ impl Process {
     /// Captured output as lossy UTF-8.
     pub fn output_string(&self) -> String {
         String::from_utf8_lossy(&self.output).into_owned()
+    }
+
+    /// Symbolizes guest addresses for the profiler: the greatest symbol
+    /// at or below each address *within the same mapping*, else
+    /// `basename+0xoffset` of the containing mapping, else the raw
+    /// address. Names omit the intra-symbol offset so folded stacks
+    /// aggregate by function.
+    pub(crate) fn symbolize_frames(&mut self, addrs: &[u64]) -> Vec<String> {
+        let n = self.symbols.len();
+        if self.symcache.as_ref().map(|(k, _)| *k) != Some(n) {
+            let mut tab: Vec<(u64, String)> = self
+                .symbols
+                .iter()
+                .map(|(name, &addr)| (addr, name.clone()))
+                .collect();
+            tab.sort();
+            // Aliased addresses keep the alphabetically first name.
+            tab.dedup_by(|a, b| a.0 == b.0);
+            self.symcache = Some((n, tab));
+        }
+        let tab = &self.symcache.as_ref().expect("just built").1;
+        addrs
+            .iter()
+            .map(|&addr| {
+                let mapping = self.space.mapping_at(addr);
+                let idx = tab.partition_point(|e| e.0 <= addr);
+                if idx > 0 {
+                    let (sym_addr, name) = &tab[idx - 1];
+                    if mapping.is_none_or(|m| *sym_addr >= m.start) {
+                        return name.clone();
+                    }
+                }
+                match mapping {
+                    Some(m) => {
+                        let base = m.name.rsplit('/').next().unwrap_or(&m.name);
+                        format!("{}+{:#x}", base, addr - m.start)
+                    }
+                    None => format!("{addr:#x}"),
+                }
+            })
+            .collect()
     }
 }
 

@@ -8,15 +8,18 @@ use sjson::Value;
 use std::fmt::Write as _;
 
 impl Recorder {
-    /// All ring events merged into one deterministic order: stable sort
-    /// by `(clock, pid, tid)`, preserving per-ring insertion order.
+    /// All ring events merged into one deterministic order: sorted by
+    /// `(clock, pid, tid, seq)`. The recorder-wide sequence number breaks
+    /// clock ties, so a begin/end pair emitted at the same clock (e.g. a
+    /// zero-latency SyscallExit followed by the next SyscallEnter) keeps
+    /// its emission order regardless of which rings the events sat in.
     pub fn merged_events(&self) -> Vec<Event> {
         let mut evs: Vec<Event> = self
             .rings
             .values()
             .flat_map(|r| r.events.iter().copied())
             .collect();
-        evs.sort_by_key(|e| (e.clock, e.pid, e.tid));
+        evs.sort_by_key(|e| (e.clock, e.pid, e.tid, e.seq));
         evs
     }
 
@@ -160,6 +163,18 @@ impl Recorder {
                     ("addr", Value::UInt(addr)),
                     ("entries", Value::UInt(entries)),
                 ],
+            ),
+            EventKind::SpanEnter { stage } => (
+                "B",
+                self.stage_label(stage).to_string(),
+                "stage",
+                vec![],
+            ),
+            EventKind::SpanExit { stage, dur } => (
+                "E",
+                self.stage_label(stage).to_string(),
+                "stage",
+                vec![("dur", Value::UInt(dur))],
             ),
         };
         let mut pairs = vec![
@@ -318,11 +333,177 @@ impl Recorder {
         }
         s
     }
+
+    /// Profiler samples in folded-stack format (`a;b;c count` lines,
+    /// root first), the input format of flamegraph tooling. Aggregated
+    /// into a BTreeMap so the output is sorted and deterministic.
+    pub fn folded_stacks(&self) -> String {
+        let mut agg: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+        for sample in &self.samples {
+            let stack = sample
+                .frames
+                .iter()
+                .rev()
+                .map(|&f| self.frame_names[f as usize].as_str())
+                .collect::<Vec<_>>()
+                .join(";");
+            *agg.entry(stack).or_insert(0) += 1;
+        }
+        let mut s = String::new();
+        for (stack, n) in &agg {
+            let _ = writeln!(s, "{stack} {n}");
+        }
+        s
+    }
+
+    /// Per-stage cycle table decomposing interposer round-trips (paper
+    /// Tables 3/5): explicit spans, guest-range spans (trampolines,
+    /// handler regions), and the per-path `/kernel` stages, sorted by
+    /// stage name so each interposer's stages group together.
+    pub fn stage_table(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "per-stage critical path (sim-cycles):");
+        let _ = writeln!(
+            s,
+            "  {:<36} {:>8} {:>14} {:>10} {:>10}",
+            "stage", "count", "total", "mean", "max"
+        );
+        let mut rows: Vec<(&str, &Hist)> = self
+            .stage_cycles
+            .iter()
+            .map(|(id, h)| (self.stage_label(*id), h))
+            .collect();
+        rows.sort_by_key(|r| r.0);
+        for (stage, h) in rows {
+            let _ = writeln!(
+                s,
+                "  {:<36} {:>8} {:>14} {:>10.1} {:>10}",
+                stage,
+                h.count,
+                h.sum,
+                h.mean(),
+                h.max
+            );
+        }
+        s
+    }
+
+    /// Minimal flamegraph SVG built from the profiler samples: a trie of
+    /// frames drawn as stacked rects, widths proportional to sample
+    /// counts. Fully deterministic — colors are a pure hash of the frame
+    /// name; no randomness or wall time.
+    pub fn flamegraph_svg(&self) -> String {
+        struct Node {
+            children: std::collections::BTreeMap<String, Node>,
+            total: u64,
+        }
+        impl Node {
+            fn new() -> Node {
+                Node {
+                    children: std::collections::BTreeMap::new(),
+                    total: 0,
+                }
+            }
+            fn depth(&self) -> usize {
+                1 + self
+                    .children
+                    .values()
+                    .map(Node::depth)
+                    .max()
+                    .unwrap_or(0)
+            }
+        }
+        let mut root = Node::new();
+        for sample in &self.samples {
+            root.total += 1;
+            let mut node = &mut root;
+            for &f in sample.frames.iter().rev() {
+                let name = self.frame_names[f as usize].clone();
+                node = node.children.entry(name).or_insert_with(Node::new);
+                node.total += 1;
+            }
+        }
+        const W: f64 = 1200.0;
+        const ROW: usize = 16;
+        let rows = root.depth();
+        let height = (rows + 1) * ROW;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{W}\" height=\"{height}\" \
+             font-family=\"monospace\" font-size=\"11\">"
+        );
+        let _ = writeln!(
+            s,
+            "<text x=\"4\" y=\"12\">simprof flamegraph — {} samples (widths in samples, not wall time)</text>",
+            root.total
+        );
+        // FNV-1a of the frame name picks a stable warm hue.
+        fn color(name: &str) -> String {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            let r = 200 + (h % 56) as u8;
+            let g = 80 + ((h >> 8) % 120) as u8;
+            let b = 40 + ((h >> 16) % 40) as u8;
+            format!("rgb({r},{g},{b})")
+        }
+        fn draw(s: &mut String, node: &Node, x: f64, width: f64, depth: usize, root_total: u64) {
+            let mut cx = x;
+            for (name, child) in &node.children {
+                let w = width * child.total as f64 / node.total.max(1) as f64;
+                let y = (depth + 1) * ROW;
+                let _ = writeln!(
+                    s,
+                    "<rect x=\"{cx:.1}\" y=\"{y}\" width=\"{w:.1}\" height=\"{h}\" \
+                     fill=\"{fill}\" stroke=\"white\"><title>{name} ({n} of {t} samples)</title></rect>",
+                    h = ROW - 1,
+                    fill = color(name),
+                    n = child.total,
+                    t = root_total,
+                );
+                if w > 40.0 {
+                    let _ = writeln!(
+                        s,
+                        "<text x=\"{tx:.1}\" y=\"{ty}\">{label}</text>",
+                        tx = cx + 2.0,
+                        ty = y + ROW - 4,
+                        label = svg_escape_truncate(name, w),
+                    );
+                }
+                draw(s, child, cx, w, depth + 1, root_total);
+                cx += w;
+            }
+        }
+        draw(&mut s, &root, 0.0, W, 0, root.total);
+        let _ = writeln!(s, "</svg>");
+        s
+    }
+}
+
+/// Escapes XML specials and truncates to what fits in `width` pixels.
+fn svg_escape_truncate(name: &str, width: f64) -> String {
+    let max_chars = (width / 7.0) as usize;
+    let mut out = String::new();
+    for ch in name.chars().take(max_chars) {
+        match ch {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 #[cfg(test)]
 mod tests {
-    use crate::{disable, enable, syscall_enter, syscall_exit, tracer_stop, ObsConfig};
+    use crate::{
+        disable, enable, profile_sample, span_enter, span_exit, syscall_enter, syscall_exit,
+        tracer_stop, EventKind, ObsConfig,
+    };
 
     #[test]
     fn chrome_trace_round_trips_through_sjson() {
@@ -351,6 +532,76 @@ mod tests {
         );
         // Exporting twice is byte-identical (pure function of state).
         assert_eq!(json, rec.chrome_trace_json());
+    }
+
+    /// Zero-latency syscalls and back-to-back spans produce B/E events
+    /// at equal clocks; the seq tiebreak must keep every track's begin/
+    /// end stream properly paired (depth never goes negative).
+    #[test]
+    fn merged_events_keep_begin_end_pairs_ordered_at_equal_clocks() {
+        enable(ObsConfig::default());
+        crate::set_cpu(1, 1);
+        // Exit and the next enter share clock 100; two CPUs interleave.
+        syscall_enter(100, 0, 0x1000, "app", "read");
+        syscall_exit(100, 0, 0, "read");
+        crate::set_cpu(2, 1);
+        syscall_enter(100, 1, 0x2000, "app", "write");
+        syscall_exit(100, 1, 0, "write");
+        crate::set_cpu(1, 1);
+        syscall_enter(100, 2, 0x1000, "app", "close");
+        syscall_exit(100, 2, 0, "close");
+        span_enter(100, "stage-x");
+        span_exit(100);
+        let rec = disable().expect("recorder");
+        let mut depth: std::collections::BTreeMap<(u64, u64), i64> =
+            std::collections::BTreeMap::new();
+        let mut prev_key = (0, 0, 0, 0);
+        for e in rec.merged_events() {
+            let key = (e.clock, e.pid, e.tid, e.seq);
+            assert!(key > prev_key, "total order with seq tiebreak");
+            prev_key = key;
+            let d = depth.entry((e.pid, e.tid)).or_insert(0);
+            match e.kind {
+                EventKind::SyscallEnter { .. } | EventKind::SpanEnter { .. } => *d += 1,
+                EventKind::SyscallExit { .. } | EventKind::SpanExit { .. } => {
+                    *d -= 1;
+                    assert!(*d >= 0, "an E preceded its B on track {:?}", (e.pid, e.tid));
+                }
+                _ => {}
+            }
+        }
+        assert!(depth.values().all(|&d| d == 0), "all pairs closed");
+    }
+
+    #[test]
+    fn folded_stacks_and_flamegraph_are_deterministic() {
+        enable(ObsConfig::default());
+        crate::set_cpu(1, 1);
+        let a = vec!["app:main".to_string(), "app:_start".to_string()];
+        let b = vec![
+            "libk23.so:k23_handler".to_string(),
+            "app:main".to_string(),
+            "app:_start".to_string(),
+        ];
+        profile_sample(10, &a);
+        profile_sample(20, &b);
+        profile_sample(30, &a);
+        span_enter(5, "K23-default/handler");
+        span_exit(45);
+        let rec = disable().expect("recorder");
+        let folded = rec.folded_stacks();
+        assert_eq!(
+            folded,
+            "app:_start;app:main 2\napp:_start;app:main;libk23.so:k23_handler 1\n"
+        );
+        assert_eq!(folded, rec.folded_stacks(), "pure function of state");
+        let svg = rec.flamegraph_svg();
+        assert!(svg.starts_with("<svg "));
+        assert!(svg.contains("k23_handler"));
+        assert_eq!(svg, rec.flamegraph_svg());
+        let table = rec.stage_table();
+        assert!(table.contains("K23-default/handler"));
+        assert!(table.contains("40"), "span duration totalled");
     }
 
     #[test]

@@ -112,6 +112,12 @@ pub enum EventKind {
     IcacheRevalidate { rip: u64 },
     /// Microarchitectural: a store invalidated decoded instructions.
     IcacheInvalidate { addr: u64, entries: u64 },
+    /// A critical-path span opened. `stage` indexes [`Recorder::stages`];
+    /// emitted by an explicit [`span_enter`] or when execution entered a
+    /// guest-address range registered via [`register_span_range`].
+    SpanEnter { stage: u16 },
+    /// The matching span closed; `dur` is its length in sim-cycles.
+    SpanExit { stage: u16, dur: u64 },
 }
 
 /// An event stamped with the simulated clock and the simulated CPU
@@ -121,6 +127,10 @@ pub struct Event {
     pub clock: u64,
     pub pid: u64,
     pub tid: u64,
+    /// Recorder-wide insertion sequence number: a total order over all
+    /// rings. Exporters use it to break clock ties so a begin/end pair
+    /// emitted at the same clock can never be reordered.
+    pub seq: u64,
     pub kind: EventKind,
 }
 
@@ -200,7 +210,9 @@ impl Hist {
         let b = (64 - v.leading_zeros()) as usize;
         self.buckets[b] += 1;
         self.count += 1;
-        self.sum += v;
+        // Adversarial latencies (e.g. u64::MAX from injected faults) must
+        // not wrap the running sum in debug builds.
+        self.sum = self.sum.saturating_add(v);
         self.max = self.max.max(v);
     }
 
@@ -295,6 +307,17 @@ struct Pending {
     path: u16,
 }
 
+/// One profiler sample: the simulated clock, the CPU it was taken on,
+/// and the symbolized guest call stack, leaf first. Frames index
+/// [`Recorder::frame_names`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfSample {
+    pub clock: u64,
+    pub pid: u64,
+    pub tid: u64,
+    pub frames: Vec<u32>,
+}
+
 /// All state captured while tracing is enabled. Returned by [`disable`]
 /// for export; every field needed by exporters and tests is public.
 #[derive(Debug)]
@@ -307,8 +330,27 @@ pub struct Recorder {
     pub paths: Vec<String>,
     /// Per-path syscall latency histograms (sim-cycles, enter→exit).
     pub latency: BTreeMap<u16, Hist>,
+    /// Critical-path stage table; [`EventKind::SpanEnter`]'s `stage` and
+    /// the [`Recorder::stage_cycles`] keys index into it.
+    pub stages: Vec<String>,
+    /// Per-stage span-duration histograms (sim-cycles). Besides explicit
+    /// and range spans this also holds one `<path>/kernel` stage per
+    /// interposer path, fed from the syscall latency samples, so the
+    /// stage table decomposes a full round-trip.
+    pub stage_cycles: BTreeMap<u16, Hist>,
+    /// Profiler samples in capture order (the sample hook in sim-kernel
+    /// fires at deterministic retired-instruction boundaries).
+    pub samples: Vec<ProfSample>,
+    /// Interned symbolized frame names; [`ProfSample::frames`] indexes it.
+    pub frame_names: Vec<String>,
+    frame_ids: BTreeMap<String, u32>,
     pending: BTreeMap<(u64, u64), Pending>,
     last_selector: BTreeMap<(u64, u64), u8>,
+    /// Per-CPU stack of open explicit spans: `(stage, enter_clock)`.
+    span_stack: BTreeMap<(u64, u64), Vec<(u16, u64)>>,
+    /// Memoized `path id -> "<path>/kernel" stage id`.
+    kernel_stage_ids: BTreeMap<u16, u16>,
+    next_seq: u64,
 }
 
 impl Recorder {
@@ -319,13 +361,23 @@ impl Recorder {
             rings: BTreeMap::new(),
             paths: vec![DIRECT_PATH.to_string()],
             latency: BTreeMap::new(),
+            stages: Vec::new(),
+            stage_cycles: BTreeMap::new(),
+            samples: Vec::new(),
+            frame_names: Vec::new(),
+            frame_ids: BTreeMap::new(),
             pending: BTreeMap::new(),
             last_selector: BTreeMap::new(),
+            span_stack: BTreeMap::new(),
+            kernel_stage_ids: BTreeMap::new(),
+            next_seq: 0,
         }
     }
 
     fn record(&mut self, cpu: (u64, u64), clock: u64, kind: EventKind) {
         let cap = self.cfg.ring_capacity;
+        let seq = self.next_seq;
+        self.next_seq += 1;
         self.rings
             .entry(cpu)
             .or_insert_with(|| Ring::new(cap))
@@ -333,6 +385,7 @@ impl Recorder {
                 clock,
                 pid: cpu.0,
                 tid: cpu.1,
+                seq,
                 kind,
             });
     }
@@ -351,6 +404,42 @@ impl Recorder {
         self.paths.get(id as usize).map_or(DIRECT_PATH, |s| s)
     }
 
+    /// Index of `stage` in [`Recorder::stages`], interning it if new.
+    fn stage_id(&mut self, stage: &str) -> u16 {
+        if let Some(i) = self.stages.iter().position(|s| s == stage) {
+            return i as u16;
+        }
+        self.stages.push(stage.to_string());
+        (self.stages.len() - 1) as u16
+    }
+
+    /// Label for a stage id.
+    pub fn stage_label(&self, id: u16) -> &str {
+        self.stages.get(id as usize).map_or("?", |s| s)
+    }
+
+    /// Interned `<path>/kernel` stage for an interposer path id.
+    fn kernel_stage(&mut self, path: u16) -> u16 {
+        if let Some(&s) = self.kernel_stage_ids.get(&path) {
+            return s;
+        }
+        let name = format!("{}/kernel", self.path_label(path));
+        let id = self.stage_id(&name);
+        self.kernel_stage_ids.insert(path, id);
+        id
+    }
+
+    /// Index of `name` in [`Recorder::frame_names`], interning it if new.
+    fn frame_id(&mut self, name: &str) -> u32 {
+        if let Some(&i) = self.frame_ids.get(name) {
+            return i;
+        }
+        let i = self.frame_names.len() as u32;
+        self.frame_names.push(name.to_string());
+        self.frame_ids.insert(name.to_string(), i);
+        i
+    }
+
     pub fn total_events(&self) -> u64 {
         self.rings.values().map(|r| r.events.len() as u64).sum()
     }
@@ -363,6 +452,8 @@ impl Recorder {
         if let Some(p) = self.pending.remove(&cpu) {
             let latency = clock.saturating_sub(p.clock);
             self.latency.entry(p.path).or_default().record(latency);
+            let stage = self.kernel_stage(p.path);
+            self.stage_cycles.entry(stage).or_default().record(latency);
             self.record(
                 cpu,
                 clock,
@@ -378,6 +469,43 @@ impl Recorder {
     }
 }
 
+/// A registered guest-address range attributed to a named stage while
+/// any instruction inside it retires (see [`register_span_range`]).
+#[derive(Debug, Clone)]
+struct SpanRange {
+    pid: u64,
+    start: u64,
+    end: u64,
+    stage: String,
+}
+
+/// Cached containment interval for the per-step range-span check: the
+/// half-open `[lo, hi)` around the last observed RIP in which the stage
+/// answer cannot change, so consecutive steps cost three compares.
+#[derive(Debug, Clone, Copy)]
+struct SpanCur {
+    pid: u64,
+    tid: u64,
+    lo: u64,
+    hi: u64,
+    /// Inside a registered range (vs. in the gap between ranges).
+    in_range: bool,
+    stage: u16,
+    enter_clock: u64,
+}
+
+/// `pid == u64::MAX` plus an empty interval: never matches a real CPU,
+/// forcing the slow path to recompute.
+const SPAN_CUR_INVALID: SpanCur = SpanCur {
+    pid: u64::MAX,
+    tid: u64::MAX,
+    lo: 1,
+    hi: 0,
+    in_range: false,
+    stage: 0,
+    enter_clock: 0,
+};
+
 thread_local! {
     static ENABLED: Cell<bool> = const { Cell::new(false) };
     static CLOCK: Cell<u64> = const { Cell::new(0) };
@@ -387,6 +515,14 @@ thread_local! {
     /// enable/disable cycles so interposer `prepare()` may run before
     /// tracing starts.
     static REGION_PATHS: RefCell<Vec<(String, String)>> = const { RefCell::new(Vec::new()) };
+    /// Guest-address range → stage registrations ([`register_span_range`]).
+    /// Unlike `REGION_PATHS` these are pid-scoped and only ever registered
+    /// while recording, so [`enable`] clears them: stale ranges from a
+    /// previous kernel (pid numbering restarts) would mis-attribute — and
+    /// desynchronize the engines, since the fresh run's registrations land
+    /// mid-run while the stale ones cover it from instruction zero.
+    static SPAN_RANGES: RefCell<Vec<SpanRange>> = const { RefCell::new(Vec::new()) };
+    static SPAN_CUR: Cell<SpanCur> = const { Cell::new(SPAN_CUR_INVALID) };
 }
 
 /// Fast gate checked by every tracepoint; `false` unless [`enable`] is
@@ -401,6 +537,8 @@ pub fn enable(cfg: ObsConfig) {
     RECORDER.with(|r| *r.borrow_mut() = Some(Box::new(Recorder::new(cfg))));
     CLOCK.with(|c| c.set(0));
     CPU.with(|c| c.set((0, 0)));
+    SPAN_RANGES.with(|m| m.borrow_mut().clear());
+    SPAN_CUR.with(|c| c.set(SPAN_CUR_INVALID));
     ENABLED.with(|e| e.set(true));
 }
 
@@ -426,6 +564,47 @@ pub fn register_region_path(region: &str, label: &str) {
 /// Clears region registrations (test isolation helper).
 pub fn clear_region_paths() {
     REGION_PATHS.with(|m| m.borrow_mut().clear());
+}
+
+/// Attributes retired instructions inside `[start, end)` of guest `pid`
+/// to `stage` (e.g. a trampoline page or an interposer handler's text):
+/// [`span_step`] opens a span when execution enters the range and closes
+/// it when execution leaves, feeding [`Recorder::stage_cycles`].
+/// Idempotent per `(pid, start, end)`; cleared by the next [`enable`]
+/// (ranges are pid-scoped, so they never outlive a recording session).
+pub fn register_span_range(pid: u64, start: u64, end: u64, stage: &str) {
+    if start >= end {
+        return;
+    }
+    let inserted = SPAN_RANGES.with(|m| {
+        let mut m = m.borrow_mut();
+        if m.iter()
+            .any(|r| r.pid == pid && r.start == start && r.end == end)
+        {
+            return false;
+        }
+        m.push(SpanRange {
+            pid,
+            start,
+            end,
+            stage: stage.to_string(),
+        });
+        true
+    });
+    // Only a genuinely new range can change a containment answer; an
+    // idempotent re-registration must not disturb the cache (dropping it
+    // mid-range would orphan the open span's exit).
+    if inserted {
+        SPAN_CUR.with(|c| c.set(SPAN_CUR_INVALID));
+    }
+}
+
+/// Clears span-range registrations. [`enable`] does this automatically;
+/// this entry point exists for callers that want a clean table without
+/// (re)starting a recording session.
+pub fn clear_span_ranges() {
+    SPAN_RANGES.with(|m| m.borrow_mut().clear());
+    SPAN_CUR.with(|c| c.set(SPAN_CUR_INVALID));
 }
 
 fn basename(path: &str) -> &str {
@@ -652,6 +831,144 @@ pub fn ptrace_hook() {
         return;
     }
     with_rec(|r| r.counters.ptrace_hooks += 1);
+}
+
+// ---------------------------------------------------------------------
+// Critical-path spans and profiler samples (simprof).
+// ---------------------------------------------------------------------
+
+/// Opens an explicit nestable span named `stage` on the current CPU.
+/// Spans nest per CPU: each [`span_exit`] closes the innermost open one.
+#[inline]
+pub fn span_enter(clock: u64, stage: &str) {
+    if !enabled() {
+        return;
+    }
+    set_clock(clock);
+    let cpu = CPU.with(|c| c.get());
+    with_rec(|r| {
+        let id = r.stage_id(stage);
+        r.span_stack.entry(cpu).or_default().push((id, clock));
+        r.record(cpu, clock, EventKind::SpanEnter { stage: id });
+    });
+}
+
+/// Closes the innermost open explicit span on the current CPU, recording
+/// its duration into [`Recorder::stage_cycles`]. A stray exit with no
+/// open span is ignored.
+#[inline]
+pub fn span_exit(clock: u64) {
+    if !enabled() {
+        return;
+    }
+    set_clock(clock);
+    let cpu = CPU.with(|c| c.get());
+    with_rec(|r| {
+        if let Some((id, t0)) = r.span_stack.get_mut(&cpu).and_then(|s| s.pop()) {
+            let dur = clock.saturating_sub(t0);
+            r.stage_cycles.entry(id).or_default().record(dur);
+            r.record(cpu, clock, EventKind::SpanExit { stage: id, dur });
+        }
+    });
+}
+
+/// Per-retired-instruction hook driving the range spans registered via
+/// [`register_span_range`]: `rip` is the post-step instruction pointer.
+/// Both engines call it with identical `(clock, rip)` sequences, so the
+/// resulting span stream is architectural. The fast path (same CPU, RIP
+/// still inside the cached containment interval) is three compares.
+#[inline]
+pub fn span_step(clock: u64, rip: u64) {
+    if !enabled() {
+        return;
+    }
+    let (pid, tid) = CPU.with(|c| c.get());
+    let cur = SPAN_CUR.with(|c| c.get());
+    if pid == cur.pid && tid == cur.tid && rip >= cur.lo && rip < cur.hi {
+        return;
+    }
+    span_step_slow(clock, rip, pid, tid);
+}
+
+#[cold]
+fn span_step_slow(clock: u64, rip: u64, pid: u64, tid: u64) {
+    // Compute the containment interval around `rip` for this pid: the
+    // matching range, or the gap up to the nearest range boundaries so
+    // steps outside every range stay on the fast path too.
+    let (lo, hi, stage_name) = SPAN_RANGES.with(|m| {
+        let m = m.borrow();
+        let (mut lo, mut hi) = (0u64, u64::MAX);
+        let mut hit: Option<(u64, u64, String)> = None;
+        for r in m.iter().filter(|r| r.pid == pid) {
+            if rip >= r.start && rip < r.end {
+                hit = Some((r.start, r.end, r.stage.clone()));
+            } else if r.end <= rip {
+                lo = lo.max(r.end);
+            } else {
+                hi = hi.min(r.start);
+            }
+        }
+        match hit {
+            Some((s, e, n)) => (s, e, Some(n)),
+            None => (lo, hi, None),
+        }
+    });
+    let prev = SPAN_CUR.with(|c| c.get());
+    with_rec(|r| {
+        // Leaving a range (or being preempted inside one) closes its
+        // span; the next entry opens a fresh one, so descheduled time is
+        // never charged to a stage.
+        if prev.pid != u64::MAX && prev.in_range {
+            let dur = clock.saturating_sub(prev.enter_clock);
+            r.stage_cycles.entry(prev.stage).or_default().record(dur);
+            r.record(
+                (prev.pid, prev.tid),
+                clock,
+                EventKind::SpanExit {
+                    stage: prev.stage,
+                    dur,
+                },
+            );
+        }
+        let (in_range, stage) = match &stage_name {
+            Some(n) => {
+                let id = r.stage_id(n);
+                r.record((pid, tid), clock, EventKind::SpanEnter { stage: id });
+                (true, id)
+            }
+            None => (false, 0),
+        };
+        SPAN_CUR.with(|c| {
+            c.set(SpanCur {
+                pid,
+                tid,
+                lo,
+                hi,
+                in_range,
+                stage,
+                enter_clock: clock,
+            })
+        });
+    });
+}
+
+/// Stores one profiler sample: `frames` is the symbolized guest call
+/// stack, leaf first, interned into [`Recorder::frame_names`].
+pub fn profile_sample(clock: u64, frames: &[String]) {
+    if !enabled() {
+        return;
+    }
+    set_clock(clock);
+    let cpu = CPU.with(|c| c.get());
+    with_rec(|r| {
+        let frames = frames.iter().map(|f| r.frame_id(f)).collect();
+        r.samples.push(ProfSample {
+            clock,
+            pid: cpu.0,
+            tid: cpu.1,
+            frames,
+        });
+    });
 }
 
 // ---------------------------------------------------------------------
@@ -884,5 +1201,165 @@ mod tests {
         assert_eq!(h.buckets[10], 1);
         assert_eq!(h.quantile(0.5), 3);
         assert_eq!(h.quantile(1.0), 1023);
+    }
+
+    #[test]
+    fn hist_quantile_of_empty_hist_is_zero() {
+        let h = Hist::default();
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.quantile(1.0), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn hist_zero_lands_in_bucket_zero() {
+        let mut h = Hist::default();
+        h.record(0);
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.quantile(1.0), 0);
+        assert_eq!(h.max, 0);
+    }
+
+    #[test]
+    fn hist_umax_lands_in_bucket_64_and_never_wraps_sum() {
+        let mut h = Hist::default();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.buckets[64], 2);
+        assert_eq!(h.quantile(0.5), u64::MAX);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+        // Two MAX samples would wrap a plain `+=`; the sum saturates.
+        assert_eq!(h.sum, u64::MAX);
+        assert_eq!(h.max, u64::MAX);
+    }
+
+    #[test]
+    fn events_carry_monotonic_sequence_numbers() {
+        enable(ObsConfig::default());
+        context_switch(5, 1, 1);
+        context_switch(5, 2, 1);
+        context_switch(5, 1, 1);
+        let rec = disable().expect("recorder");
+        let mut seqs: Vec<u64> = rec
+            .rings
+            .values()
+            .flat_map(|r| r.events.iter().map(|e| e.seq))
+            .collect();
+        seqs.sort_unstable();
+        assert_eq!(seqs, vec![0, 1, 2], "global order across rings");
+    }
+
+    #[test]
+    fn explicit_spans_nest_per_cpu() {
+        enable(ObsConfig::default());
+        set_cpu(1, 1);
+        span_enter(100, "ptrace/stop");
+        span_enter(110, "ptrace/peek");
+        span_exit(130); // closes peek: 20 cycles
+        span_exit(200); // closes stop: 100 cycles
+        span_exit(210); // stray: ignored
+        let rec = disable().expect("recorder");
+        assert_eq!(rec.stages, vec!["ptrace/stop", "ptrace/peek"]);
+        assert_eq!(rec.stage_cycles[&0].sum, 100);
+        assert_eq!(rec.stage_cycles[&1].sum, 20);
+        let evs = &rec.rings[&(1, 1)].events;
+        assert!(matches!(evs[0].kind, EventKind::SpanEnter { stage: 0 }));
+        assert!(matches!(evs[1].kind, EventKind::SpanEnter { stage: 1 }));
+        assert!(matches!(
+            evs[2].kind,
+            EventKind::SpanExit { stage: 1, dur: 20 }
+        ));
+        assert!(matches!(
+            evs[3].kind,
+            EventKind::SpanExit {
+                stage: 0,
+                dur: 100
+            }
+        ));
+        assert_eq!(evs.len(), 4, "the stray exit emitted nothing");
+    }
+
+    #[test]
+    fn range_spans_open_and_close_on_boundary_crossings() {
+        enable(ObsConfig::default());
+        register_span_range(1, 0x1000, 0x2000, "zpoline-trampoline");
+        set_cpu(1, 1);
+        span_step(10, 0x400); // outside
+        span_step(20, 0x1000); // enter
+        span_step(30, 0x1ff0); // inside: fast path, no event
+        span_step(40, 0x2000); // exit: 20 cycles in range
+        span_step(50, 0x3000); // outside: fast path
+        let rec = disable().expect("recorder");
+        clear_span_ranges();
+        let id = rec
+            .stages
+            .iter()
+            .position(|s| s == "zpoline-trampoline")
+            .expect("stage interned") as u16;
+        let h = &rec.stage_cycles[&id];
+        assert_eq!(h.count, 1);
+        assert_eq!(h.sum, 20);
+        let evs = &rec.rings[&(1, 1)].events;
+        assert_eq!(evs.len(), 2, "one enter + one exit");
+        assert!(matches!(evs[0].kind, EventKind::SpanEnter { stage } if stage == id));
+        assert!(matches!(evs[1].kind, EventKind::SpanExit { stage, dur: 20 } if stage == id));
+    }
+
+    #[test]
+    fn range_spans_split_at_cpu_switches() {
+        enable(ObsConfig::default());
+        register_span_range(1, 0x1000, 0x2000, "handler");
+        set_cpu(1, 1);
+        span_step(10, 0x1100); // enter on (1,1)
+        set_cpu(1, 2);
+        span_step(30, 0x5000); // other thread outside: closes (1,1)'s span
+        set_cpu(1, 1);
+        span_step(40, 0x1200); // re-enter
+        span_step(60, 0x9000); // exit
+        let rec = disable().expect("recorder");
+        clear_span_ranges();
+        let h = &rec.stage_cycles[&0];
+        assert_eq!(h.count, 2, "span split at the switch");
+        assert_eq!(h.sum, (30 - 10) + (60 - 40));
+        // The split exit is attributed to the CPU that owned the span.
+        assert_eq!(rec.rings[&(1, 1)].events.len(), 4);
+        assert!(!rec.rings.contains_key(&(1, 2)));
+    }
+
+    #[test]
+    fn profile_samples_intern_frames() {
+        enable(ObsConfig::default());
+        set_cpu(1, 1);
+        let stack_a = vec!["app:main".to_string(), "libc.so:_start".to_string()];
+        let stack_b = vec!["app:helper".to_string(), "libc.so:_start".to_string()];
+        profile_sample(100, &stack_a);
+        profile_sample(200, &stack_b);
+        profile_sample(300, &stack_a);
+        let rec = disable().expect("recorder");
+        assert_eq!(rec.samples.len(), 3);
+        assert_eq!(
+            rec.frame_names,
+            vec!["app:main", "libc.so:_start", "app:helper"]
+        );
+        assert_eq!(rec.samples[0].frames, vec![0, 1]);
+        assert_eq!(rec.samples[1].frames, vec![2, 1]);
+        assert_eq!(rec.samples[2].frames, vec![0, 1]);
+    }
+
+    #[test]
+    fn syscall_latency_feeds_kernel_stage() {
+        enable(ObsConfig::default());
+        set_cpu(1, 1);
+        syscall_enter(100, 0, 0x7000, "app", "read");
+        syscall_exit(340, 0, 5, "read");
+        let rec = disable().expect("recorder");
+        let id = rec
+            .stages
+            .iter()
+            .position(|s| s == "direct/kernel")
+            .expect("kernel stage") as u16;
+        assert_eq!(rec.stage_cycles[&id].sum, 240);
     }
 }

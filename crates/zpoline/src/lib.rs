@@ -184,6 +184,13 @@ pub fn install_trampoline(k: &mut Kernel, pid: Pid, handler_addr: u64, region_na
     for t in &mut p.threads {
         t.cpu.pkru.set_access_disable(key, true);
     }
+    // Single choke point for every trampoline user (zpoline, lazypoline,
+    // K23): attribute sampled time on the page-0 sled to the mechanism's
+    // trampoline stage on the critical-path table.
+    if sim_obs::enabled() {
+        let stage = region_name.trim_matches(['[', ']']);
+        sim_obs::register_span_range(pid, 0, PAGE_SIZE, stage);
+    }
 }
 
 /// Rewrites one two-byte syscall site to `callq *%rax`, saving and restoring
@@ -330,6 +337,8 @@ fn zpoline_init(
         s.bitmap_resident = p.space.resident_bytes_in(BITMAP_BASE, BITMAP_BASE + BITMAP_LEN);
     }
     k.mark_interposer_live(pid);
+    let label = if null_check { "zpoline-ultra" } else { "zpoline-default" };
+    interpose::register_handler_span(k, pid, ZPOLINE_LIB, label);
 }
 
 #[cfg(test)]

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Profiler bench regression gate: re-measure every (workload, interposer)
+# row with simprof and compare instruction/sample counts against the
+# committed baseline BENCH_simprof.json. Fails (non-zero exit) when any
+# row drifts beyond the tolerance band (default 10%; override with
+# SIMPROF_TOL or extra flags, e.g. `scripts/bench_gate.sh --tol 0.05`).
+#
+# Refresh the baseline after an intentional change with:
+#   cargo run --release -q -p bench --bin simprof
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cargo run --release -q -p bench --bin simprof -- --gate BENCH_simprof.json "$@"

@@ -24,4 +24,10 @@ cargo run --release -q -p bench --bin simfault -- --smoke > target/SIMFAULT_smok
 cargo run --release -q -p bench --bin simfault -- --smoke > target/SIMFAULT_smoke_b.txt
 cmp target/SIMFAULT_smoke_a.txt target/SIMFAULT_smoke_b.txt
 
+echo "==> simprof smoke (profiler determinism across runs and engines)"
+cargo run --release -q -p bench --bin simprof -- --smoke
+
+echo "==> bench gate (profiler counts vs committed BENCH_simprof.json)"
+scripts/bench_gate.sh
+
 echo "==> ci.sh: all green"

@@ -111,6 +111,48 @@ proptest! {
     }
 }
 
+proptest! {
+    /// Ring-overflow accounting is exact under tiny capacities: every
+    /// emitted event is either retained or counted in the drop counter,
+    /// and the retained prefix is deterministic — byte-identical across
+    /// runs and a strict prefix of an uncapped run's stream.
+    #[test]
+    fn ring_overflow_accounting_is_exact(
+        cap in 1usize..8,
+        switches in 1u64..64,
+        spans in 0u64..16,
+    ) {
+        let run = |cap: usize| {
+            sim_obs::enable(ObsConfig { ring_capacity: cap, micro_events: false });
+            let mut emitted = 0u64;
+            for i in 0..switches {
+                // Rotate over three simulated CPUs so several rings fill.
+                sim_obs::context_switch(i, 1, (i % 3) + 1);
+                emitted += 1;
+            }
+            for i in 0..spans {
+                sim_obs::span_enter(1000 + 2 * i, "stage");
+                sim_obs::span_exit(1001 + 2 * i);
+                emitted += 2;
+            }
+            (sim_obs::disable().expect("recorder"), emitted)
+        };
+        let (a, emitted) = run(cap);
+        prop_assert_eq!(a.total_events() + a.total_dropped(), emitted);
+        let (b, _) = run(cap);
+        let (full, _) = run(1 << 16);
+        prop_assert_eq!(full.total_dropped(), 0);
+        for (cpu, ring) in &a.rings {
+            prop_assert_eq!(&ring.events, &b.rings[cpu].events, "prefix differs across runs");
+            prop_assert_eq!(
+                &ring.events[..],
+                &full.rings[cpu].events[..ring.events.len()],
+                "capped ring is not a prefix of the uncapped stream"
+            );
+        }
+    }
+}
+
 /// SUD interposition is visible in the event stream: arming, selector
 /// flips, and one SIGSYS round-trip per interposed syscall.
 #[test]
