@@ -1,22 +1,75 @@
 //! simperf — host wall-clock throughput of the simulator engines.
 //!
-//! Runs the Table 5 syscall-500 stress guest under the pre-fast-path
-//! engine (per-step scheduler loop + byte-at-a-time memory, selected via
-//! `EngineConfig::stepwise().mem(MemMode::Legacy)`) and the
-//! block/page-run engine, reporting simulated instructions per second for
-//! both. A trace diff at a smaller count first proves the two engines are
-//! instruction-for-instruction identical, so the throughput comparison is
-//! apples to apples. Results land in `BENCH_simperf.json` (override with
-//! `--json PATH`), including a `sim-obs` counter snapshot (TLB hit rate,
-//! icache reuse, block lengths) so perf changes regress-check hit rates,
-//! not just throughput. Timed runs keep tracing disabled — the snapshot
-//! comes from one extra untimed run.
+//! Runs the Table 5 syscall-500 stress guest under three engines — the
+//! pre-fast-path baseline (per-step scheduler loop + byte-at-a-time
+//! memory, `EngineConfig::stepwise().mem(MemMode::Legacy)`), the
+//! block/page-run engine, and the trace engine (hot blocks promoted into
+//! linked superblocks with generation revalidation) — reporting simulated
+//! instructions per second for each. A three-way trace diff at a smaller
+//! count first proves the engines are instruction-for-instruction
+//! identical, so the throughput comparison is apples to apples. Results
+//! land in `BENCH_simperf.json` (override with `--json PATH`), including
+//! a `sim-obs` counter snapshot (TLB hit rate, icache reuse and
+//! coalescing, trace formation/link/side-exit counts) so perf changes
+//! regress-check hit rates, not just throughput. The snapshot run sizes
+//! the event ring to hold the full workload so `dropped_events` is zero
+//! and counters are never skewed by ring overflow. Timed runs keep
+//! tracing and obs disabled.
+//!
+//! `--gate FILE` re-measures and compares against a committed baseline:
+//! determinism must hold, the snapshot ring must not drop events, and
+//! block/trace inst/s must not fall below baseline × (1 − tol)
+//! (`--tol` / `SIMPERF_TOL`, default 0.5 — generous because wall-clock
+//! throughput on shared CI is noisy; only slowdowns fail, speedups pass).
 
 use bench::micro::{build_micro_app, MICRO_APP, MICRO_CFG};
 use interpose::{Interposer, Native};
 use sim_kernel::{EngineConfig, Kernel, MemMode, Pid, RunExit, TraceEntry};
 use sim_loader::boot_kernel;
+use std::process::ExitCode;
 use std::time::Instant;
+
+/// Which engine a run uses.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Pre-fast-path baseline: stepwise loop + byte-at-a-time memory.
+    Legacy,
+    /// Block engine: `run_block` + page runs + TLB.
+    Block,
+    /// Trace engine: blocks promoted into linked superblocks.
+    Trace,
+}
+
+impl Mode {
+    const ALL: [Mode; 3] = [Mode::Legacy, Mode::Block, Mode::Trace];
+
+    fn config(self) -> EngineConfig {
+        match self {
+            Mode::Legacy => EngineConfig::stepwise().mem(MemMode::Legacy),
+            Mode::Block => EngineConfig::new(),
+            Mode::Trace => EngineConfig::traced(),
+        }
+    }
+
+    /// Engine label used in the JSON rows and the gate.
+    fn label(self) -> &'static str {
+        match self {
+            Mode::Legacy => "stepwise+byte-at-a-time",
+            Mode::Block => "run_block+page-runs+tlb",
+            Mode::Trace => "superblocks+generation-revalidation",
+        }
+    }
+
+    /// Key of this engine's row in the JSON document. `before`/`after`
+    /// keep their original meaning (baseline vs headline engine).
+    fn json_key(self) -> &'static str {
+        match self {
+            Mode::Legacy => "before",
+            Mode::Block => "block",
+            Mode::Trace => "after",
+        }
+    }
+}
 
 fn boot(n: u64) -> (Kernel, Pid) {
     let mut k = boot_kernel();
@@ -28,13 +81,16 @@ fn boot(n: u64) -> (Kernel, Pid) {
     (k, pid)
 }
 
-/// Runs the stress guest to completion under one engine. `legacy` selects
-/// the pre-fast-path engine; `trace` records the instruction-level trace.
-fn run(n: u64, legacy: bool, trace: bool) -> (f64, u64, Option<Vec<TraceEntry>>) {
+/// Runs the stress guest to completion under one engine. `trace` records
+/// the instruction-level trace; `ring_cap` overrides the obs event-ring
+/// capacity for snapshot runs.
+fn run(n: u64, mode: Mode, trace: bool, ring_cap: Option<usize>) -> (f64, u64, Option<Vec<TraceEntry>>) {
     let (mut k, pid) = boot(n);
-    if legacy {
-        k.configure(EngineConfig::stepwise().mem(MemMode::Legacy));
+    let mut cfg = mode.config();
+    if let Some(cap) = ring_cap {
+        cfg = cfg.obs_ring_capacity(cap);
     }
+    k.configure(cfg);
     if trace {
         k.start_exec_trace();
     }
@@ -47,19 +103,211 @@ fn run(n: u64, legacy: bool, trace: bool) -> (f64, u64, Option<Vec<TraceEntry>>)
     (dt, k.clock, tr)
 }
 
-fn best_of(runs: u32, n: u64, legacy: bool) -> (f64, u64) {
+fn best_of(runs: u32, n: u64, mode: Mode) -> f64 {
     let mut best = f64::INFINITY;
-    let mut clock = 0;
     for _ in 0..runs {
-        let (dt, c, _) = run(n, legacy, false);
+        let (dt, _, _) = run(n, mode, false, None);
         best = best.min(dt);
-        clock = c;
     }
-    (best, clock)
+    best
 }
 
-fn main() {
+/// One engine's measured throughput row.
+struct Row {
+    mode: Mode,
+    seconds: f64,
+    inst_per_sec: f64,
+}
+
+/// Everything one full measurement pass produces.
+struct Measured {
+    n: u64,
+    instructions: u64,
+    diff_len: usize,
+    rows: Vec<Row>,
+    obs_iterations: u64,
+    dropped_events: u64,
+    obs: sjson::Value,
+}
+
+fn measure() -> Measured {
+    let scale = bench::scale().max(1);
+
+    // 1. Determinism proof: full three-way trace diff at a modest count.
+    // The stepwise run is the oracle; block and trace must match it
+    // entry for entry (pid, tid, rip, clock, event).
+    let diff_n = 2_000 / scale.clamp(1, 10);
+    let (_, clock_ref, ref_tr) = run(diff_n, Mode::Legacy, true, None);
+    let ref_tr = ref_tr.unwrap();
+    for mode in [Mode::Block, Mode::Trace] {
+        let (_, clock, tr) = run(diff_n, mode, true, None);
+        let tr = tr.unwrap();
+        assert_eq!(clock, clock_ref, "{}: engine clocks diverge", mode.label());
+        assert_eq!(tr.len(), ref_tr.len(), "{}: trace lengths diverge", mode.label());
+        for (i, (f, r)) in tr.iter().zip(ref_tr.iter()).enumerate() {
+            assert_eq!(f, r, "{}: trace diverges at step {i}", mode.label());
+        }
+    }
+    println!(
+        "determinism: {} traced instructions identical across stepwise/block/trace (clock {})",
+        ref_tr.len(),
+        clock_ref
+    );
+
+    // 2. Throughput: same guest, bigger count, timed without tracing.
+    let n = (1_000_000 / scale).max(20_000);
+    // All engines retire the identical instruction stream (proved above),
+    // so one traced run yields the retired-instruction count for all.
+    let (_, _, count_tr) = run(n, Mode::Trace, true, None);
+    let instructions = count_tr.unwrap().len() as u64;
+    println!("guest: {MICRO_APP} (syscall-500 stress), {n} iterations, {instructions} instructions");
+    let rows: Vec<Row> = Mode::ALL
+        .iter()
+        .map(|&mode| {
+            let seconds = best_of(3, n, mode);
+            let inst_per_sec = instructions as f64 / seconds;
+            println!("{:<38} {seconds:.3}s  {inst_per_sec:>12.0} inst/s", mode.label());
+            Row { mode, seconds, inst_per_sec }
+        })
+        .collect();
+    let ips = |m: Mode| rows.iter().find(|r| r.mode == m).unwrap().inst_per_sec;
+    println!(
+        "speedup over stepwise baseline: block {:.2}x, trace {:.2}x",
+        ips(Mode::Block) / ips(Mode::Legacy),
+        ips(Mode::Trace) / ips(Mode::Legacy)
+    );
+
+    // 3. Counter snapshot from one extra trace-engine run with sim-obs on
+    // (tracing and obs stay off during every timed run above). The ring
+    // is sized for the workload (~2 events per guest iteration) so the
+    // snapshot counters are never skewed by silent event drops; the
+    // snapshot caps the iteration count so the ring stays modest.
+    let obs_n = n.min(100_000);
+    let ring_cap = (4 * obs_n).next_power_of_two().max(1 << 16) as usize;
+    sim_obs::enable(sim_obs::ObsConfig::default());
+    let _ = run(obs_n, Mode::Trace, false, Some(ring_cap));
+    let rec = sim_obs::disable().expect("recorder");
+    let dropped_events = rec.total_dropped();
+    println!(
+        "obs: tlb hit rate {:.2}%, icache reuse {:.2}%, {} traces formed, {} trace entries, {} dropped events (ring {ring_cap})",
+        100.0 * rec.counters.tlb_hit_rate(),
+        100.0 * rec.counters.icache_reuse_rate(),
+        rec.counters.trace_forms,
+        rec.counters.trace_entries,
+        dropped_events
+    );
+
+    Measured {
+        n,
+        instructions,
+        diff_len: ref_tr.len(),
+        rows,
+        obs_iterations: obs_n,
+        dropped_events,
+        obs: rec.counters_json(),
+    }
+}
+
+fn write_json(path: &str, m: &Measured) {
+    let ips = |mode: Mode| m.rows.iter().find(|r| r.mode == mode).unwrap().inst_per_sec;
+    let mut fields = vec![
+        ("guest", sjson::Value::Str(MICRO_APP.into())),
+        ("iterations", sjson::Value::UInt(m.n)),
+        ("instructions", sjson::Value::UInt(m.instructions)),
+        (
+            "determinism",
+            sjson::Value::object(vec![
+                ("trace_len", sjson::Value::UInt(m.diff_len as u64)),
+                ("identical", sjson::Value::Bool(true)),
+            ]),
+        ),
+    ];
+    for row in &m.rows {
+        fields.push((
+            row.mode.json_key(),
+            sjson::Value::object(vec![
+                ("engine", sjson::Value::Str(row.mode.label().into())),
+                ("seconds", sjson::Value::Float(row.seconds)),
+                ("inst_per_sec", sjson::Value::Float(row.inst_per_sec)),
+            ]),
+        ));
+    }
+    fields.push(("speedup", sjson::Value::Float(ips(Mode::Trace) / ips(Mode::Legacy))));
+    fields.push((
+        "speedup_block",
+        sjson::Value::Float(ips(Mode::Block) / ips(Mode::Legacy)),
+    ));
+    fields.push(("obs_iterations", sjson::Value::UInt(m.obs_iterations)));
+    fields.push(("obs", m.obs.clone()));
+    let json = sjson::Value::object(fields);
+    std::fs::write(path, json.to_string_pretty()).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("wrote {path}");
+}
+
+/// Compares a fresh measurement against the committed baseline; returns
+/// the list of violations (empty = gate passes). Only slowdowns beyond
+/// the tolerance fail — speedups always pass.
+fn gate(baseline_path: &str, m: &Measured, tol: f64) -> Result<Vec<String>, String> {
+    let data = std::fs::read(baseline_path).map_err(|e| format!("read {baseline_path}: {e}"))?;
+    let v = sjson::parse(&data).map_err(|e| format!("{baseline_path}: bad JSON: {e:?}"))?;
+    let mut violations = Vec::new();
+    // The committed baseline must itself claim determinism; the fresh
+    // run already proved it (measure() asserts the three-way diff).
+    let base_identical = v
+        .get("determinism")
+        .and_then(|d| d.get("identical"))
+        .and_then(|b| b.as_bool());
+    if base_identical != Some(true) {
+        violations.push(format!(
+            "{baseline_path}: determinism.identical is not true in the committed baseline"
+        ));
+    }
+    if m.dropped_events > 0 {
+        violations.push(format!(
+            "obs snapshot dropped {} events — counters are skewed; grow the ring",
+            m.dropped_events
+        ));
+    }
+    for row in &m.rows {
+        // The stepwise baseline row is informational, not gated: it
+        // moves with host load, and regressions there don't indicate an
+        // engine problem.
+        if row.mode == Mode::Legacy {
+            continue;
+        }
+        let Some(base_ips) = v
+            .get(row.mode.json_key())
+            .and_then(|r| r.get("inst_per_sec"))
+            .and_then(|x| x.as_f64())
+        else {
+            violations.push(format!(
+                "{baseline_path}: no {}.inst_per_sec in baseline",
+                row.mode.json_key()
+            ));
+            continue;
+        };
+        let floor = base_ips * (1.0 - tol);
+        if row.inst_per_sec < floor {
+            violations.push(format!(
+                "{}: inst/s fell to {:.0} (baseline {:.0}, floor {:.0} at tol {:.0}%)",
+                row.mode.label(),
+                row.inst_per_sec,
+                base_ips,
+                floor,
+                tol * 100.0
+            ));
+        }
+    }
+    Ok(violations)
+}
+
+fn main() -> ExitCode {
     let mut json_path = "BENCH_simperf.json".to_string();
+    let mut gate_path: Option<String> = None;
+    let mut tol = std::env::var("SIMPERF_TOL")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.5);
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
@@ -71,87 +319,47 @@ fn main() {
                     .clone();
                 i += 1;
             }
+            "--gate" => {
+                gate_path = Some(
+                    argv.get(i + 1)
+                        .unwrap_or_else(|| panic!("--gate needs a baseline path"))
+                        .clone(),
+                );
+                i += 1;
+            }
+            "--tol" => {
+                tol = argv
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| panic!("--tol needs a number"));
+                i += 1;
+            }
             other => panic!("unknown flag {other}"),
         }
         i += 1;
     }
-    let scale = bench::scale().max(1);
 
-    // 1. Determinism proof: full trace diff at a modest count.
-    let diff_n = 2_000 / scale.clamp(1, 10);
-    let (_, clock_fast, fast_tr) = run(diff_n, false, true);
-    let (_, clock_ref, ref_tr) = run(diff_n, true, true);
-    let (fast_tr, ref_tr) = (fast_tr.unwrap(), ref_tr.unwrap());
-    assert_eq!(clock_fast, clock_ref, "engine clocks diverge");
-    assert_eq!(fast_tr.len(), ref_tr.len(), "trace lengths diverge");
-    for (i, (f, r)) in fast_tr.iter().zip(ref_tr.iter()).enumerate() {
-        assert_eq!(f, r, "trace diverges at step {i}");
+    let m = measure();
+    if let Some(baseline) = &gate_path {
+        let violations = match gate(baseline, &m, tol) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("simperf: gate error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if !violations.is_empty() {
+            for v in &violations {
+                eprintln!("simperf: REGRESSION {v}");
+            }
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "gate: ok (block+trace inst/s within {:.0}% of {baseline}, determinism held, 0 dropped events)",
+            tol * 100.0
+        );
+        return ExitCode::SUCCESS;
     }
-    println!(
-        "determinism: {} traced instructions identical across engines (clock {})",
-        fast_tr.len(),
-        clock_fast
-    );
-
-    // 2. Throughput: same guest, bigger count, timed without tracing.
-    let n = (1_000_000 / scale).max(20_000);
-    // Both engines retire the identical instruction stream (proved above),
-    // so one traced run yields the retired-instruction count for both.
-    let (_, _, count_tr) = run(n, false, true);
-    let instructions = count_tr.unwrap().len() as u64;
-    let (dt_ref, _) = best_of(3, n, true);
-    let (dt_fast, _) = best_of(3, n, false);
-    let ips_ref = instructions as f64 / dt_ref;
-    let ips_fast = instructions as f64 / dt_fast;
-    let speedup = ips_fast / ips_ref;
-    println!("guest: {MICRO_APP} (syscall-500 stress), {n} iterations, {instructions} instructions");
-    println!("before (stepwise + byte-at-a-time): {dt_ref:.3}s  {ips_ref:>12.0} inst/s");
-    println!("after  (blocks + page runs + TLB):  {dt_fast:.3}s  {ips_fast:>12.0} inst/s");
-    println!("speedup: {speedup:.2}x");
-
-    // 3. Counter snapshot from one extra fast-engine run with sim-obs on
-    // (tracing stays off during every timed run above).
-    sim_obs::enable(sim_obs::ObsConfig::default());
-    let _ = run(n, false, false);
-    let rec = sim_obs::disable().expect("recorder");
-    println!(
-        "obs: tlb hit rate {:.2}%, icache reuse {:.2}%, mean block {:.1} steps",
-        100.0 * rec.counters.tlb_hit_rate(),
-        100.0 * rec.counters.icache_reuse_rate(),
-        rec.counters.block_lengths.mean()
-    );
-
-    let json = sjson::Value::object(vec![
-        ("guest", sjson::Value::Str(MICRO_APP.into())),
-        ("iterations", sjson::Value::UInt(n)),
-        ("instructions", sjson::Value::UInt(instructions)),
-        (
-            "determinism",
-            sjson::Value::object(vec![
-                ("trace_len", sjson::Value::UInt(fast_tr.len() as u64)),
-                ("identical", sjson::Value::Bool(true)),
-            ]),
-        ),
-        (
-            "before",
-            sjson::Value::object(vec![
-                ("engine", sjson::Value::Str("stepwise+byte-at-a-time".into())),
-                ("seconds", sjson::Value::Float(dt_ref)),
-                ("inst_per_sec", sjson::Value::Float(ips_ref)),
-            ]),
-        ),
-        (
-            "after",
-            sjson::Value::object(vec![
-                ("engine", sjson::Value::Str("run_block+page-runs+tlb".into())),
-                ("seconds", sjson::Value::Float(dt_fast)),
-                ("inst_per_sec", sjson::Value::Float(ips_fast)),
-            ]),
-        ),
-        ("speedup", sjson::Value::Float(speedup)),
-        ("obs", rec.counters_json()),
-    ]);
-    std::fs::write(&json_path, json.to_string_pretty())
-        .unwrap_or_else(|e| panic!("write {json_path}: {e}"));
-    println!("wrote {json_path}");
+    write_json(&json_path, &m);
+    ExitCode::SUCCESS
 }

@@ -1,9 +1,10 @@
 //! A single guest CPU core.
 
 use crate::cost::CostModel;
+use crate::fasthash::FastMap;
+use crate::trace::{TraceCache, TraceOp, TraceParams};
 use sim_isa::{decode, Cond, Inst, Reg};
 use sim_mem::{AddressSpace, Fault, Pkru};
-use crate::fasthash::FastMap;
 
 /// Arithmetic flags.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -142,6 +143,27 @@ pub struct Cpu {
     /// every serialization point) instead of generation-based revalidation.
     /// Guest-invisible either way; used for the benchmarking baseline.
     seed_flush: bool,
+    /// `AddressSpace` write stamp at the last real [`Cpu::serialize`]:
+    /// while it is unchanged, serialization points are coalesced away
+    /// (nothing was written anywhere in the space, so every revalidation
+    /// would trivially succeed). Reset by any unconditional flush.
+    last_serialize_stamp: Option<(u64, u64)>,
+    /// Trace cache (superblock promotion); `None` outside trace mode.
+    trace: Option<Box<TraceCache>>,
+    /// True while [`Cpu::exec_trace`] has moved the trace cache out of
+    /// `self`; store invalidation then buffers into
+    /// `pending_trace_unlinks` instead of unlinking directly.
+    trace_replaying: bool,
+    /// Set mid-replay (store into the replaying trace's pages, or any
+    /// icache flush) to force a side exit at the next op boundary. A
+    /// spurious side exit is always safe: cold execution is
+    /// architecturally identical.
+    trace_replay_break: bool,
+    /// Page bases of the trace currently being replayed.
+    replay_pages: Vec<u64>,
+    /// Pages written while the trace cache was moved out; their traces
+    /// are unlinked when the cache is put back.
+    pending_trace_unlinks: Vec<u64>,
     /// Retired instruction count (for debugging and run limits).
     pub retired: u64,
 }
@@ -181,6 +203,12 @@ impl Cpu {
             icache_index: FastMap::default(),
             flush_gen: 0,
             seed_flush: false,
+            last_serialize_stamp: None,
+            trace: None,
+            trace_replaying: false,
+            trace_replay_break: false,
+            replay_pages: Vec::new(),
+            pending_trace_unlinks: Vec::new(),
             retired: 0,
         }
     }
@@ -207,12 +235,46 @@ impl Cpu {
     /// cache wholesale like the original engine.
     pub fn flush_icache(&mut self) {
         sim_obs::icache_flush();
+        // An unconditional flush must not be coalesced with a later
+        // serialize call, and invalidates any trace being recorded (its
+        // ops were captured under the pre-flush generation).
+        self.last_serialize_stamp = None;
+        if let Some(tc) = &mut self.trace {
+            tc.abort_recording();
+        }
+        // A replay in flight must side-exit: its ops were decoded under
+        // the pre-flush generation (see `exec_trace`). Harmless outside
+        // replay — the flag is reset when a replay starts.
+        self.trace_replay_break = true;
         if self.seed_flush {
             self.icache.clear();
             self.icache_index.clear();
         } else {
             self.flush_gen += 1;
         }
+    }
+
+    /// A serialization point against `mem` (kernel entry, `cpuid`,
+    /// `fence`, signal delivery): architecturally equivalent to
+    /// [`Cpu::flush_icache`], but coalesced when `mem`'s write stamp is
+    /// unchanged since the last real flush. No write, mapping, protection,
+    /// or pkey change anywhere in the space means every cached decode (and
+    /// trace) would revalidate trivially, so skipping the generation bump
+    /// is guest-invisible — and the `icache_flushes` counter then reflects
+    /// true serialization points instead of one flush per kernel entry.
+    #[inline]
+    pub fn serialize(&mut self, mem: &AddressSpace) {
+        if self.seed_flush {
+            self.flush_icache();
+            return;
+        }
+        let stamp = mem.write_stamp();
+        if self.last_serialize_stamp == Some(stamp) {
+            sim_obs::icache_flush_coalesced();
+            return;
+        }
+        self.flush_icache();
+        self.last_serialize_stamp = Some(stamp);
     }
 
     /// Selects the icache flush strategy: [`IcacheMode::Revalidate`] is the
@@ -232,15 +294,16 @@ impl Cpu {
         }
     }
 
-    /// Selects the original engine's flush-everything behavior (the
-    /// benchmarking baseline) over generation-based revalidation.
-    #[deprecated(note = "use set_icache_mode(IcacheMode::SeedFlush | IcacheMode::Revalidate)")]
-    pub fn set_seed_flush(&mut self, seed: bool) {
-        self.set_icache_mode(if seed {
-            IcacheMode::SeedFlush
-        } else {
-            IcacheMode::Revalidate
-        });
+    /// Enables or disables trace mode (superblock promotion). Enabling
+    /// with an existing cache only updates the knobs — formed traces and
+    /// heat survive across slices; disabling drops the cache.
+    pub fn set_trace_mode(&mut self, params: Option<TraceParams>) {
+        match (params, &mut self.trace) {
+            (Some(p), Some(tc)) => tc.params = p,
+            (Some(p), None) => self.trace = Some(Box::new(TraceCache::new(p))),
+            (None, Some(_)) => self.trace = None,
+            (None, None) => {}
+        }
     }
 
     /// Number of decoded entries currently cached (observability for P5
@@ -280,10 +343,48 @@ impl Cpu {
     /// Cross-page decodes are registered under every page they touch, so a
     /// store into either page finds them.
     fn invalidate_icache_range(&mut self, addr: u64, len: u64) {
+        let end = addr.saturating_add(len);
+        // Traces are registered under every page their ops' bytes touch,
+        // so unlinking only needs the pages the store itself hits (an op
+        // straddling in from the previous page is indexed under this one
+        // too). Page-granular is coarser than the icache's byte-overlap
+        // rule below, which is safe: cold execution is architecturally
+        // identical, an unlink only costs re-warming.
+        if let Some(tc) = &mut self.trace {
+            let mut page = Self::page_of(addr);
+            let last = Self::page_of(end - 1); // len >= 1 always
+            loop {
+                tc.unlink_page(page);
+                if page == last {
+                    break;
+                }
+                page += sim_mem::PAGE_SIZE;
+            }
+        } else if self.trace_replaying {
+            // The cache is moved out during replay (see `exec_trace`):
+            // buffer the written pages for unlinking when it is put
+            // back, and side-exit the replay only if the store hits the
+            // replaying trace's own pages — matching the immediate
+            // unlink's effect on the `valid` flag the old per-op check
+            // read.
+            let mut page = Self::page_of(addr);
+            let last = Self::page_of(end - 1); // len >= 1 always
+            loop {
+                if !self.pending_trace_unlinks.contains(&page) {
+                    self.pending_trace_unlinks.push(page);
+                }
+                if self.replay_pages.contains(&page) {
+                    self.trace_replay_break = true;
+                }
+                if page == last {
+                    break;
+                }
+                page += sim_mem::PAGE_SIZE;
+            }
+        }
         if self.icache.is_empty() {
             return;
         }
-        let end = addr.saturating_add(len);
         let first = Self::page_of(addr.saturating_sub(9));
         let last = Self::page_of(end - 1); // len >= 1 always
         let Cpu {
@@ -452,6 +553,22 @@ impl Cpu {
                 }
             }
         };
+        self.exec(inst, len, mem, clock, cost)
+    }
+
+    /// Executes an already-decoded instruction — the post-fetch half of
+    /// [`Cpu::step`]. Trace replay feeds recorded decodes straight in,
+    /// skipping the fetch and icache lookup entirely; every architectural
+    /// effect (including `retired` and `rip`) is identical to a full step.
+    #[inline]
+    fn exec(
+        &mut self,
+        inst: Inst,
+        len: usize,
+        mem: &mut AddressSpace,
+        clock: u64,
+        cost: &CostModel,
+    ) -> Step {
         let cycles = cost.inst_cost(&inst);
         let next = self.rip.wrapping_add(len as u64);
 
@@ -524,7 +641,7 @@ impl Cpu {
                     inst: Some(inst),
                 };
             }
-            Inst::Cpuid | Inst::Fence => self.flush_icache(),
+            Inst::Cpuid | Inst::Fence => self.serialize(mem),
             Inst::Vsyscall => self.set(Reg::Rax, clock),
             Inst::Rdpkru => self.set(Reg::Rax, self.pkru.0 as u64),
             Inst::Wrpkru => self.pkru = Pkru(self.get(Reg::Rax) as u32),
@@ -746,8 +863,33 @@ impl Cpu {
         clock: u64,
         cost: &CostModel,
         budget: u64,
-        mut on_step: impl FnMut(u64, &Step),
+        on_step: impl FnMut(u64, &Step),
     ) -> BlockExit {
+        self.run_block_hooked(mem, clock, cost, budget, on_step, |_, _, _, _| {
+            HookAction::Pass
+        })
+    }
+
+    /// [`Cpu::run_block`] with a direct-path syscall hook: when trace
+    /// replay hits a `syscall` op, `syscall_fast(cpu, mem, site, clock)`
+    /// may service it in place (returning [`HookAction::Handled`]) so
+    /// the replay — and a self-looping trace — continues without a block
+    /// exit and dispatcher round trip per syscall. The hook must leave
+    /// the architectural state exactly as a block exit + kernel entry +
+    /// re-entry would have. Only consulted from warm trace replay; cold
+    /// execution surfaces every syscall as a block exit.
+    pub fn run_block_hooked(
+        &mut self,
+        mem: &mut AddressSpace,
+        clock: u64,
+        cost: &CostModel,
+        budget: u64,
+        mut on_step: impl FnMut(u64, &Step),
+        syscall_fast: impl FnMut(&mut Cpu, &mut AddressSpace, u64, u64) -> HookAction,
+    ) -> BlockExit {
+        if self.trace.is_some() {
+            return self.run_block_traced(mem, clock, cost, budget, on_step, syscall_fast);
+        }
         let mut cycles = 0u64;
         let mut steps = 0u64;
         let mut vdso_calls = 0u64;
@@ -795,6 +937,556 @@ impl Cpu {
             inst,
         }
     }
+
+    /// True for instructions that end a basic block (control transfers);
+    /// the traced dispatcher profiles and looks up traces only at block
+    /// heads, i.e. after one of these or at `run_block` entry.
+    #[inline]
+    fn ends_block(inst: Option<Inst>) -> bool {
+        matches!(
+            inst,
+            Some(
+                Inst::Jmp(_)
+                    | Inst::Call(_)
+                    | Inst::Jcc(_, _)
+                    | Inst::CallReg(_)
+                    | Inst::JmpReg(_)
+                    | Inst::Ret
+            )
+        )
+    }
+
+    /// Validates the trace entered at the current `rip`, if any: a single
+    /// `fresh_gen` compare on the fast path, else one `mem_gen` compare
+    /// plus a walk of the recorded page versions (restamp on success,
+    /// unlink on failure). This replaces the block engine's per-entry
+    /// page-version walk with a per-trace generation check.
+    fn trace_validate(&mut self, mem: &mut AddressSpace) -> Option<u32> {
+        let rip = self.rip;
+        let flush_gen = self.flush_gen;
+        let tc = self.trace.as_deref_mut()?;
+        let idx = tc.lookup(rip)?;
+        let t = tc.get_mut(idx);
+        if t.fresh_gen == flush_gen {
+            return Some(idx);
+        }
+        let mut valid = t.mem_gen == mem.generation();
+        if valid {
+            for &(page, ver) in &t.pages {
+                if mem.page_version(page) != Some(ver) {
+                    valid = false;
+                    break;
+                }
+            }
+        }
+        if valid {
+            t.fresh_gen = flush_gen;
+            sim_obs::trace_revalidate();
+            Some(idx)
+        } else {
+            tc.unlink_entry(rip);
+            None
+        }
+    }
+
+    /// Replays the ops of trace `idx`. Each op is a full architectural
+    /// step (via [`Cpu::exec`]) with the identical per-step clock, trace
+    /// hook, and span stream as cold execution — only the fetch and icache
+    /// lookup are elided. Stops mid-trace on the step budget, on a kernel
+    /// event, when control flow diverges from the recording, or when an
+    /// own-core store (or a serializing op) invalidates the trace under
+    /// our feet.
+    ///
+    /// The trace cache is moved out of `self` for the duration of the
+    /// replay so the op stream is a plain slice walk with no per-op
+    /// `Option<Box<..>>` re-derefs. Invalidation raised by replayed ops
+    /// is routed through `trace_replay_break` (side-exit at the next op
+    /// boundary) and `pending_trace_unlinks` (applied once the cache is
+    /// put back) — see [`Cpu::invalidate_icache_range`] and
+    /// [`Cpu::flush_icache`]. No recording is ever in progress here: the
+    /// dispatcher closes any before entering a trace.
+    ///
+    /// A [`Cpu::Syscall`](StepEvent::Syscall) op consults `syscall_fast`
+    /// (see [`Cpu::run_block_hooked`]): a handled syscall charges its
+    /// cycles into the block and replay continues in place — a trace
+    /// whose terminal syscall returns to its own entry loops without
+    /// ever leaving this function.
+    #[allow(clippy::too_many_arguments)]
+    fn exec_trace(
+        &mut self,
+        idx: u32,
+        mem: &mut AddressSpace,
+        clock: u64,
+        cost: &CostModel,
+        budget: u64,
+        obs: bool,
+        cycles: &mut u64,
+        steps: &mut u64,
+        vdso_calls: &mut u64,
+        inst: &mut Option<Inst>,
+        on_step: &mut impl FnMut(u64, &Step),
+        syscall_fast: &mut impl FnMut(&mut Cpu, &mut AddressSpace, u64, u64) -> HookAction,
+    ) -> TraceRun {
+        let tc = self.trace.take().expect("exec_trace without trace cache");
+        let t = tc.get(idx);
+        self.replay_pages.clear();
+        self.replay_pages.extend(t.pages.iter().map(|&(p, _)| p));
+        self.trace_replay_break = false;
+        self.trace_replaying = true;
+        let entry = t.entry;
+        let ops = &t.ops[..];
+        let mut i = 0usize;
+        // Batched accounting: the loop accumulates into locals (registers)
+        // and writes the caller's counters back once at exit — the exact
+        // retired-instruction boundary is preserved because every break
+        // path flows through the write-back below.
+        let mut linst = *inst;
+        let mut lsteps = *steps;
+        let mut lcycles = *cycles;
+        let mut lvdso = *vdso_calls;
+        let run = 'replay: loop {
+            if lsteps >= budget {
+                break TraceRun::Budget;
+            }
+            let op = ops[i];
+            if self.rip != op.rip {
+                if obs {
+                    sim_obs::trace_side_exit();
+                }
+                break TraceRun::SideExit;
+            }
+            if obs {
+                sim_obs::set_clock(clock + lcycles);
+            }
+            let rip_before = self.rip;
+            // Inlined fast paths: the hottest ops execute right here with
+            // the same helpers, cost, and `retired`/`rip` effects as their
+            // `exec` arms — no full-match dispatch, no event analysis.
+            // Every op below is non-faulting, non-serializing, and
+            // storeless (can't set `trace_replay_break`), always retires
+            // with `StepEvent::Executed`, and is not `Vsyscall` — so the
+            // slow path's event match, vdso count, and replay-break check
+            // are statically settled. Cross-engine byte-identity tests
+            // pin these arms to `exec`'s.
+            'fast: {
+                let next = op.rip.wrapping_add(op.len as u64);
+                match op.inst {
+                    Inst::MovImm(r, v) => {
+                        self.set(r, v);
+                        self.rip = next;
+                    }
+                    Inst::MovReg(d, sr) => {
+                        self.set(d, self.get(sr));
+                        self.rip = next;
+                    }
+                    Inst::Lea(d, off) => {
+                        self.set(d, next.wrapping_add(off as i64 as u64));
+                        self.rip = next;
+                    }
+                    Inst::AddImm(r, im) => {
+                        let v = self.flags_add(self.get(r), im as i64 as u64);
+                        self.set(r, v);
+                        self.rip = next;
+                    }
+                    Inst::SubImm(r, im) => {
+                        let v = self.flags_sub(self.get(r), im as i64 as u64);
+                        self.set(r, v);
+                        self.rip = next;
+                    }
+                    Inst::CmpImm(r, im) => {
+                        self.flags_sub(self.get(r), im as i64 as u64);
+                        self.rip = next;
+                    }
+                    Inst::AddReg(d, sr) => {
+                        let v = self.flags_add(self.get(d), self.get(sr));
+                        self.set(d, v);
+                        self.rip = next;
+                    }
+                    Inst::SubReg(d, sr) => {
+                        let v = self.flags_sub(self.get(d), self.get(sr));
+                        self.set(d, v);
+                        self.rip = next;
+                    }
+                    Inst::CmpReg(d, sr) => {
+                        self.flags_sub(self.get(d), self.get(sr));
+                        self.rip = next;
+                    }
+                    Inst::TestReg(d, sr) => {
+                        self.flags_logic(self.get(d) & self.get(sr));
+                        self.rip = next;
+                    }
+                    Inst::Jmp(rel) => {
+                        self.rip = next.wrapping_add(rel as i64 as u64);
+                    }
+                    Inst::Jcc(c, rel) => {
+                        self.rip = if self.flags.test(c) {
+                            next.wrapping_add(rel as i64 as u64)
+                        } else {
+                            next
+                        };
+                    }
+                    _ => break 'fast,
+                }
+                self.retired += 1;
+                let cycles = cost.inst_cost(&op.inst);
+                lsteps += 1;
+                lcycles += cycles;
+                linst = Some(op.inst);
+                on_step(
+                    rip_before,
+                    &Step {
+                        event: StepEvent::Executed,
+                        cycles,
+                        inst: Some(op.inst),
+                    },
+                );
+                if obs {
+                    sim_obs::span_step(clock + lcycles, self.rip);
+                }
+                i += 1;
+                if i >= ops.len() {
+                    break 'replay TraceRun::Done;
+                }
+                continue 'replay;
+            }
+            let s = self.exec(op.inst, op.len as usize, mem, clock + lcycles, cost);
+            lsteps += 1;
+            lcycles += s.cycles;
+            linst = s.inst;
+            on_step(rip_before, &s);
+            if obs {
+                sim_obs::span_step(clock + lcycles, self.rip);
+            }
+            match s.event {
+                StepEvent::Executed => {
+                    if matches!(s.inst, Some(Inst::Vsyscall)) {
+                        lvdso += 1;
+                    }
+                }
+                StepEvent::Syscall { site, .. } => {
+                    // Direct-path syscall entry inside trace execution:
+                    // the kernel-provided hook may service the syscall in
+                    // place (identical register, clock, and statistics
+                    // effects as a block exit + re-entry would have).
+                    match syscall_fast(&mut *self, &mut *mem, site, clock + lcycles) {
+                        HookAction::Pass => break TraceRun::Event(s.event),
+                        HookAction::Handled { charge, stop } => {
+                            lcycles += charge;
+                            if stop {
+                                // Deadline reached: end the block; the
+                                // caller's clock += cycles lands exactly
+                                // on the post-syscall boundary.
+                                break TraceRun::Budget;
+                            }
+                            // The serialize in the hook may have flushed
+                            // (stamp changed): revalidate from cold.
+                            if self.trace_replay_break {
+                                if obs {
+                                    sim_obs::trace_side_exit();
+                                }
+                                break TraceRun::SideExit;
+                            }
+                            i += 1;
+                            if i < ops.len() {
+                                // Syscalls are terminal ops today, but a
+                                // mid-trace return lands on the loop-top
+                                // rip check either way.
+                                continue;
+                            }
+                            if self.rip == entry {
+                                // Self-looping trace: the return address
+                                // is our own entry and nothing was
+                                // flushed, so the fresh-gen compare the
+                                // dispatcher would do is a foregone
+                                // conclusion — loop in place.
+                                i = 0;
+                                continue;
+                            }
+                            break TraceRun::Done;
+                        }
+                    }
+                }
+                event => break TraceRun::Event(event),
+            }
+            i += 1;
+            if i >= ops.len() {
+                break TraceRun::Done;
+            }
+            // An own-core store in this op may have rewritten upcoming
+            // bytes (or a serializing op flushed the icache); fall back
+            // to cold fetch which sees the new bytes (x86 coherent SMC).
+            if self.trace_replay_break {
+                if obs {
+                    sim_obs::trace_side_exit();
+                }
+                break TraceRun::SideExit;
+            }
+        };
+        *inst = linst;
+        *steps = lsteps;
+        *cycles = lcycles;
+        *vdso_calls = lvdso;
+        self.trace_replaying = false;
+        self.trace = Some(tc);
+        if !self.pending_trace_unlinks.is_empty() {
+            let mut pages = std::mem::take(&mut self.pending_trace_unlinks);
+            if let Some(tc) = self.trace.as_deref_mut() {
+                for &page in &pages {
+                    tc.unlink_page(page);
+                }
+            }
+            pages.clear();
+            self.pending_trace_unlinks = pages; // keep the allocation
+        }
+        run
+    }
+
+    /// Like [`Cpu::step`], but captures the decoded instruction (and its
+    /// icache entry's decode-time page versions) into the in-progress
+    /// trace recording.
+    fn step_capture(&mut self, mem: &mut AddressSpace, clock: u64, cost: &CostModel) -> Step {
+        let (inst, len) = match self.fetch_decode(mem) {
+            Ok(x) => x,
+            Err(event) => {
+                return Step {
+                    event,
+                    cycles: cost.alu,
+                    inst: None,
+                }
+            }
+        };
+        let rip = self.rip;
+        if let Some(tc) = self.trace.as_deref_mut() {
+            if let Some(rec) = tc.rec.as_mut() {
+                if !rec.aborted {
+                    // Take the staleness witness from the icache entry,
+                    // never from current memory: a trace must only ever
+                    // validate against the exact bytes its ops decoded
+                    // from (a stale-but-fresh decode after a cross-core
+                    // write would otherwise survive the next serialize).
+                    match self.icache.get(&rip) {
+                        Some(e) if e.mem_gen == rec.mem_gen => {
+                            let mut ok = true;
+                            for &(page, ver) in &e.pages[..e.npages as usize] {
+                                match rec.pages.iter().position(|&(p, _)| p == page) {
+                                    Some(j) => {
+                                        if rec.pages[j].1 != ver {
+                                            ok = false;
+                                            break;
+                                        }
+                                    }
+                                    None => rec.pages.push((page, ver)),
+                                }
+                            }
+                            if ok && rec.ops.len() < tc.params.max_ops {
+                                rec.ops.push(TraceOp {
+                                    rip,
+                                    inst,
+                                    len: len as u8,
+                                });
+                            } else {
+                                rec.aborted = true;
+                            }
+                        }
+                        _ => rec.aborted = true,
+                    }
+                }
+            }
+        }
+        self.exec(inst, len, mem, clock, cost)
+    }
+
+    /// The trace-engine dispatcher: enters validated traces at block
+    /// heads, profiles cold heads, records hot ones, and otherwise steps
+    /// exactly like the plain block loop. Accounting (`steps`, `cycles`,
+    /// per-step clock, the `on_step` hook, span streams) is identical to
+    /// [`Cpu::run_block`] instruction for instruction.
+    fn run_block_traced(
+        &mut self,
+        mem: &mut AddressSpace,
+        clock: u64,
+        cost: &CostModel,
+        budget: u64,
+        mut on_step: impl FnMut(u64, &Step),
+        mut syscall_fast: impl FnMut(&mut Cpu, &mut AddressSpace, u64, u64) -> HookAction,
+    ) -> BlockExit {
+        let mut cycles = 0u64;
+        let mut steps = 0u64;
+        let mut vdso_calls = 0u64;
+        let mut inst = None;
+        let obs = sim_obs::enabled();
+        let mut at_head = true;
+        let mut from_trace = false;
+        while steps < budget {
+            if at_head {
+                let mut idx = self.trace_validate(mem);
+                if idx.is_some() {
+                    // A recording that ran into an existing trace closes
+                    // here so the two can chain. Finalizing can reset a
+                    // full pool, so the index is re-resolved afterwards
+                    // rather than trusted.
+                    let flush_gen = self.flush_gen;
+                    let rip = self.rip;
+                    if let Some(tc) = self.trace.as_deref_mut() {
+                        if tc.rec.is_some() {
+                            tc.finalize(flush_gen);
+                            idx = tc.lookup(rip);
+                        }
+                    }
+                }
+                if let Some(idx) = idx {
+                    if obs {
+                        if from_trace {
+                            sim_obs::trace_link();
+                        } else {
+                            sim_obs::trace_enter();
+                        }
+                    }
+                    match self.exec_trace(
+                        idx,
+                        mem,
+                        clock,
+                        cost,
+                        budget,
+                        obs,
+                        &mut cycles,
+                        &mut steps,
+                        &mut vdso_calls,
+                        &mut inst,
+                        &mut on_step,
+                        &mut syscall_fast,
+                    ) {
+                        TraceRun::Event(event) => {
+                            if obs {
+                                sim_obs::block_len(steps);
+                            }
+                            return BlockExit {
+                                event,
+                                cycles,
+                                steps,
+                                vdso_calls,
+                                inst,
+                            };
+                        }
+                        TraceRun::Done => {
+                            // The terminal branch chains straight into the
+                            // successor lookup — no dispatcher exit.
+                            from_trace = true;
+                            continue;
+                        }
+                        TraceRun::SideExit => {
+                            from_trace = false;
+                            continue;
+                        }
+                        TraceRun::Budget => break,
+                    }
+                }
+                // Cold head: profile it, start recording past the
+                // threshold.
+                let rip = self.rip;
+                let mem_gen = mem.generation();
+                if let Some(tc) = self.trace.as_deref_mut() {
+                    if tc.rec.is_none() && tc.bump_heat(rip) {
+                        tc.start_recording(rip, mem_gen);
+                    }
+                }
+            }
+            if obs {
+                sim_obs::set_clock(clock + cycles);
+            }
+            let rip_before = self.rip;
+            let s = self.step_capture(mem, clock + cycles, cost);
+            steps += 1;
+            cycles += s.cycles;
+            inst = s.inst;
+            on_step(rip_before, &s);
+            if obs {
+                sim_obs::span_step(clock + cycles, self.rip);
+            }
+            match s.event {
+                StepEvent::Executed => {
+                    if matches!(s.inst, Some(Inst::Vsyscall)) {
+                        vdso_calls += 1;
+                    }
+                }
+                event => {
+                    self.trace_finalize_recording();
+                    sim_obs::block_len(steps);
+                    return BlockExit {
+                        event,
+                        cycles,
+                        steps,
+                        vdso_calls,
+                        inst,
+                    };
+                }
+            }
+            at_head = Self::ends_block(s.inst);
+            from_trace = false;
+            // Close the recording on loop closure (back at its own
+            // entry), on an abort, or when it reaches an already-formed
+            // trace; max-op overflow marks itself aborted in capture.
+            let rip_now = self.rip;
+            let flush_gen = self.flush_gen;
+            if let Some(tc) = self.trace.as_deref_mut() {
+                let mut close = match &tc.rec {
+                    Some(rec) => rec.aborted || rip_now == rec.entry,
+                    None => false,
+                };
+                if !close && tc.rec.is_some() && tc.lookup(rip_now).is_some() {
+                    close = true;
+                }
+                if close {
+                    tc.finalize(flush_gen);
+                }
+            }
+        }
+        self.trace_finalize_recording();
+        sim_obs::block_len(steps);
+        BlockExit {
+            event: StepEvent::Executed,
+            cycles,
+            steps,
+            vdso_calls,
+            inst,
+        }
+    }
+
+    /// Closes any in-progress recording at a block exit.
+    fn trace_finalize_recording(&mut self) {
+        let flush_gen = self.flush_gen;
+        if let Some(tc) = self.trace.as_deref_mut() {
+            if tc.rec.is_some() {
+                tc.finalize(flush_gen);
+            }
+        }
+    }
+}
+
+/// Disposition of a syscall hit during trace replay, returned by the
+/// kernel-provided fast-path hook (see [`Cpu::run_block_hooked`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HookAction {
+    /// Not a fast-path syscall: surface it as a normal block exit.
+    Pass,
+    /// Serviced in place: the hook already applied the architectural
+    /// effects (rip, registers, serialization, statistics); `charge` is
+    /// the kernel-entry + service cost to fold into the block's cycles.
+    /// `stop` ends the block (the caller's run deadline was reached).
+    Handled { charge: u64, stop: bool },
+}
+
+/// How one [`Cpu::exec_trace`] replay ended.
+enum TraceRun {
+    /// A kernel event (syscall, fault, `hlt`, `int3`) — ends the block.
+    Event(StepEvent),
+    /// All ops replayed; the terminal branch decides the next head.
+    Done,
+    /// Control flow diverged from the recording (or the trace was
+    /// unlinked mid-replay); fall back to cold execution.
+    SideExit,
+    /// The step budget ran out mid-trace.
+    Budget,
 }
 
 #[cfg(test)]

@@ -17,7 +17,9 @@
 pub mod cost;
 pub mod cpu;
 pub mod fasthash;
+pub mod trace;
 
 pub use cost::CostModel;
-pub use cpu::{Cpu, IcacheMode, Step, StepEvent};
+pub use cpu::{BlockExit, Cpu, HookAction, IcacheMode, Step, StepEvent};
 pub use fasthash::FastMap;
+pub use trace::TraceParams;

@@ -1,15 +1,17 @@
 //! Typed engine configuration and the kernel-side fault-injection session.
 //!
-//! [`EngineConfig`] replaces the accreted bool setters (`set_stepwise`,
-//! `set_legacy_mode`, `set_seed_flush`) with one builder applied through
-//! [`crate::Kernel::configure`]. [`FaultSession`] is the kernel's live
+//! [`EngineConfig`] replaced the accreted bool setters of earlier
+//! revisions with one builder applied through
+//! [`crate::Kernel::configure`]; every knob (engine, memory mode, icache
+//! policy, trace parameters, fault plan, profiler period, obs ring size)
+//! lives here. [`FaultSession`] is the kernel's live
 //! state for one [`FaultPlan`]: architectural counters (retired
 //! instructions, syscall occurrences, scheduling rounds) plus pending
 //! permission restorations — all of which advance identically under the
 //! block engine and the stepwise oracle.
 
 use crate::process::Pid;
-use sim_cpu::IcacheMode;
+use sim_cpu::{IcacheMode, TraceParams};
 use sim_fault::FaultPlan;
 use sim_mem::{MemMode, Perms};
 use std::collections::BTreeMap;
@@ -20,6 +22,10 @@ pub enum Engine {
     /// The block-based fast path ([`sim_cpu::Cpu::run_block`]).
     #[default]
     Block,
+    /// The block engine plus the trace cache: hot blocks are promoted
+    /// into linked superblocks replayed without per-instruction fetches
+    /// (see `sim_cpu::trace`).
+    Trace,
     /// The original per-step loop, retained as the determinism oracle and
     /// benchmarking baseline.
     Stepwise,
@@ -32,6 +38,8 @@ pub enum Engine {
 ///
 /// let fast = EngineConfig::new();
 /// assert_eq!(fast.engine, Engine::Block);
+/// let traced = EngineConfig::traced();
+/// assert_eq!(traced.engine, Engine::Trace);
 /// let oracle = EngineConfig::stepwise();
 /// assert_eq!(oracle.icache, IcacheMode::SeedFlush);
 /// let legacy = EngineConfig::new().mem(MemMode::Legacy);
@@ -45,10 +53,16 @@ pub struct EngineConfig {
     pub mem: MemMode,
     /// Decoded-instruction cache policy (applied to every core).
     pub icache: IcacheMode,
+    /// Trace-cache knobs (consulted only under [`Engine::Trace`]).
+    pub trace: TraceParams,
     /// Fault-injection plan, if any.
     pub fault: Option<FaultPlan>,
     /// Profiler sample period in retired instructions, if sampling.
     pub profile: Option<u64>,
+    /// Observability event-ring capacity override (events per simulated
+    /// CPU); `None` keeps the recorder's own configuration. Applied at
+    /// [`crate::Kernel::configure`] time when recording is live.
+    pub obs_ring_capacity: Option<usize>,
 }
 
 impl EngineConfig {
@@ -56,6 +70,15 @@ impl EngineConfig {
     /// revalidating icache, no fault injection.
     pub fn new() -> EngineConfig {
         EngineConfig::default()
+    }
+
+    /// The trace-engine configuration: block engine plus superblock
+    /// promotion with default [`TraceParams`].
+    pub fn traced() -> EngineConfig {
+        EngineConfig {
+            engine: Engine::Trace,
+            ..EngineConfig::default()
+        }
     }
 
     /// The oracle configuration the determinism tests compare against:
@@ -71,6 +94,20 @@ impl EngineConfig {
     /// Selects the scheduler engine.
     pub fn engine(mut self, engine: Engine) -> EngineConfig {
         self.engine = engine;
+        self
+    }
+
+    /// Overrides the trace-cache knobs (hotness threshold, max ops per
+    /// trace, pool capacity).
+    pub fn trace_params(mut self, params: TraceParams) -> EngineConfig {
+        self.trace = params;
+        self
+    }
+
+    /// Overrides the observability event-ring capacity (events per
+    /// simulated CPU) while recording is live.
+    pub fn obs_ring_capacity(mut self, cap: usize) -> EngineConfig {
+        self.obs_ring_capacity = Some(cap);
         self
     }
 

@@ -9,13 +9,51 @@ use crate::process::{FdEntry, Pid, Process, SeccompAction, SigAction, Thread, Th
 use crate::ptrace_if::{Stop, TraceOpts, Tracer, TracerAction};
 use crate::signal::{self, SigInfo};
 use crate::vfs::Vfs;
-use sim_cpu::{CostModel, Cpu, IcacheMode, Step, StepEvent};
+use sim_cpu::{BlockExit, CostModel, Cpu, HookAction, IcacheMode, Step, StepEvent};
 use sim_fault::{FaultKind, FaultPlan, PermFlip};
 use sim_isa::Reg;
 use sim_mem::{AddressSpace, MemMode, Perms, PAGE_SIZE};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
+
+/// Folds a run of `count` identical trivial syscalls (`nr_` issued from
+/// `site`) into the process statistics — the same updates, in the same
+/// order, as `handle_syscall_slow`'s count block, resolved through the
+/// same per-`(site, mapping generation)` region memo. Used by the hot
+/// slice loop, which batches consecutive identical syscalls and flushes
+/// before anything else can observe the stats.
+fn flush_syscall_stats(
+    stats: &mut crate::process::ProcStats,
+    region_cache: &mut sim_cpu::FastMap<u64, (u64, String)>,
+    space: &AddressSpace,
+    interposer_live: bool,
+    nr_: u64,
+    site: u64,
+    count: u64,
+) {
+    stats.syscalls += count;
+    *stats.per_syscall.entry(nr_).or_insert(0) += count;
+    let gen = space.generation();
+    if !matches!(region_cache.get(&site), Some((g, _)) if *g == gen) {
+        let name = space
+            .mapping_at(site)
+            .map(|m| m.name.clone())
+            .unwrap_or_else(|| "?".to_string());
+        region_cache.insert(site, (gen, name));
+    }
+    let region = &region_cache[&site].1;
+    match stats.syscalls_via.get_mut(region.as_str()) {
+        Some(c) => *c += count,
+        None => {
+            stats.syscalls_via.insert(region.clone(), count);
+        }
+    }
+    *stats.per_site.entry(site).or_insert(0) += count;
+    if !interposer_live {
+        stats.syscalls_before_interposer += count;
+    }
+}
 
 /// A host function invocable from guest code via an `int3` hostcall site.
 pub type HostcallFn = Rc<RefCell<dyn FnMut(&mut Kernel, Pid, Tid)>>;
@@ -141,10 +179,16 @@ pub struct Kernel {
     /// multi-worker workloads).
     pub thread_cycles: sim_cpu::FastMap<(Pid, Tid), u64>,
     current: Option<(Pid, Tid)>,
+    /// Clock deadline of the current [`Kernel::run`] call; the in-slice
+    /// direct-path syscall loop checks it so `RunExit::Budget` still
+    /// fires at the same granularity as the scheduler loop.
+    run_deadline: u64,
     /// Scheduler engine (see [`EngineConfig`]).
     engine: Engine,
     /// Icache policy stamped onto each core at slice entry.
     icache: IcacheMode,
+    /// Trace-cache knobs stamped onto each core under [`Engine::Trace`].
+    trace_params: sim_cpu::TraceParams,
     /// Memory access mode stamped onto every address space.
     mem_mode: MemMode,
     /// Live fault-injection session, when configured.
@@ -177,8 +221,10 @@ impl Kernel {
             rng_state: 0x5eed,
             thread_cycles: sim_cpu::FastMap::default(),
             current: None,
+            run_deadline: u64::MAX,
             engine: Engine::Block,
             icache: IcacheMode::Revalidate,
+            trace_params: sim_cpu::TraceParams::default(),
             mem_mode: MemMode::PageRun,
             fault: None,
             prof: None,
@@ -194,9 +240,13 @@ impl Kernel {
     pub fn configure(&mut self, cfg: EngineConfig) {
         self.engine = cfg.engine;
         self.icache = cfg.icache;
+        self.trace_params = cfg.trace;
         self.mem_mode = cfg.mem;
         self.fault = cfg.fault.map(FaultSession::new);
         self.prof = cfg.profile.map(ProfSession::new);
+        if let Some(cap) = cfg.obs_ring_capacity {
+            sim_obs::set_ring_capacity(cap);
+        }
         for p in self.procs.values_mut() {
             p.space.set_mem_mode(cfg.mem);
         }
@@ -212,20 +262,6 @@ impl Kernel {
     /// and failure reporting).
     pub fn fault_plan(&self) -> Option<&FaultPlan> {
         self.fault.as_ref().map(|f| &f.plan)
-    }
-
-    /// Selects the scheduler engine: `true` runs the original per-step
-    /// loop (the pre-fast-path baseline, kept as the determinism oracle),
-    /// `false` (default) runs the block-based fast path.
-    #[deprecated(
-        note = "use configure(EngineConfig::stepwise()) or configure(EngineConfig::new())"
-    )]
-    pub fn set_stepwise(&mut self, stepwise: bool) {
-        self.configure(if stepwise {
-            EngineConfig::stepwise()
-        } else {
-            EngineConfig::new()
-        });
     }
 
     /// Starts recording an instruction-level execution trace.
@@ -762,11 +798,13 @@ impl Kernel {
         };
         self.charge(cost_sig);
         let p = self.procs.get_mut(&pid).expect("proc vanished");
-        let Some(t) = p.thread_mut(tid) else {
+        let Process { space, threads, .. } = p;
+        let Some(t) = threads.iter_mut().find(|t| t.tid == tid) else {
             return;
         };
-        // Signal delivery serializes the core.
-        t.cpu.flush_icache();
+        // Signal delivery serializes the core (coalesced when nothing was
+        // written since the last serialization point).
+        t.cpu.serialize(space);
         let rsp = t.cpu.get(Reg::Rsp);
         let base = (rsp - signal::FRAME_SIZE) & !15;
         let mut frame = vec![0u8; signal::FRAME_SIZE as usize];
@@ -785,7 +823,7 @@ impl Kernel {
             .copy_from_slice(&info.call_addr.to_le_bytes());
         frame[signal::SI_FAULT_ADDR as usize..signal::SI_FAULT_ADDR as usize + 8]
             .copy_from_slice(&info.fault_addr.to_le_bytes());
-        if p.space.write_raw(base, &frame).is_err() {
+        if space.write_raw(base, &frame).is_err() {
             // Unwritable stack: fatal.
             self.kill_process(pid, 128 + nr::SIGSEGV as i64);
             return;
@@ -810,6 +848,7 @@ impl Kernel {
     /// `max_cycles` have elapsed.
     pub fn run(&mut self, max_cycles: u64) -> RunExit {
         let deadline = self.clock.saturating_add(max_cycles);
+        self.run_deadline = deadline;
         // The runnable list is rebuilt every scheduler round (i.e. after
         // every slice-ending event, so typically once per syscall); reuse
         // one buffer across rounds to keep the round allocation-free.
@@ -1039,9 +1078,13 @@ impl Kernel {
         }
         if serialized {
             // A permission change behaves like an mprotect IPI: the
-            // running core serializes its instruction stream.
-            if let Some(t) = self.procs.get_mut(&pid).and_then(|p| p.thread_mut(tid)) {
-                t.cpu.flush_icache();
+            // running core serializes its instruction stream. (`protect`
+            // bumped the space generation, so this is never coalesced.)
+            if let Some(p) = self.procs.get_mut(&pid) {
+                let Process { space, threads, .. } = p;
+                if let Some(t) = threads.iter_mut().find(|t| t.tid == tid) {
+                    t.cpu.serialize(space);
+                }
             }
         }
         if let Some(signo) = signo {
@@ -1085,7 +1128,11 @@ impl Kernel {
         }
         match self.engine {
             Engine::Stepwise => self.run_slice_stepwise(pid, tid),
-            Engine::Block => self.run_slice_blocks(pid, tid),
+            // The trace engine shares the block slice loop: the same
+            // budget capping makes fault, profiler, and slice boundaries
+            // land on identical instructions; only the core-level
+            // execution strategy differs.
+            Engine::Block | Engine::Trace => self.run_slice_blocks(pid, tid),
         }
     }
 
@@ -1097,17 +1144,36 @@ impl Kernel {
     fn run_slice_blocks(&mut self, pid: Pid, tid: Tid) {
         self.current = Some((pid, tid));
         let icache = self.icache;
+        let tparams = (self.engine == Engine::Trace).then_some(self.trace_params);
         let mut remaining = self.effective_slice(tid);
         while remaining > 0 {
             if self.fault_boundary_due() {
                 self.apply_fault_boundary(pid, tid);
                 return;
             }
+            // Single-threaded hot path: alternate block/trace execution
+            // and direct-path syscall handling under one process borrow,
+            // with clock/cycle/stat accounting batched and flushed at
+            // exact retired-instruction boundaries. Falls out with a
+            // pending block exit when anything needs the general path;
+            // the loop below then handles that exit exactly as if it had
+            // produced it itself.
+            let hot = if self.hot_slice_ok(pid, tid) {
+                let Some(block) = self.run_slice_hot(pid, tid, icache, tparams, &mut remaining)
+                else {
+                    return; // slice (or run deadline) ended inside the hot loop
+                };
+                Some(block)
+            } else {
+                None
+            };
             let budget = self.prof_capped(self.fault_capped(remaining));
             let clock = self.clock;
             let cost = self.cost;
             let mut trace = self.exec_trace.take();
-            let block = {
+            let block = if let Some(block) = hot {
+                block
+            } else {
                 let Some(p) = self.procs.get_mut(&pid) else {
                     self.exec_trace = trace;
                     return;
@@ -1127,6 +1193,7 @@ impl Kernel {
                 }
                 let mut traced_clock = clock;
                 t.cpu.set_icache_mode(icache);
+                t.cpu.set_trace_mode(tparams);
                 t.cpu
                     .run_block(space, clock, &cost, budget, |rip, step: &Step| {
                         if let Some(rec) = trace.as_mut() {
@@ -1154,7 +1221,19 @@ impl Kernel {
             match block.event {
                 StepEvent::Executed => {} // budget exhausted: slice over
                 StepEvent::Syscall { site, .. } => {
-                    self.handle_syscall(pid, tid, site);
+                    // When the direct path handled the syscall and this
+                    // is the only runnable thread in the machine, the
+                    // scheduler round that would follow is a no-op
+                    // (nothing to wake, nothing to rotate, nothing else
+                    // to run): start the thread's next slice immediately
+                    // instead of unwinding to `run`. Architecturally
+                    // invisible — slice boundaries only matter for
+                    // scheduling order, fault rounds, and the run
+                    // deadline, all of which `fast_loop_ok` rules out.
+                    if self.handle_syscall(pid, tid, site) && self.fast_loop_ok(pid) {
+                        remaining = self.effective_slice(tid);
+                        continue;
+                    }
                     return; // end the slice at kernel entry
                 }
                 StepEvent::Hlt => {
@@ -1181,6 +1260,280 @@ impl Kernel {
                 }
             }
         }
+    }
+
+    /// True when ending the current slice and re-entering the scheduler
+    /// loop would provably change nothing: no deferred writes to flush,
+    /// no fault session advancing its round counter, the run deadline
+    /// not reached, and exactly one process with exactly one (runnable)
+    /// thread — so the rebuilt runnable list would contain only the
+    /// current thread.
+    fn fast_loop_ok(&self, pid: Pid) -> bool {
+        self.deferred.is_empty()
+            && self.fault.is_none()
+            && self.clock < self.run_deadline
+            && self.procs.len() == 1
+            && self.procs.get(&pid).is_some_and(|p| {
+                p.exit_status.is_none()
+                    && p.threads.len() == 1
+                    && p.threads[0].state == ThreadState::Runnable
+            })
+    }
+
+    /// True when [`Kernel::run_slice_hot`] may run: no instrumentation
+    /// (obs, fault session, profiler, syscall log, tracers) is armed, the
+    /// machine has exactly one process with exactly one runnable thread
+    /// (the current one), no seccomp filter is installed, no deferred
+    /// writes are queued, and the run deadline is not reached. Everything
+    /// that could invalidate these conditions — arming syscalls,
+    /// hostcalls, thread creation — exits the hot loop first.
+    fn hot_slice_ok(&self, pid: Pid, tid: Tid) -> bool {
+        !sim_obs::enabled()
+            && self.fault.is_none()
+            && self.prof.is_none()
+            && self.trace_log.is_none()
+            && self.tracers.is_empty()
+            && self.deferred.is_empty()
+            && self.clock < self.run_deadline
+            && self.procs.len() == 1
+            && self.procs.get(&pid).is_some_and(|p| {
+                p.exit_status.is_none()
+                    && p.seccomp.is_none()
+                    && p.threads.len() == 1
+                    && p.threads[0].tid == tid
+                    && p.threads[0].state == ThreadState::Runnable
+            })
+    }
+
+    /// The single-threaded hot loop: alternates block/trace execution and
+    /// direct-path handling of trivial syscalls under **one** process
+    /// borrow, batching clock, per-thread cycle, and syscall-statistic
+    /// accounting in locals that are flushed at exact retired-instruction
+    /// boundaries (before any state the general path could observe).
+    ///
+    /// Guarded by [`Kernel::hot_slice_ok`]; nothing the loop handles can
+    /// invalidate those conditions, so they are checked once. Slice
+    /// exhaustion and direct-path syscalls restart the slice in place —
+    /// architecturally identical to unwinding into the scheduler loop,
+    /// which [`Kernel::fast_loop_ok`]'s reasoning shows would be a no-op.
+    ///
+    /// Returns `Some(block)` when a block ended with an exit the general
+    /// loop must handle — that block's accounting has **not** been
+    /// applied yet (the caller's normal bookkeeping applies it), though
+    /// its exec-trace entries are already recorded. Returns `None` when
+    /// the slice ended cleanly (run deadline reached); the caller returns
+    /// to the scheduler.
+    fn run_slice_hot(
+        &mut self,
+        pid: Pid,
+        tid: Tid,
+        icache: IcacheMode,
+        tparams: Option<sim_cpu::TraceParams>,
+        remaining: &mut u64,
+    ) -> Option<BlockExit> {
+        let cost = self.cost;
+        let deadline = self.run_deadline;
+        let slice = self.slice as u64;
+        let mut exec_trace = self.exec_trace.take();
+        let mut clock = self.clock;
+        let mut cycles_acc = 0u64;
+        let mut vdso_acc = 0u64;
+        // Pending syscall-statistics run: `pend` occurrences of syscall
+        // `pend_nr` issued from `pend_site`, not yet folded into
+        // `ProcStats`. The stress loops this path serves issue the same
+        // syscall from the same site, so the fold is one memoized region
+        // lookup and five counter adds per run instead of per call.
+        let mut pend_nr = 0u64;
+        let mut pend_site = 0u64;
+        let mut pend = 0u64;
+        let result;
+        {
+            let p = self.procs.get_mut(&pid).expect("hot_slice_ok checked");
+            let Process {
+                space,
+                threads,
+                stats,
+                region_cache,
+                interposer_live,
+                ..
+            } = p;
+            let t = &mut threads[0];
+            t.cpu.set_icache_mode(icache);
+            t.cpu.set_trace_mode(tparams);
+            // Constant for the whole hot slice: only non-trivial syscalls
+            // (which exit this loop) can arm SUD or set `restarting`.
+            let restarting = t.restarting;
+            let sud_armed = t.sud.is_some();
+            result = loop {
+                let budget = *remaining;
+                // Shared between the step hook and the syscall hook (a
+                // handled syscall's charge must show up in the clocks of
+                // the trace entries that follow it), hence a Cell.
+                let traced_clock = std::cell::Cell::new(clock);
+                // Direct-path syscall entry inside trace replay: the
+                // same trivial-syscall service as the block-exit arm
+                // below, with identical register, serialization, clock,
+                // and statistics effects — so a self-looping trace
+                // handles its syscall without ever leaving `run_block`.
+                let mut syscall_fast =
+                    |cpu: &mut Cpu, space: &mut AddressSpace, site: u64, abs: u64| {
+                        if restarting || sud_armed {
+                            return HookAction::Pass;
+                        }
+                        let nr_ = cpu.get(Reg::Rax);
+                        let ret = match nr_ {
+                            nr::SYS_NONEXISTENT => nr::err(nr::ENOSYS),
+                            nr::SYS_GETPID => pid,
+                            nr::SYS_GETTID => tid,
+                            nr::SYS_GETUID => 1000,
+                            nr::SYS_SCHED_YIELD => 0,
+                            _ => return HookAction::Pass,
+                        };
+                        cpu.serialize(space);
+                        cpu.rip = site + 2;
+                        cpu.set(Reg::Rax, ret);
+                        cpu.apply_syscall_clobbers(site + 2);
+                        if pend > 0 && (pend_nr != nr_ || pend_site != site) {
+                            flush_syscall_stats(
+                                stats,
+                                region_cache,
+                                space,
+                                *interposer_live,
+                                pend_nr,
+                                pend_site,
+                                pend,
+                            );
+                            pend = 0;
+                        }
+                        pend_nr = nr_;
+                        pend_site = site;
+                        pend += 1;
+                        let charge = cost.kernel_entry + crate::sys::service_cost(nr_, 0);
+                        traced_clock.set(traced_clock.get() + charge);
+                        HookAction::Handled {
+                            charge,
+                            stop: abs + charge >= deadline,
+                        }
+                    };
+                // Monomorphize the replay loop on whether an exec trace
+                // is being recorded: the no-trace instantiation's step
+                // hook is a true no-op instead of a per-op branch.
+                let block = if exec_trace.is_none() {
+                    t.cpu.run_block_hooked(
+                        space,
+                        clock,
+                        &cost,
+                        budget,
+                        |_, _: &Step| {},
+                        &mut syscall_fast,
+                    )
+                } else {
+                    t.cpu.run_block_hooked(
+                        space,
+                        clock,
+                        &cost,
+                        budget,
+                        |rip, step: &Step| {
+                            if let Some(rec) = exec_trace.as_mut() {
+                                traced_clock.set(traced_clock.get() + step.cycles);
+                                rec.push(TraceEntry {
+                                    pid,
+                                    tid,
+                                    rip,
+                                    clock: traced_clock.get(),
+                                    event: step.event,
+                                });
+                            }
+                        },
+                        &mut syscall_fast,
+                    )
+                };
+                match block.event {
+                    StepEvent::Syscall { site, .. } if !t.restarting && t.sud.is_none() => {
+                        let nr_ = t.cpu.get(Reg::Rax);
+                        // Same trivial-syscall set as handle_syscall_fast:
+                        // a pure return value, no kernel state beyond the
+                        // statistics.
+                        let ret = match nr_ {
+                            nr::SYS_NONEXISTENT => nr::err(nr::ENOSYS),
+                            nr::SYS_GETPID => pid,
+                            nr::SYS_GETTID => tid,
+                            nr::SYS_GETUID => 1000,
+                            nr::SYS_SCHED_YIELD => 0,
+                            _ => break Some(block),
+                        };
+                        clock += block.cycles;
+                        cycles_acc += block.cycles;
+                        vdso_acc += block.vdso_calls;
+                        // Kernel entry serializes the instruction stream
+                        // (coalesced to a stamp compare while nothing in
+                        // the space was written).
+                        t.cpu.serialize(space);
+                        t.cpu.rip = site + 2;
+                        t.cpu.set(Reg::Rax, ret);
+                        t.cpu.apply_syscall_clobbers(site + 2);
+                        if pend > 0 && (pend_nr != nr_ || pend_site != site) {
+                            flush_syscall_stats(
+                                stats,
+                                region_cache,
+                                space,
+                                *interposer_live,
+                                pend_nr,
+                                pend_site,
+                                pend,
+                            );
+                            pend = 0;
+                        }
+                        pend_nr = nr_;
+                        pend_site = site;
+                        pend += 1;
+                        let c = cost.kernel_entry + crate::sys::service_cost(nr_, 0);
+                        clock += c;
+                        cycles_acc += c;
+                        if clock >= deadline {
+                            *remaining = 0;
+                            break None;
+                        }
+                        // Direct-path return: start the next slice here.
+                        *remaining = slice;
+                    }
+                    StepEvent::Executed => {
+                        // Budget exhausted: the slice is over, and the
+                        // scheduler round that follows is a no-op, so
+                        // start the next slice in place.
+                        clock += block.cycles;
+                        cycles_acc += block.cycles;
+                        vdso_acc += block.vdso_calls;
+                        if clock >= deadline {
+                            *remaining = 0;
+                            break None;
+                        }
+                        *remaining = slice;
+                    }
+                    // Hlt, Int3, Fault, restarting or SUD-armed syscalls:
+                    // hand the exit (accounting unapplied) to the caller.
+                    _ => break Some(block),
+                }
+            };
+            if pend > 0 {
+                flush_syscall_stats(
+                    stats,
+                    region_cache,
+                    space,
+                    *interposer_live,
+                    pend_nr,
+                    pend_site,
+                    pend,
+                );
+            }
+            stats.vdso_calls += vdso_acc;
+        }
+        self.exec_trace = exec_trace;
+        self.clock = clock;
+        if cycles_acc > 0 {
+            *self.thread_cycles.entry((pid, tid)).or_insert(0) += cycles_acc;
+        }
+        result
     }
 
     /// The original per-step slice loop, retained verbatim as the
@@ -1313,8 +1666,115 @@ impl Kernel {
         region_cache[&site].1.clone()
     }
 
+    /// Direct-path kernel entry for trivial process-local syscalls.
+    ///
+    /// When no interposition or instrumentation machinery is armed (no
+    /// tracer on the process, no SUD on the thread, no seccomp filter,
+    /// no fault session, no syscall log, obs disabled, not an in-kernel
+    /// restart) and the syscall's only effects are a return value plus
+    /// counter updates, the full [`Kernel::handle_syscall`] walk — five
+    /// separate process borrows, two tracer-stop probes, a seccomp
+    /// lookup, and a register re-read — collapses to one borrow. Every
+    /// architectural effect (clock charges, per-thread cycle
+    /// attribution, syscall statistics, register clobbers) is identical
+    /// to the slow path; the determinism suite diffs the two.
+    ///
+    /// Returns `false` (without side effects) when any condition fails;
+    /// the caller then takes the slow path.
+    fn handle_syscall_fast(&mut self, pid: Pid, tid: Tid, site: u64) -> bool {
+        if sim_obs::enabled()
+            || self.fault.is_some()
+            || self.trace_log.is_some()
+            || self.tracers.contains_key(&pid)
+        {
+            return false;
+        }
+        let cost = self.cost;
+        let Some(p) = self.procs.get_mut(&pid) else {
+            return false;
+        };
+        if p.seccomp.is_some() {
+            return false;
+        }
+        let Process {
+            space,
+            threads,
+            stats,
+            region_cache,
+            interposer_live,
+            ..
+        } = p;
+        let Some(t) = threads.iter_mut().find(|t| t.tid == tid) else {
+            return false;
+        };
+        if t.restarting || t.sud.is_some() {
+            return false;
+        }
+        let nr_ = t.cpu.get(Reg::Rax);
+        // Only syscalls whose slow-path dispatch is a pure `Disp::Ret`
+        // with no kernel state touched beyond the statistics; anything
+        // else falls back. `SYS_NONEXISTENT` is the Table 5 stress nr.
+        let ret = match nr_ {
+            nr::SYS_NONEXISTENT => nr::err(nr::ENOSYS),
+            nr::SYS_GETPID => pid,
+            nr::SYS_GETTID => tid,
+            nr::SYS_GETUID => 1000,
+            nr::SYS_SCHED_YIELD => 0,
+            _ => return false,
+        };
+        // Kernel entry serializes the instruction stream (coalesced to a
+        // stamp compare while nothing in the space was written).
+        t.cpu.serialize(space);
+        t.cpu.rip = site + 2;
+        t.cpu.set(Reg::Rax, ret);
+        t.cpu.apply_syscall_clobbers(site + 2);
+        // Statistics — the same updates, in the same order, as the slow
+        // path's count block.
+        stats.syscalls += 1;
+        *stats.per_syscall.entry(nr_).or_insert(0) += 1;
+        let gen = space.generation();
+        if !matches!(region_cache.get(&site), Some((g, _)) if *g == gen) {
+            let name = space
+                .mapping_at(site)
+                .map(|m| m.name.clone())
+                .unwrap_or_else(|| "?".to_string());
+            region_cache.insert(site, (gen, name));
+        }
+        let region = &region_cache[&site].1;
+        match stats.syscalls_via.get_mut(region.as_str()) {
+            Some(c) => *c += 1,
+            None => {
+                stats.syscalls_via.insert(region.clone(), 1);
+            }
+        }
+        *stats.per_site.entry(site).or_insert(0) += 1;
+        if !*interposer_live {
+            stats.syscalls_before_interposer += 1;
+        }
+        // One folded clock charge: entry cost plus the service cost the
+        // dispatch layer would add. Obs is off (checked above), so
+        // `charge`'s set_clock call would be a no-op anyway.
+        let cycles = cost.kernel_entry + crate::sys::service_cost(nr_, 0);
+        self.clock += cycles;
+        *self.thread_cycles.entry((pid, tid)).or_insert(0) += cycles;
+        true
+    }
+
     /// Kernel entry for a `syscall`/`sysenter` at `site`.
-    fn handle_syscall(&mut self, pid: Pid, tid: Tid, site: u64) {
+    /// Returns `true` when the direct path handled the syscall — the
+    /// block engines use that to skip the no-op scheduler round that
+    /// would otherwise follow.
+    fn handle_syscall(&mut self, pid: Pid, tid: Tid, site: u64) -> bool {
+        if self.handle_syscall_fast(pid, tid, site) {
+            return true;
+        }
+        self.handle_syscall_slow(pid, tid, site);
+        false
+    }
+
+    /// The full kernel-entry walk: SUD dispatch, ptrace stops, seccomp,
+    /// statistics, fault injection, and the syscall table.
+    fn handle_syscall_slow(&mut self, pid: Pid, tid: Tid, site: u64) {
         let cost = self.cost;
         // Gather thread state.
         let (nr_, args, sud, selector, restarting) = {
@@ -1326,8 +1786,10 @@ impl Kernel {
                 return;
             };
             let restarting = std::mem::take(&mut t.restarting);
-            // Kernel entry serializes the core's instruction stream.
-            t.cpu.flush_icache();
+            // Kernel entry serializes the core's instruction stream
+            // (coalesced to a no-op while nothing in the space was
+            // written — the common case for a tight syscall loop).
+            t.cpu.serialize(space);
             let nr_ = t.cpu.get(Reg::Rax);
             let args = [
                 t.cpu.get(Reg::Rdi),

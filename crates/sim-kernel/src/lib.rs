@@ -36,7 +36,7 @@ pub use config::{Engine, EngineConfig};
 pub use kernel::{ExecLoader, ExecOpts, HostcallFn, Kernel, LoadedImage, RunExit, TraceEntry};
 // Configuration building blocks re-exported so callers assemble an
 // `EngineConfig` from this crate alone.
-pub use sim_cpu::IcacheMode;
+pub use sim_cpu::{IcacheMode, TraceParams};
 pub use sim_fault::FaultPlan;
 pub use sim_mem::MemMode;
 pub use net::{Channel, End, Net};

@@ -27,7 +27,7 @@ const O_CREAT: u64 = 0x40;
 
 /// Cycles of in-kernel service work per syscall (on top of
 /// `CostModel::kernel_entry`).
-fn service_cost(nr_: u64, bytes: u64) -> u64 {
+pub(crate) fn service_cost(nr_: u64, bytes: u64) -> u64 {
     match nr_ {
         nr::SYS_READ | nr::SYS_WRITE => 60 + bytes / 32,
         nr::SYS_OPEN | nr::SYS_OPENAT | nr::SYS_CLOSE | nr::SYS_NEWFSTATAT | nr::SYS_ACCESS => 80,
@@ -44,7 +44,8 @@ fn service_cost(nr_: u64, bytes: u64) -> u64 {
         nr::SYS_PRCTL | nr::SYS_RT_SIGACTION => 60,
         nr::SYS_GETPID | nr::SYS_GETTID | nr::SYS_GETUID | nr::SYS_SCHED_YIELD => 30,
         nr::SYS_CLOCK_GETTIME | nr::SYS_GETTIMEOFDAY | nr::SYS_TIME => 45,
-        _ if nr::syscall_name(nr_) == "unknown" || nr_ == nr::SYS_NONEXISTENT => 10,
+        nr::SYS_NONEXISTENT => 10,
+        _ if nr::syscall_name(nr_) == "unknown" => 10,
         _ => 40,
     }
 }
@@ -573,10 +574,9 @@ impl Kernel {
             let o = off as usize;
             u64::from_le_bytes(frame[o..o + 8].try_into().expect("8 bytes"))
         };
-        let t = self
-            .process_mut(pid)
-            .and_then(|p| p.thread_mut(tid))
-            .expect("thread");
+        let p = self.process_mut(pid).expect("proc");
+        let crate::process::Process { space, threads, .. } = p;
+        let t = threads.iter_mut().find(|t| t.tid == tid).expect("thread");
         t.cpu.rip = rd(crate::signal::UC_RIP);
         t.cpu.flags_from_packed(rd(crate::signal::UC_FLAGS));
         t.cpu.pkru = sim_mem::Pkru(rd(crate::signal::UC_PKRU) as u32);
@@ -585,7 +585,7 @@ impl Kernel {
             t.cpu.set(*r, v);
         }
         // Returning from the handler serializes (iret).
-        t.cpu.flush_icache();
+        t.cpu.serialize(space);
         // A masking handler just left the stack: deliver the oldest
         // deferred signal (one per sigreturn — each delivery pushes its own
         // frame, whose sigreturn drains the next, keeping delivery points

@@ -152,7 +152,7 @@ impl Default for TlbEntry {
 /// runs* — one permission check and one `copy_from_slice` per page touched
 /// rather than per byte. The byte-at-a-time `*_ref` twins of each accessor
 /// are kept as the semantic reference: equivalence is enforced by property
-/// tests, and [`AddressSpace::set_legacy_mode`] routes the public API
+/// tests, and [`AddressSpace::set_mem_mode`] routes the public API
 /// through them to reproduce the pre-fast-path engine for benchmarking.
 #[derive(Debug, Clone)]
 pub struct AddressSpace {
@@ -215,13 +215,6 @@ impl AddressSpace {
         }
     }
 
-    /// Routes the accessors through the byte-at-a-time reference
-    /// implementations.
-    #[deprecated(note = "use set_mem_mode(MemMode::Legacy | MemMode::PageRun)")]
-    pub fn set_legacy_mode(&mut self, legacy: bool) {
-        self.set_mem_mode(if legacy { MemMode::Legacy } else { MemMode::PageRun });
-    }
-
     /// Bumps the TLB generation, invalidating every cached translation.
     #[inline]
     fn tlb_flush(&mut self) {
@@ -246,6 +239,19 @@ impl AddressSpace {
     fn next_version(&mut self) -> u64 {
         self.version_counter += 1;
         self.version_counter
+    }
+
+    /// Serialization stamp: `(generation, last issued content version)`.
+    /// Two equal stamps guarantee that *no* write, mapping, protection, or
+    /// pkey change happened in between — every write path draws a fresh
+    /// version from the monotonic counter, and every translation change
+    /// bumps the generation. Cores use this to coalesce serialization
+    /// points: a flush between two equal stamps could not publish anything
+    /// new, so revalidating cached decodes against it would trivially
+    /// succeed.
+    #[inline]
+    pub fn write_stamp(&self) -> (u64, u64) {
+        (self.tlb_gen, self.version_counter)
     }
 
     /// Content version of the materialized page at `base` (`None` if the

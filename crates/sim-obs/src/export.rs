@@ -233,7 +233,19 @@ impl Recorder {
                 Value::UInt(c.icache_invalidated_entries),
             ),
             ("icache_flushes", Value::UInt(c.icache_flushes)),
+            (
+                "icache_flush_coalesced",
+                Value::UInt(c.icache_flush_coalesced),
+            ),
             ("block_lengths", hist(&c.block_lengths)),
+            ("trace_forms", Value::UInt(c.trace_forms)),
+            ("trace_entries", Value::UInt(c.trace_entries)),
+            ("trace_links", Value::UInt(c.trace_links)),
+            ("trace_side_exits", Value::UInt(c.trace_side_exits)),
+            ("trace_revalidations", Value::UInt(c.trace_revalidations)),
+            ("trace_unlinks", Value::UInt(c.trace_unlinks)),
+            ("trace_aborts", Value::UInt(c.trace_aborts)),
+            ("trace_lengths", hist(&c.trace_lengths)),
             ("syscalls", Value::UInt(c.syscalls)),
             ("sigsys", Value::UInt(c.sigsys)),
             ("tracer_stops", Value::UInt(c.tracer_stops)),
@@ -298,6 +310,13 @@ impl Recorder {
             c.icache_invalidated_entries,
             c.icache_flushes
         );
+        if c.icache_flush_coalesced > 0 {
+            let _ = writeln!(
+                s,
+                "icache: {} serialization points coalesced (unchanged write stamp)",
+                c.icache_flush_coalesced
+            );
+        }
         let _ = writeln!(
             s,
             "blocks: {} executed, mean {:.1} steps, max {}",
@@ -305,6 +324,23 @@ impl Recorder {
             c.block_lengths.mean(),
             c.block_lengths.max
         );
+        if c.trace_forms > 0 || c.trace_entries > 0 {
+            let _ = writeln!(
+                s,
+                "traces: {} formed (mean {:.1} ops, max {}), {} entered, {} linked, {} side exits",
+                c.trace_forms,
+                c.trace_lengths.mean(),
+                c.trace_lengths.max,
+                c.trace_entries,
+                c.trace_links,
+                c.trace_side_exits
+            );
+            let _ = writeln!(
+                s,
+                "traces: {} revalidated, {} unlinked, {} recordings aborted",
+                c.trace_revalidations, c.trace_unlinks, c.trace_aborts
+            );
+        }
         let _ = writeln!(
             s,
             "page runs: {} accesses, mean {:.1} bytes, max {}",

@@ -149,8 +149,13 @@ pub struct ObsConfig {
 
 impl Default for ObsConfig {
     fn default() -> Self {
+        let ring_capacity = std::env::var("SIM_OBS_RING_CAP")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&c| c > 0)
+            .unwrap_or(1 << 16);
         ObsConfig {
-            ring_capacity: 1 << 16,
+            ring_capacity,
             micro_events: false,
         }
     }
@@ -262,7 +267,20 @@ pub struct Counters {
     pub icache_invalidations: u64,
     pub icache_invalidated_entries: u64,
     pub icache_flushes: u64,
+    /// Serialization points coalesced away because the address space's
+    /// write stamp was unchanged since the last real flush — the flush
+    /// would have revalidated every entry trivially.
+    pub icache_flush_coalesced: u64,
     pub block_lengths: Hist,
+    // sim-cpu trace engine
+    pub trace_forms: u64,
+    pub trace_entries: u64,
+    pub trace_links: u64,
+    pub trace_side_exits: u64,
+    pub trace_revalidations: u64,
+    pub trace_unlinks: u64,
+    pub trace_aborts: u64,
+    pub trace_lengths: Hist,
     // sim-kernel
     pub syscalls: u64,
     pub sigsys: u64,
@@ -540,6 +558,22 @@ pub fn enable(cfg: ObsConfig) {
     SPAN_RANGES.with(|m| m.borrow_mut().clear());
     SPAN_CUR.with(|c| c.set(SPAN_CUR_INVALID));
     ENABLED.with(|e| e.set(true));
+}
+
+/// Resizes the event-ring capacity of the live recorder (and of rings
+/// already allocated). No-op when recording is disabled. Shrinking below
+/// a ring's current length stops further pushes but never discards
+/// already-recorded events.
+pub fn set_ring_capacity(cap: usize) {
+    if !enabled() || cap == 0 {
+        return;
+    }
+    with_rec(|r| {
+        r.cfg.ring_capacity = cap;
+        for ring in r.rings.values_mut() {
+            ring.cap = cap;
+        }
+    });
 }
 
 /// Stops recording and hands the recorder to the caller for export.
@@ -1063,6 +1097,88 @@ pub fn icache_flush() {
         return;
     }
     with_rec(|r| r.counters.icache_flushes += 1);
+}
+
+/// A serialization point was coalesced away: the address space's write
+/// stamp was unchanged since the last real flush, so every cached decode
+/// would have revalidated trivially.
+#[inline]
+pub fn icache_flush_coalesced() {
+    if !enabled() {
+        return;
+    }
+    with_rec(|r| r.counters.icache_flush_coalesced += 1);
+}
+
+/// A hot block chain was promoted into a trace of `ops` instructions.
+#[inline]
+pub fn trace_form(ops: u64) {
+    if !enabled() {
+        return;
+    }
+    with_rec(|r| {
+        r.counters.trace_forms += 1;
+        r.counters.trace_lengths.record(ops);
+    });
+}
+
+/// Execution entered a validated trace from the cold dispatcher.
+#[inline]
+pub fn trace_enter() {
+    if !enabled() {
+        return;
+    }
+    with_rec(|r| r.counters.trace_entries += 1);
+}
+
+/// A trace's terminal branch jumped directly into a successor trace
+/// without returning to the dispatcher.
+#[inline]
+pub fn trace_link() {
+    if !enabled() {
+        return;
+    }
+    with_rec(|r| r.counters.trace_links += 1);
+}
+
+/// Control flow left a trace before its terminal op (branch went the
+/// other way); execution fell back to the dispatcher.
+#[inline]
+pub fn trace_side_exit() {
+    if !enabled() {
+        return;
+    }
+    with_rec(|r| r.counters.trace_side_exits += 1);
+}
+
+/// A trace survived a generation bump: one `mem_gen` compare plus a
+/// per-page version walk confirmed its decode is still current.
+#[inline]
+pub fn trace_revalidate() {
+    if !enabled() {
+        return;
+    }
+    with_rec(|r| r.counters.trace_revalidations += 1);
+}
+
+/// `n` traces were unlinked (invalidated) by a store, protection flip,
+/// or failed revalidation.
+#[inline]
+pub fn trace_unlink(n: u64) {
+    if !enabled() {
+        return;
+    }
+    with_rec(|r| r.counters.trace_unlinks += n);
+}
+
+/// An in-progress trace recording was aborted (SMC, flush, or overlap
+/// with a store) before it could form.
+#[inline]
+pub fn trace_abort() {
+    if !enabled() {
+        return;
+    }
+    with_rec(|r| r.counters.trace_aborts += 1);
 }
 
 /// Records the number of steps retired by one `run_block` invocation.

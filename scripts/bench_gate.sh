@@ -1,12 +1,23 @@
 #!/usr/bin/env bash
-# Profiler bench regression gate: re-measure every (workload, interposer)
-# row with simprof and compare instruction/sample counts against the
-# committed baseline BENCH_simprof.json. Fails (non-zero exit) when any
-# row drifts beyond the tolerance band (default 10%; override with
-# SIMPROF_TOL or extra flags, e.g. `scripts/bench_gate.sh --tol 0.05`).
+# Bench regression gates against the committed baselines.
 #
-# Refresh the baseline after an intentional change with:
+# 1. Profiler gate: re-measure every (workload, interposer) row with
+#    simprof and compare instruction/sample counts against
+#    BENCH_simprof.json. Fails (non-zero exit) when any row drifts beyond
+#    the tolerance band (default 10%; override with SIMPROF_TOL or extra
+#    flags, e.g. `scripts/bench_gate.sh --tol 0.05` — flags are passed to
+#    the simprof gate only).
+# 2. Engine-throughput gate: re-run simperf and check against
+#    BENCH_simperf.json that (a) the three engines' instruction streams
+#    are still byte-identical (determinism), (b) the snapshot run drops
+#    no obs events, and (c) block/trace inst/s have not fallen below
+#    baseline × (1 − tol) (SIMPERF_TOL, default 0.5 — wall-clock
+#    throughput on shared CI is noisy; only slowdowns fail).
+#
+# Refresh the baselines after an intentional change with:
 #   cargo run --release -q -p bench --bin simprof
+#   cargo run --release -q -p bench --bin simperf -- --json BENCH_simperf.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 cargo run --release -q -p bench --bin simprof -- --gate BENCH_simprof.json "$@"
+cargo run --release -q -p bench --bin simperf -- --gate BENCH_simperf.json

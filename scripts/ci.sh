@@ -27,7 +27,7 @@ cmp target/SIMFAULT_smoke_a.txt target/SIMFAULT_smoke_b.txt
 echo "==> simprof smoke (profiler determinism across runs and engines)"
 cargo run --release -q -p bench --bin simprof -- --smoke
 
-echo "==> bench gate (profiler counts vs committed BENCH_simprof.json)"
+echo "==> bench gate (profiler counts vs BENCH_simprof.json, engine throughput + determinism vs BENCH_simperf.json)"
 scripts/bench_gate.sh
 
 echo "==> ci.sh: all green"

@@ -1,8 +1,11 @@
-//! Determinism regression: the block-based fast engine must be
-//! instruction-for-instruction identical to the retained per-step oracle
-//! (`EngineConfig::stepwise()`) — same rips, same cycle stamps, same events,
-//! same scheduler interleaving — even for a multi-core self-modifying-code
-//! guest that exercises every P5 icache hazard the simulator models.
+//! Determinism regression: the block-based fast engine and the trace
+//! engine (superblock promotion) must be instruction-for-instruction
+//! identical to the retained per-step oracle (`EngineConfig::stepwise()`)
+//! — same rips, same cycle stamps, same events, same scheduler
+//! interleaving — even for a multi-core self-modifying-code guest that
+//! exercises every P5 icache hazard the simulator models (and, for the
+//! trace engine, every trace-unlink path: SMC stores on trace pages,
+//! serialization points mid-replay, torn cross-core writes).
 
 use std::rc::Rc;
 
@@ -20,10 +23,10 @@ fn engine_cfg(stepwise: bool) -> EngineConfig {
 
 /// Run the SMC guest under one engine, returning the full execution trace,
 /// final clock, and exit status.
-fn run_smc(stepwise: bool) -> (Vec<TraceEntry>, u64, Option<i64>) {
+fn run_smc_on(cfg: EngineConfig) -> (Vec<TraceEntry>, u64, Option<i64>) {
     let (code, imm_addr) = smc_guest();
     let mut k = Kernel::new();
-    k.configure(engine_cfg(stepwise));
+    k.configure(cfg);
     k.set_loader(Rc::new(RwxLoader(code)));
     let pid = k.spawn("/bin/smc", &[], &[], None).expect("spawn");
     // A deferred (torn) write to the same immediate exercises the
@@ -36,12 +39,10 @@ fn run_smc(stepwise: bool) -> (Vec<TraceEntry>, u64, Option<i64>) {
     (k.take_exec_trace(), k.clock, status)
 }
 
-/// The fast engine's instruction-level trace (rip, cycle stamp, event,
-/// thread) is bit-identical to the per-step oracle's on the SMC guest.
-#[test]
-fn block_engine_trace_matches_stepwise_oracle() {
-    let (fast_trace, fast_clock, fast_status) = run_smc(false);
-    let (ref_trace, ref_clock, ref_status) = run_smc(true);
+/// Compares one engine's SMC run against the stepwise oracle's.
+fn assert_smc_matches_oracle(cfg: EngineConfig) {
+    let (fast_trace, fast_clock, fast_status) = run_smc_on(cfg);
+    let (ref_trace, ref_clock, ref_status) = run_smc_on(engine_cfg(true));
     // The guest must actually have run a nontrivial interleaving.
     assert!(ref_trace.len() > 5_000, "trace too short: {}", ref_trace.len());
     assert_eq!(fast_trace.len(), ref_trace.len());
@@ -55,13 +56,28 @@ fn block_engine_trace_matches_stepwise_oracle() {
     assert_ne!(fast_status, Some(44), "guest never observed a code patch");
 }
 
+/// The fast engine's instruction-level trace (rip, cycle stamp, event,
+/// thread) is bit-identical to the per-step oracle's on the SMC guest.
+#[test]
+fn block_engine_trace_matches_stepwise_oracle() {
+    assert_smc_matches_oracle(engine_cfg(false));
+}
+
+/// Same for the trace engine: superblocks formed over self-modifying code
+/// are unlinked and side-exited such that the instruction stream stays
+/// bit-identical to the oracle's.
+#[test]
+fn trace_engine_trace_matches_stepwise_oracle() {
+    assert_smc_matches_oracle(EngineConfig::traced());
+}
+
 /// A real application through the full loader stack behaves identically
-/// under both engines: same output, same exit, same final clock.
+/// under all three engines: same output, same exit, same final clock.
 #[test]
 fn engines_agree_on_real_application() {
-    let run = |stepwise: bool| {
+    let run = |cfg: EngineConfig| {
         let mut k = boot_kernel();
-        k.configure(engine_cfg(stepwise));
+        k.configure(cfg);
         apps::install_world(&mut k.vfs);
         let pid = k
             .spawn("/usr/bin/ls-sim", &["/usr/bin/ls-sim".to_string()], &[], None)
@@ -70,5 +86,7 @@ fn engines_agree_on_real_application() {
         let p = k.process(pid).expect("proc");
         (p.output_string(), p.exit_status, k.clock, p.stats.syscalls)
     };
-    assert_eq!(run(false), run(true));
+    let oracle = run(engine_cfg(true));
+    assert_eq!(run(engine_cfg(false)), oracle, "block engine diverges");
+    assert_eq!(run(EngineConfig::traced()), oracle, "trace engine diverges");
 }
