@@ -185,6 +185,7 @@ pub fn run_macro(
             )))
         }
         RunExit::Budget => return Err(MacroError::Budget),
+        RunExit::Stop => return Err(MacroError::Stuck("record session halted startup".into())),
     }
     let t0 = k.clock;
     let mut cpids: Vec<Pid> = Vec::new();
@@ -223,6 +224,7 @@ pub fn run_macro(
             }
         }
         RunExit::Budget => return Err(MacroError::Budget),
+        RunExit::Stop => return Err(MacroError::Stuck("record session halted load phase".into())),
     }
     // Clients must have finished successfully.
     for c in &cpids {
@@ -261,6 +263,7 @@ pub fn run_sqlite(
         RunExit::AllExited => {}
         RunExit::Budget => return Err(MacroError::Budget),
         RunExit::Deadlock => return Err(MacroError::Stuck("sqlite wedged".into())),
+        RunExit::Stop => return Err(MacroError::Stuck("record session halted run".into())),
     }
     let st = k.process(pid).and_then(|p| p.exit_status);
     if st != Some(0) {

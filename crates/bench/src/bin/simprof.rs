@@ -13,15 +13,20 @@
 //!   committed regression baseline `scripts/bench_gate.sh` compares.
 //!
 //! ```text
-//! simprof [--engine block|stepwise] [--period N (default 64)] [--scale N]
-//!         [--interposer NAME]... [--json PATH] [--out-prefix P]
+//! simprof [--engine block|stepwise|trace] [--period N (default 64)]
+//!         [--scale N] [--interposer NAME]... [--json PATH] [--out-prefix P]
 //!         [--gate BASELINE [--tol F]] [--smoke]
 //! ```
+//!
+//! Under `--engine trace` the stage table is followed by a per-trace
+//! occupancy table (replayed steps per trace and side-exit rate, hottest
+//! trace first) drawn from the trace cache's per-entry counters.
 //!
 //! * `--gate BASELINE` — re-measure and compare against a committed
 //!   baseline JSON; any row whose instruction or sample count drifts
 //!   beyond the tolerance band (default 10%, `--tol` / `SIMPROF_TOL`)
-//!   fails with a non-zero exit.
+//!   fails with a non-zero exit, as does any row whose obs ring dropped
+//!   events (`dropped_events > 0` — lossy counters can't gate anything).
 //! * `--smoke` — CI determinism gate: profiles the coreutil under `k23`
 //!   and `ptrace` twice per engine and requires the folded stacks and
 //!   stage table to be byte-identical across runs *and* across the
@@ -54,7 +59,8 @@ fn engine_cfg(engine: &str) -> Result<EngineConfig, String> {
     match engine {
         "block" => Ok(EngineConfig::new()),
         "stepwise" => Ok(EngineConfig::stepwise()),
-        other => Err(format!("unknown engine {other:?} (block|stepwise)")),
+        "trace" => Ok(EngineConfig::traced()),
+        other => Err(format!("unknown engine {other:?} (block|stepwise|trace)")),
     }
 }
 
@@ -145,13 +151,56 @@ fn parse_args() -> Result<Args, String> {
 struct RunOutput {
     folded: String,
     stages: String,
+    traces: String,
     flame: String,
     samples: u64,
     instructions: u64,
     syscalls: u64,
+    dropped: u64,
 }
 
-fn finish_run(k: &sim_kernel::Kernel, rec: Box<sim_obs::Recorder>) -> RunOutput {
+/// Per-trace occupancy rows (trace engine only; empty elsewhere): replayed
+/// steps per trace and the side-exit rate, hottest trace first.
+fn trace_table(k: &mut sim_kernel::Kernel) -> String {
+    let mut rows = Vec::new();
+    for pid in k.pids() {
+        let tids: Vec<_> = k
+            .process(pid)
+            .map(|p| p.threads.iter().map(|t| t.tid).collect())
+            .unwrap_or_default();
+        for tid in tids {
+            let stats = k.cpu_mut(pid, tid).map(|c| c.trace_stats()).unwrap_or_default();
+            for st in stats {
+                rows.push((pid, tid, st));
+            }
+        }
+    }
+    if rows.is_empty() {
+        return String::new();
+    }
+    let mut s = String::new();
+    let _ = writeln!(s, "per-trace occupancy (replayed steps per trace, hottest first):");
+    let _ = writeln!(
+        s,
+        "  {:<8} {:<14} {:>5} {:>8} {:>10} {:>11}",
+        "pid/tid", "entry", "ops", "enters", "steps", "side-exit%"
+    );
+    for (pid, tid, st) in rows {
+        let _ = writeln!(
+            s,
+            "  {:<8} {:<14} {:>5} {:>8} {:>10} {:>10.1}%",
+            format!("{pid}/{tid}"),
+            format!("{:#x}", st.entry),
+            st.ops,
+            st.enters,
+            st.steps,
+            100.0 * st.side_exits as f64 / st.enters.max(1) as f64
+        );
+    }
+    s
+}
+
+fn finish_run(k: &mut sim_kernel::Kernel, rec: Box<sim_obs::Recorder>) -> RunOutput {
     let syscalls = k
         .pids()
         .iter()
@@ -161,10 +210,12 @@ fn finish_run(k: &sim_kernel::Kernel, rec: Box<sim_obs::Recorder>) -> RunOutput 
     RunOutput {
         folded: rec.folded_stacks(),
         stages: rec.stage_table(),
+        traces: trace_table(k),
         flame: rec.flamegraph_svg(),
         samples: rec.samples.len() as u64,
         instructions: k.prof_retired(),
         syscalls,
+        dropped: rec.total_dropped(),
     }
 }
 
@@ -213,7 +264,7 @@ fn profile_coreutil(name: &str, engine: &str, period: u64) -> Result<RunOutput, 
     if status != Some(0) {
         return Err(format!("{COREUTIL} exited with {status:?}"));
     }
-    Ok(finish_run(&k, rec))
+    Ok(finish_run(&mut k, rec))
 }
 
 /// Profiles one Table 6 server spec under one interposer. K23 variants
@@ -252,7 +303,7 @@ fn profile_server(
     let res = apps::run_macro(&mut k, ip.as_ref(), spec, BUDGET);
     let rec = sim_obs::disable().expect("recorder was enabled");
     res.map_err(|e| format!("{} under {name}: {e:?}", spec.name))?;
-    Ok(finish_run(&k, rec))
+    Ok(finish_run(&mut k, rec))
 }
 
 /// A (workload, interposer) gate row.
@@ -272,8 +323,8 @@ fn rows_json(args: &Args, rows: &[Row]) -> String {
     for (i, r) in rows.iter().enumerate() {
         let _ = write!(
             s,
-            "    {{\"workload\": \"{}\", \"interposer\": \"{}\", \"samples\": {}, \"instructions\": {}, \"syscalls\": {}}}",
-            r.workload, r.interposer, r.out.samples, r.out.instructions, r.out.syscalls
+            "    {{\"workload\": \"{}\", \"interposer\": \"{}\", \"samples\": {}, \"instructions\": {}, \"syscalls\": {}, \"dropped_events\": {}}}",
+            r.workload, r.interposer, r.out.samples, r.out.instructions, r.out.syscalls, r.out.dropped
         );
         s.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
@@ -291,6 +342,16 @@ fn gate(baseline_path: &str, rows: &[Row], tol: f64) -> Result<Vec<String>, Stri
         .and_then(|r| r.as_array())
         .ok_or_else(|| format!("{baseline_path} has no rows array"))?;
     let mut violations = Vec::new();
+    // A lossy obs ring skews every counter the gate compares: any dropped
+    // event in the current run fails outright.
+    for r in rows {
+        if r.out.dropped > 0 {
+            violations.push(format!(
+                "{}/{}: obs ring dropped {} events — counters are untrustworthy; grow the ring",
+                r.workload, r.interposer, r.out.dropped
+            ));
+        }
+    }
     let field = |r: &sjson::Value, k: &str| r.get(k).and_then(|x| x.as_u64());
     let sfield = |r: &sjson::Value, k: &str| r.get(k).and_then(|x| x.as_str().map(String::from));
     for b in base_rows {
@@ -377,6 +438,9 @@ fn run(args: &Args) -> Result<ExitCode, String> {
             folded_all.push_str(&out.folded);
             let _ = writeln!(stages_all, "# {workload} under {name}");
             stages_all.push_str(&out.stages);
+            if !out.traces.is_empty() {
+                stages_all.push_str(&out.traces);
+            }
             stages_all.push('\n');
             if flame.is_empty() {
                 flame = out.flame.clone();

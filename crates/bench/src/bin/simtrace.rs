@@ -4,7 +4,8 @@
 //! summary with per-interposer syscall-latency attribution.
 //!
 //! ```text
-//! simtrace [--interposer NAME] [--app PATH | --micro N]
+//! simtrace [--interposer NAME] [--engine block|stepwise|trace]
+//!          [--app PATH | --micro N]
 //!          [--trace-out PATH] [--summary-out PATH]
 //!          [--no-micro-events] [--selfcheck] [--compare]
 //! ```
@@ -13,6 +14,9 @@
 //!   `zpoline`, `zpoline-ultra`, `lazypoline`, `k23`, `k23-ultra`,
 //!   `k23-ultra+` (default `k23`). K23 variants run the offline phase
 //!   first, untraced, so the trace covers only the online run.
+//! * `--engine` — execution engine for the traced run (default `block`).
+//!   The summary's counter block always includes the trace-engine rows
+//!   (formation/link/side-exit counts — zero outside `trace`).
 //! * `--app` — VFS path of a coreutil installed by `apps::install_world`
 //!   (default `/usr/bin/ls-sim`); `--micro N` instead runs the Table 5
 //!   syscall-500 stress loop for `N` iterations.
@@ -36,8 +40,19 @@ fn make_interposer(name: &str) -> Option<(Box<dyn Interposer>, bool)> {
     Some((ip, name.starts_with("k23")))
 }
 
+fn engine_cfg(engine: &str) -> Result<sim_kernel::EngineConfig, String> {
+    use sim_kernel::EngineConfig;
+    match engine {
+        "block" => Ok(EngineConfig::new()),
+        "stepwise" => Ok(EngineConfig::stepwise()),
+        "trace" => Ok(EngineConfig::traced()),
+        other => Err(format!("unknown engine {other:?} (block|stepwise|trace)")),
+    }
+}
+
 struct Args {
     interposer: String,
+    engine: String,
     app: String,
     micro: Option<u64>,
     trace_out: String,
@@ -50,6 +65,7 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut a = Args {
         interposer: "k23".to_string(),
+        engine: "block".to_string(),
         app: "/usr/bin/ls-sim".to_string(),
         micro: None,
         trace_out: "SIMTRACE_trace.json".to_string(),
@@ -69,6 +85,10 @@ fn parse_args() -> Result<Args, String> {
         match argv[i].as_str() {
             "--interposer" => {
                 a.interposer = value(&argv, i, "--interposer")?;
+                i += 1;
+            }
+            "--engine" => {
+                a.engine = value(&argv, i, "--engine")?;
                 i += 1;
             }
             "--app" => {
@@ -136,6 +156,7 @@ fn traced_run(args: &Args) -> Result<Box<sim_obs::Recorder>, String> {
         session.finish(&mut k);
     }
 
+    k.configure(engine_cfg(&args.engine)?);
     sim_obs::enable(sim_obs::ObsConfig {
         micro_events: args.micro_events,
         ..sim_obs::ObsConfig::default()
@@ -247,10 +268,11 @@ fn main() -> ExitCode {
     }
 
     let mut summary = format!(
-        "workload: {} under {}\n{}",
+        "workload: {} under {} ({} engine)\n{}",
         args.micro
             .map_or(args.app.clone(), |n| format!("{MICRO_APP} x{n}")),
         args.interposer,
+        args.engine,
         rec.summary()
     );
     if args.compare {

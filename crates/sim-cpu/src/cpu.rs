@@ -312,6 +312,35 @@ impl Cpu {
         self.icache.len()
     }
 
+    /// Per-trace occupancy rows (empty outside trace mode) — see
+    /// [`TraceCache::stats`].
+    pub fn trace_stats(&self) -> Vec<crate::trace::TraceStat> {
+        self.trace.as_deref().map(TraceCache::stats).unwrap_or_default()
+    }
+
+    /// Drops every host-side acceleration structure — decoded-instruction
+    /// cache, its page index, serialize-coalescing stamp, and the trace
+    /// cache pool (trace mode itself stays enabled with the same knobs).
+    /// Architecturally invisible: neither the icache nor the trace cache
+    /// participates in cycle accounting, so a core restored from a
+    /// checkpoint re-decodes from cold with an identical guest-visible
+    /// stream. Used by record/replay checkpoint restore, where cloned
+    /// cache entries would otherwise carry stale cross-space page-version
+    /// stamps.
+    pub fn reset_caches(&mut self) {
+        self.icache = FastMap::default();
+        self.icache_index = FastMap::default();
+        self.last_serialize_stamp = None;
+        self.trace_replaying = false;
+        self.trace_replay_break = false;
+        self.replay_pages.clear();
+        self.pending_trace_unlinks.clear();
+        if let Some(tc) = self.trace.as_deref() {
+            let params = tc.params;
+            self.trace = Some(Box::new(TraceCache::new(params)));
+        }
+    }
+
     /// Applies the x86-64 syscall-entry register clobbers: the kernel leaves
     /// the return address in `rcx` and saved flags in `r11` — which is why
     /// K23's trampoline may reuse them without saving (paper §6.2.1).
@@ -1027,7 +1056,7 @@ impl Cpu {
         on_step: &mut impl FnMut(u64, &Step),
         syscall_fast: &mut impl FnMut(&mut Cpu, &mut AddressSpace, u64, u64) -> HookAction,
     ) -> TraceRun {
-        let tc = self.trace.take().expect("exec_trace without trace cache");
+        let mut tc = self.trace.take().expect("exec_trace without trace cache");
         let t = tc.get(idx);
         self.replay_pages.clear();
         self.replay_pages.extend(t.pages.iter().map(|&(p, _)| p));
@@ -1044,6 +1073,8 @@ impl Cpu {
         let mut lsteps = *steps;
         let mut lcycles = *cycles;
         let mut lvdso = *vdso_calls;
+        let steps0 = lsteps;
+        let mut wraps = 0u64;
         let run = 'replay: loop {
             if lsteps >= budget {
                 break TraceRun::Budget;
@@ -1200,6 +1231,7 @@ impl Cpu {
                                 // dispatcher would do is a foregone
                                 // conclusion — loop in place.
                                 i = 0;
+                                wraps += 1;
                                 continue;
                             }
                             break TraceRun::Done;
@@ -1226,6 +1258,17 @@ impl Cpu {
         *steps = lsteps;
         *cycles = lcycles;
         *vdso_calls = lvdso;
+        // Occupancy bookkeeping (host-side only; never observable by the
+        // guest): one enter per dispatch plus one per in-place self-loop
+        // wrap, every step retired inside the trace, and the exit kind.
+        {
+            let t = tc.get_mut(idx);
+            t.enters += 1 + wraps;
+            t.steps += lsteps - steps0;
+            if matches!(run, TraceRun::SideExit) {
+                t.side_exits += 1;
+            }
+        }
         self.trace_replaying = false;
         self.trace = Some(tc);
         if !self.pending_trace_unlinks.is_empty() {

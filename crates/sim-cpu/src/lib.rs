@@ -22,4 +22,4 @@ pub mod trace;
 pub use cost::CostModel;
 pub use cpu::{BlockExit, Cpu, HookAction, IcacheMode, Step, StepEvent};
 pub use fasthash::FastMap;
-pub use trace::TraceParams;
+pub use trace::{TraceParams, TraceStat};

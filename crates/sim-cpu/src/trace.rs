@@ -78,6 +78,12 @@ pub struct Trace {
     /// Cleared by unlinking (store overlap or failed revalidation);
     /// dead traces stay in the pool until the next pool reset.
     pub valid: bool,
+    /// Replay dispatches into this trace (self-loop wraps included).
+    pub enters: u64,
+    /// Instructions retired from inside this trace across all replays.
+    pub steps: u64,
+    /// Replays that left through a guard or break rather than `Done`.
+    pub side_exits: u64,
 }
 
 /// In-progress recording; becomes a [`Trace`] on finalize unless aborted.
@@ -255,6 +261,39 @@ impl TraceCache {
             mem_gen: rec.mem_gen,
             fresh_gen: flush_gen,
             valid: true,
+            enters: 0,
+            steps: 0,
+            side_exits: 0,
         });
     }
+
+    /// Per-trace occupancy snapshot over the current pool (dead traces
+    /// included while they retain their counters): `(entry rip, op count,
+    /// enters, replayed steps, side exits)`, hottest first.
+    pub fn stats(&self) -> Vec<TraceStat> {
+        let mut out: Vec<TraceStat> = self
+            .pool
+            .iter()
+            .filter(|t| t.enters > 0)
+            .map(|t| TraceStat {
+                entry: t.entry,
+                ops: t.ops.len() as u64,
+                enters: t.enters,
+                steps: t.steps,
+                side_exits: t.side_exits,
+            })
+            .collect();
+        out.sort_by(|a, b| b.steps.cmp(&a.steps).then(a.entry.cmp(&b.entry)));
+        out
+    }
+}
+
+/// One row of [`TraceCache::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceStat {
+    pub entry: u64,
+    pub ops: u64,
+    pub enters: u64,
+    pub steps: u64,
+    pub side_exits: u64,
 }

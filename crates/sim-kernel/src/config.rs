@@ -11,10 +11,13 @@
 //! block engine and the stepwise oracle.
 
 use crate::process::Pid;
+use crate::record::RecordSpec;
 use sim_cpu::{IcacheMode, TraceParams};
 use sim_fault::FaultPlan;
 use sim_mem::{MemMode, Perms};
+use sim_record::Rec;
 use std::collections::BTreeMap;
+use std::rc::Rc;
 
 /// Which scheduler engine executes guest code.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -63,6 +66,8 @@ pub struct EngineConfig {
     /// CPU); `None` keeps the recorder's own configuration. Applied at
     /// [`crate::Kernel::configure`] time when recording is live.
     pub obs_ring_capacity: Option<usize>,
+    /// Record/replay mode, if any (see [`crate::record`]).
+    pub record: Option<RecordSpec>,
 }
 
 impl EngineConfig {
@@ -134,6 +139,40 @@ impl EngineConfig {
     /// identical architectural boundaries under both engines.
     pub fn profile(mut self, period: u64) -> EngineConfig {
         self.profile = Some(period.max(1));
+        self
+    }
+
+    /// Enables recording (no checkpoints): syscall results, injected
+    /// faults/signals, scheduler decisions, and exits are captured into a
+    /// log keyed by retired-instruction counts.
+    pub fn record(mut self) -> EngineConfig {
+        self.record = Some(RecordSpec::Record {
+            checkpoint_period: 0,
+        });
+        self
+    }
+
+    /// Enables navigation-grade recording: periodic checkpoints every
+    /// `period` retired instructions (clamped to ≥ 1) plus per-syscall
+    /// page-write snapshots for time-travel seeking.
+    pub fn record_with_checkpoints(mut self, period: u64) -> EngineConfig {
+        self.record = Some(RecordSpec::Record {
+            checkpoint_period: period.max(1),
+        });
+        self
+    }
+
+    /// Enables verifying replay: re-execute in full and compare every
+    /// produced record against `log`, halting at the first mismatch.
+    pub fn replay_verify(mut self, log: Rc<Vec<Rec>>) -> EngineConfig {
+        self.record = Some(RecordSpec::Verify { log });
+        self
+    }
+
+    /// Enables injecting replay (navigation): short-circuit
+    /// non-process-local syscalls and re-apply recorded asynchrony.
+    pub fn replay_inject(mut self, log: Rc<Vec<Rec>>) -> EngineConfig {
+        self.record = Some(RecordSpec::Inject { log });
         self
     }
 }

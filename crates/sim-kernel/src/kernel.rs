@@ -7,10 +7,14 @@ use crate::net::Net;
 use crate::nr;
 use crate::process::{FdEntry, Pid, Process, SeccompAction, SigAction, Thread, ThreadState, Tid, Wait};
 use crate::ptrace_if::{Stop, TraceOpts, Tracer, TracerAction};
+use crate::record::{
+    inject_passthrough, BoundaryAction, Checkpoint, PageSnap, RecordModeKind, RecordSession,
+};
 use crate::signal::{self, SigInfo};
 use crate::vfs::Vfs;
 use sim_cpu::{BlockExit, CostModel, Cpu, HookAction, IcacheMode, Step, StepEvent};
 use sim_fault::{FaultKind, FaultPlan, PermFlip};
+use sim_record::{Divergence, Rec};
 use sim_isa::Reg;
 use sim_mem::{AddressSpace, MemMode, Perms, PAGE_SIZE};
 use std::cell::RefCell;
@@ -119,6 +123,10 @@ pub enum RunExit {
     Budget,
     /// No thread can make progress (all blocked with no wake source).
     Deadlock,
+    /// The record/replay session halted the run: a [`Kernel::run_to_retired`]
+    /// target was reached, a verifying replay found a divergence, or an
+    /// injecting replay exhausted its log.
+    Stop,
 }
 
 /// A pending deferred byte write — models the visibility window of a
@@ -195,6 +203,8 @@ pub struct Kernel {
     fault: Option<FaultSession>,
     /// Live sampling-profiler session, when configured.
     prof: Option<ProfSession>,
+    /// Live record/replay session, when configured.
+    record: Option<RecordSession>,
     /// When `Some`, every step is recorded (both scheduler modes).
     exec_trace: Option<Vec<TraceEntry>>,
 }
@@ -228,6 +238,7 @@ impl Kernel {
             mem_mode: MemMode::PageRun,
             fault: None,
             prof: None,
+            record: None,
             exec_trace: None,
         }
     }
@@ -244,11 +255,21 @@ impl Kernel {
         self.mem_mode = cfg.mem;
         self.fault = cfg.fault.map(FaultSession::new);
         self.prof = cfg.profile.map(ProfSession::new);
+        self.record = cfg.record.map(RecordSession::new);
         if let Some(cap) = cfg.obs_ring_capacity {
             sim_obs::set_ring_capacity(cap);
         }
+        // Navigation-grade recording needs written-page tracking for its
+        // per-syscall write snapshots and incremental checkpoint deltas.
+        let track_dirty = self
+            .record
+            .as_ref()
+            .is_some_and(|rs| rs.mode == RecordModeKind::Record && rs.ckpt_period > 0);
         for p in self.procs.values_mut() {
             p.space.set_mem_mode(cfg.mem);
+            if track_dirty {
+                p.space.set_dirty_tracking(true);
+            }
         }
     }
 
@@ -628,6 +649,14 @@ impl Kernel {
             (p.ppid, chans, ports)
         };
         let (ppid, chans, ports) = (ppid_chans_ports.0, ppid_chans_ports.1, ppid_chans_ports.2);
+        if let Some(rs) = self.record.as_mut() {
+            let retired = rs.retired;
+            rs.emit(Rec::Exit {
+                retired,
+                pid,
+                status: status as u64,
+            });
+        }
         for port in ports {
             if let Some(l) = self.net.listeners.get_mut(&port) {
                 l.refs = l.refs.saturating_sub(1);
@@ -854,6 +883,9 @@ impl Kernel {
         // one buffer across rounds to keep the round allocation-free.
         let mut runnable: Vec<(Pid, Tid)> = Vec::new();
         loop {
+            if self.record_stopped() {
+                return RunExit::Stop;
+            }
             self.flush_due_writes();
             runnable.clear();
             for (pid, p) in &self.procs {
@@ -895,15 +927,38 @@ impl Kernel {
             // order by a seed-derived amount on plan-chosen rounds. The
             // round number is architectural (one per rebuild), so both
             // engines rotate identically.
-            if let Some(fs) = self.fault.as_mut() {
+            let rotated = if let Some(fs) = self.fault.as_mut() {
                 fs.round += 1;
                 let rot = fs.plan.sched_rotation(fs.round, runnable.len());
                 if rot > 0 {
                     runnable.rotate_left(rot);
+                    Some((fs.round, rot as u64, runnable.len() as u64))
+                } else {
+                    None
+                }
+            } else {
+                None
+            };
+            // A real scheduler perturbation is nondeterminism worth a log
+            // record; unperturbed rounds are derived state and recording
+            // them would dwarf the log (one round per syscall).
+            if let Some((round, rot, n)) = rotated {
+                if let Some(rs) = self.record.as_mut() {
+                    rs.sched_rounds += 1;
+                    let retired = rs.retired;
+                    rs.emit(Rec::Sched {
+                        retired,
+                        round,
+                        rot,
+                        n,
+                    });
                 }
             }
             for &(pid, tid) in &runnable {
                 self.run_slice(pid, tid);
+                if self.record_stopped() {
+                    return RunExit::Stop;
+                }
                 if self.clock >= deadline {
                     return RunExit::Budget;
                 }
@@ -981,14 +1036,28 @@ impl Kernel {
     }
 
     /// Captures one profiler sample: the post-step RIP plus a
-    /// conservative return-address scan of the guest stack (values in
-    /// the first [`Self::PROF_SCAN_SLOTS`] stack slots that point into
-    /// executable mappings), symbolized against the process's image maps.
+    /// conservative return-address scan of the guest stack, symbolized
+    /// against the process's image maps.
     fn take_prof_sample(&mut self, pid: Pid, tid: Tid) {
-        const MAX_FRAMES: usize = 16;
         let clock = self.clock;
-        let Some(p) = self.procs.get_mut(&pid) else {
+        let frames = self.symbolized_stack(pid, tid);
+        if frames.is_empty() {
             return;
+        }
+        sim_obs::profile_sample(clock, &frames);
+    }
+
+    /// The symbolized guest stack of `(pid, tid)`: the current RIP plus a
+    /// conservative return-address scan (values in the first
+    /// [`Self::PROF_SCAN_SLOTS`] stack slots that point into executable
+    /// mappings), resolved through the process's symbol cache. Shared by
+    /// the sampling profiler and the replay divergence reporter; reads
+    /// guest state but never writes it and charges no cycles. Empty when
+    /// the thread is gone.
+    pub fn symbolized_stack(&mut self, pid: Pid, tid: Tid) -> Vec<String> {
+        const MAX_FRAMES: usize = 16;
+        let Some(p) = self.procs.get_mut(&pid) else {
+            return Vec::new();
         };
         let Some((rip, rsp)) = p
             .threads
@@ -996,7 +1065,7 @@ impl Kernel {
             .find(|t| t.tid == tid)
             .map(|t| (t.cpu.rip, t.cpu.get(Reg::Rsp)))
         else {
-            return;
+            return Vec::new();
         };
         let mut addrs = vec![rip];
         for i in 0..Self::PROF_SCAN_SLOTS {
@@ -1015,12 +1084,378 @@ impl Kernel {
                 addrs.push(v);
             }
         }
-        let frames = p.symbolize_frames(&addrs);
-        sim_obs::profile_sample(clock, &frames);
+        p.symbolize_frames(&addrs)
     }
 
     /// Stack slots scanned per sample by the return-address walker.
     const PROF_SCAN_SLOTS: u64 = 64;
+
+    // ---- record/replay session plumbing ------------------------------------
+
+    /// True if a record-session boundary (stop target, checkpoint, or
+    /// inject-mode asynchrony) is due at the current retired count.
+    fn record_boundary_due(&self) -> bool {
+        self.record.as_ref().is_some_and(|rs| {
+            rs.stopped
+                || rs.stop_at.is_some_and(|s| s <= rs.retired)
+                || rs.next_ckpt.is_some_and(|n| n <= rs.retired)
+                || rs.next_boundary().is_some_and(|b| b <= rs.retired)
+        })
+    }
+
+    /// Caps an execution budget so the engine stops exactly at the next
+    /// record-session boundary — like [`Kernel::fault_capped`], this puts
+    /// checkpoints, stop targets, and injected asynchrony at identical
+    /// architectural instructions under every engine.
+    fn record_capped(&self, budget: u64) -> u64 {
+        let Some(rs) = self.record.as_ref() else {
+            return budget;
+        };
+        let mut b = budget;
+        for stop in [rs.stop_at, rs.next_ckpt, rs.next_boundary()]
+            .into_iter()
+            .flatten()
+        {
+            b = b.min(stop.saturating_sub(rs.retired).max(1));
+        }
+        b
+    }
+
+    /// Credits retired instructions to the record session.
+    fn record_retire(&mut self, steps: u64) {
+        if let Some(rs) = self.record.as_mut() {
+            rs.retired += steps;
+        }
+    }
+
+    /// True when the record session halted the run.
+    fn record_stopped(&self) -> bool {
+        self.record.as_ref().is_some_and(|rs| rs.stopped)
+    }
+
+    /// Records (or verifies) one produced record.
+    fn record_emit(&mut self, rec: Rec) {
+        if let Some(rs) = self.record.as_mut() {
+            rs.emit(rec);
+        }
+    }
+
+    /// Handles a due record-session boundary. Checkpoints are taken
+    /// without ending the slice (a slice end would advance the fault
+    /// session's round counter, making a checkpointed recording diverge
+    /// from its checkpoint-free replay); stop targets and injected
+    /// asynchrony end the slice, mirroring [`Kernel::apply_fault_boundary`].
+    /// Returns `true` when the slice must end.
+    fn apply_record_boundary(&mut self, pid: Pid, tid: Tid) -> bool {
+        let due_ckpt = self.record.as_ref().is_some_and(|rs| {
+            rs.mode == RecordModeKind::Record && rs.next_ckpt.is_some_and(|n| n <= rs.retired)
+        });
+        if due_ckpt {
+            self.take_record_checkpoint();
+        }
+        let mut due_actions: Vec<BoundaryAction> = Vec::new();
+        {
+            let Some(rs) = self.record.as_mut() else {
+                return false;
+            };
+            if rs.stopped {
+                return true;
+            }
+            if rs.stop_at.is_some_and(|s| s <= rs.retired) {
+                rs.stopped = true;
+                return true;
+            }
+            while rs.bcursor < rs.boundaries.len() && rs.boundaries[rs.bcursor].0 <= rs.retired {
+                due_actions.push(rs.boundaries[rs.bcursor].1);
+                rs.bcursor += 1;
+            }
+        }
+        for act in &due_actions {
+            match *act {
+                BoundaryAction::Signal { signo, delivered } => {
+                    // `delivered: false` recorded a skipped injection (no
+                    // handler); re-skipping reproduces it.
+                    if delivered {
+                        self.deliver_signal(
+                            pid,
+                            tid,
+                            SigInfo {
+                                signo,
+                                ..SigInfo::default()
+                            },
+                        );
+                    }
+                }
+                BoundaryAction::Flip { page, perms } => {
+                    let base = page & !(PAGE_SIZE - 1);
+                    if let Some(p) = self.procs.get_mut(&pid) {
+                        let _ = p.space.protect(base, PAGE_SIZE, Perms::from_bits(perms));
+                        let Process { space, threads, .. } = p;
+                        if let Some(t) = threads.iter_mut().find(|t| t.tid == tid) {
+                            t.cpu.serialize(space);
+                        }
+                    }
+                }
+            }
+        }
+        !due_actions.is_empty()
+    }
+
+    /// Record bookkeeping at kernel entry: stamps the clock the recorded
+    /// service cycles are measured from (skipped for in-kernel restarts,
+    /// which resume the original entry) and, for navigation-grade
+    /// recording, drains guest-execution dirty pages into the pending
+    /// checkpoint delta so the post-dispatch drain isolates the pages the
+    /// syscall itself writes.
+    fn record_syscall_entry(&mut self, pid: Pid, tid: Tid, restarting: bool) {
+        let clock = self.clock;
+        let Some(rs) = self.record.as_mut() else {
+            return;
+        };
+        if !restarting {
+            rs.entry_clock.insert((pid, tid), clock);
+        }
+        if rs.mode == RecordModeKind::Record && rs.ckpt_period > 0 {
+            if let Some(p) = self.procs.get_mut(&pid) {
+                rs.pending_pages.extend(p.space.take_dirty_pages());
+            }
+        }
+    }
+
+    /// Record bookkeeping at syscall completion (`Disp::Ret` /
+    /// `RetThenBlock`): captures (record), verifies (verify), or consumes
+    /// (inject passthrough) the completion record. Recorded cycles are
+    /// the clock delta from kernel entry — for restarted calls that
+    /// includes blocked time, which is exactly what injection must charge
+    /// since the blocking never re-occurs. Navigation-grade recording
+    /// additionally snapshots the pages the syscall wrote.
+    fn record_syscall_ret(&mut self, pid: Pid, tid: Tid, nr_: u64, site: u64, ret: u64) {
+        let clock = self.clock;
+        let Some(rs) = self.record.as_mut() else {
+            return;
+        };
+        match rs.mode {
+            RecordModeKind::Inject => {
+                // Passthrough completion: consume the matching record so
+                // the cursor stays aligned with injected syscalls.
+                let _ = rs.take_syscall();
+            }
+            RecordModeKind::Record | RecordModeKind::Verify => {
+                let entry = rs.entry_clock.remove(&(pid, tid)).unwrap_or(clock);
+                let cycles = clock.saturating_sub(entry);
+                let retired = rs.retired;
+                let nav = rs.mode == RecordModeKind::Record && rs.ckpt_period > 0;
+                let mut writes: Vec<(u64, Vec<u8>)> = Vec::new();
+                if nav {
+                    if let Some(p) = self.procs.get_mut(&pid) {
+                        for base in p.space.take_dirty_pages() {
+                            if !inject_passthrough(nr_) {
+                                if let Some((_, _, data)) = p.space.snapshot_page(base) {
+                                    writes.push((base, data));
+                                }
+                            }
+                            rs.pending_pages.push(base);
+                        }
+                    }
+                }
+                rs.emit(Rec::Syscall {
+                    retired,
+                    nr: nr_,
+                    site,
+                    ret,
+                    cycles,
+                    writes,
+                });
+            }
+        }
+    }
+
+    /// Takes one periodic navigation checkpoint: register files, signal
+    /// dispositions, seccomp state, and the pages dirtied since the
+    /// previous checkpoint. Invariant (DESIGN.md §11): the chain only
+    /// reconstructs a *single-process* run whose address space still
+    /// carries the dirty tracking enabled at configure time — fork and
+    /// exec permanently break the chain, and navigation then replays from
+    /// the start instead.
+    fn take_record_checkpoint(&mut self) {
+        let clock = self.clock;
+        let single = self.procs.len() == 1;
+        let Some(rs) = self.record.as_mut() else {
+            return;
+        };
+        let retired = rs.retired;
+        while let Some(n) = rs.next_ckpt {
+            if n <= retired {
+                rs.next_ckpt = Some(n + rs.ckpt_period);
+            } else {
+                break;
+            }
+        }
+        if !rs.chain_ok {
+            return;
+        }
+        if !single {
+            rs.chain_ok = false;
+            return;
+        }
+        let p = self.procs.values_mut().next().expect("single process");
+        if p.exit_status.is_some() {
+            return;
+        }
+        if !p.space.dirty_tracking() {
+            // execve replaced the space; the delta baseline is gone.
+            rs.chain_ok = false;
+            return;
+        }
+        let mut bases: std::collections::BTreeSet<u64> = rs.pending_pages.drain(..).collect();
+        bases.extend(p.space.take_dirty_pages());
+        let pages: Vec<PageSnap> = bases
+            .into_iter()
+            .filter_map(|base| {
+                p.space.snapshot_page(base).map(|(perms, pkey, data)| PageSnap {
+                    base,
+                    perms: perms.bits(),
+                    pkey,
+                    data,
+                })
+            })
+            .collect();
+        rs.checkpoints.push(Checkpoint {
+            retired,
+            clock,
+            cursor: rs.recs.len(),
+            pid: p.pid,
+            threads: p.threads.clone(),
+            sigactions: p.sigactions.clone(),
+            seccomp: p.seccomp.clone(),
+            interposer_live: p.interposer_live,
+            pages,
+        });
+    }
+
+    /// Restores the process state captured by `chain[..=idx]` onto this
+    /// kernel, which must hold the same deterministically re-booted
+    /// process the chain was recorded from. Page snapshots of every
+    /// checkpoint in the prefix are applied in order (later deltas win),
+    /// then the last checkpoint's thread/signal/seccomp state. CPU caches
+    /// are reset — clock-invisible, since the cost model charges per
+    /// instruction regardless of decode-cache state — and the record
+    /// session's retired/log coordinates are aligned to the boundary.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason when the chain cannot reconstruct the
+    /// state (missing process, cross-process chain, or a snapshot page
+    /// that no longer maps — e.g. recorded after a runtime `mmap`). The
+    /// caller falls back to replaying from the start.
+    pub fn restore_to_checkpoint(&mut self, chain: &[Checkpoint], idx: usize) -> Result<(), String> {
+        let ckpt = chain.get(idx).ok_or("checkpoint index out of range")?;
+        let pid = ckpt.pid;
+        {
+            let p = self
+                .procs
+                .get_mut(&pid)
+                .ok_or("checkpointed process is not booted")?;
+            for c in chain.iter().take(idx + 1) {
+                if c.pid != pid {
+                    return Err("checkpoint chain crosses processes".to_string());
+                }
+                for ps in &c.pages {
+                    p.space
+                        .write_raw(ps.base, &ps.data)
+                        .map_err(|_| format!("page {:#x} is not mapped at restore time", ps.base))?;
+                    p.space
+                        .protect(ps.base, PAGE_SIZE, Perms::from_bits(ps.perms))
+                        .map_err(|_| format!("page {:#x} rejects protection restore", ps.base))?;
+                    p.space
+                        .set_pkey(ps.base, PAGE_SIZE, ps.pkey)
+                        .map_err(|_| format!("page {:#x} rejects pkey restore", ps.base))?;
+                }
+            }
+            p.threads = ckpt.threads.clone();
+            p.sigactions = ckpt.sigactions.clone();
+            p.seccomp = ckpt.seccomp.clone();
+            p.interposer_live = ckpt.interposer_live;
+            for t in &mut p.threads {
+                t.cpu.reset_caches();
+            }
+        }
+        self.clock = ckpt.clock;
+        if sim_obs::enabled() {
+            sim_obs::set_clock(self.clock);
+        }
+        if let Some(rs) = self.record.as_mut() {
+            rs.retired = ckpt.retired;
+            rs.cursor = ckpt.cursor;
+            rs.bcursor = rs
+                .boundaries
+                .iter()
+                .position(|b| b.0 >= ckpt.retired)
+                .unwrap_or(rs.boundaries.len());
+            rs.stopped = false;
+            rs.entry_clock.clear();
+        }
+        Ok(())
+    }
+
+    /// Runs until the record session has retired `target` guest
+    /// instructions (or the run otherwise ends): the time-travel seek
+    /// primitive. Returns [`RunExit::Stop`] when the target was reached.
+    pub fn run_to_retired(&mut self, target: u64, max_cycles: u64) -> RunExit {
+        if let Some(rs) = self.record.as_mut() {
+            rs.stop_at = Some(target);
+            rs.stopped = rs.retired >= target;
+        }
+        let exit = self.run(max_cycles);
+        if let Some(rs) = self.record.as_mut() {
+            rs.stop_at = None;
+            if rs.divergence.is_none() && rs.retired >= target {
+                rs.stopped = false;
+            }
+        }
+        exit
+    }
+
+    // ---- record/replay public accessors ------------------------------------
+
+    /// Retired-instruction count of the record session (0 when not
+    /// recording) — the engine-invariant coordinate logs are keyed by.
+    pub fn record_retired(&self) -> u64 {
+        self.record.as_ref().map_or(0, |rs| rs.retired)
+    }
+
+    /// The first mismatch a verifying replay found, if any.
+    pub fn record_divergence(&self) -> Option<&Divergence> {
+        self.record.as_ref().and_then(|rs| rs.divergence.as_ref())
+    }
+
+    /// Number of log records consumed (verify/inject) so far.
+    pub fn record_cursor(&self) -> usize {
+        self.record.as_ref().map_or(0, |rs| rs.cursor)
+    }
+
+    /// Drains the captured log (record mode).
+    pub fn take_recording(&mut self) -> Vec<Rec> {
+        self.record
+            .as_mut()
+            .map(|rs| std::mem::take(&mut rs.recs))
+            .unwrap_or_default()
+    }
+
+    /// Drains the checkpoint chain (navigation-grade record mode). Empty
+    /// when the chain was broken by fork/exec — see
+    /// [`Kernel::record_chain_ok`].
+    pub fn take_checkpoints(&mut self) -> Vec<Checkpoint> {
+        self.record
+            .as_mut()
+            .map(|rs| std::mem::take(&mut rs.checkpoints))
+            .unwrap_or_default()
+    }
+
+    /// True while the checkpoint chain soundly reconstructs the run.
+    pub fn record_chain_ok(&self) -> bool {
+        self.record.as_ref().is_some_and(|rs| rs.chain_ok)
+    }
 
     /// Applies every injection due at the current boundary: permission
     /// restorations first, then new flips, then the asynchronous signal.
@@ -1056,6 +1491,14 @@ impl Kernel {
             if obs {
                 sim_obs::fault_flip(clock, base, true);
             }
+            // A restore is logged as a flip to the restored protection:
+            // replay does not need to know the pre-flip history.
+            self.record_emit(Rec::Flip {
+                retired: at,
+                page: base,
+                perms: saved.bits(),
+                restore: true,
+            });
         }
         for f in flips {
             let base = f.page & !(PAGE_SIZE - 1);
@@ -1071,6 +1514,12 @@ impl Kernel {
                 if obs {
                     sim_obs::fault_flip(clock, base, false);
                 }
+                self.record_emit(Rec::Flip {
+                    retired: at,
+                    page: base,
+                    perms: Perms::from_bits(f.perms).bits(),
+                    restore: false,
+                });
                 if let Some(fs) = self.fault.as_mut() {
                     fs.restores.push((at + f.duration.max(1), pid, base, saved));
                 }
@@ -1099,6 +1548,11 @@ impl Kernel {
             if obs {
                 sim_obs::fault_signal(clock, signo, has_handler);
             }
+            self.record_emit(Rec::Signal {
+                retired: at,
+                signo,
+                delivered: has_handler,
+            });
             if has_handler {
                 self.deliver_signal(
                     pid,
@@ -1147,6 +1601,12 @@ impl Kernel {
         let tparams = (self.engine == Engine::Trace).then_some(self.trace_params);
         let mut remaining = self.effective_slice(tid);
         while remaining > 0 {
+            // Record boundaries come first: a checkpoint captures the
+            // pre-asynchrony state, so signal/flip records landing at the
+            // same retired count re-apply after a restore.
+            if self.record_boundary_due() && self.apply_record_boundary(pid, tid) {
+                return;
+            }
             if self.fault_boundary_due() {
                 self.apply_fault_boundary(pid, tid);
                 return;
@@ -1167,7 +1627,7 @@ impl Kernel {
             } else {
                 None
             };
-            let budget = self.prof_capped(self.fault_capped(remaining));
+            let budget = self.record_capped(self.prof_capped(self.fault_capped(remaining)));
             let clock = self.clock;
             let cost = self.cost;
             let mut trace = self.exec_trace.take();
@@ -1212,6 +1672,7 @@ impl Kernel {
             self.charge(block.cycles);
             remaining -= block.steps;
             self.fault_retire(block.steps);
+            self.record_retire(block.steps);
             self.prof_retire_and_sample(pid, tid, block.steps);
             if block.vdso_calls > 0 {
                 if let Some(p) = self.procs.get_mut(&pid) {
@@ -1291,6 +1752,7 @@ impl Kernel {
         !sim_obs::enabled()
             && self.fault.is_none()
             && self.prof.is_none()
+            && self.record.is_none()
             && self.trace_log.is_none()
             && self.tracers.is_empty()
             && self.deferred.is_empty()
@@ -1543,6 +2005,11 @@ impl Kernel {
         let icache = self.icache;
         let slice = self.effective_slice(tid);
         for _ in 0..slice {
+            // Same ordering as the block engine: checkpoint before any
+            // asynchrony due at the same retired count.
+            if self.record_boundary_due() && self.apply_record_boundary(pid, tid) {
+                return;
+            }
             if self.fault_boundary_due() {
                 self.apply_fault_boundary(pid, tid);
                 return;
@@ -1569,6 +2036,7 @@ impl Kernel {
             };
             self.charge(step.cycles);
             self.fault_retire(1);
+            self.record_retire(1);
             if sim_obs::enabled() {
                 // Post-step RIP, matching the per-step hook inside
                 // `run_block` — the range-span streams are identical.
@@ -1684,6 +2152,7 @@ impl Kernel {
     fn handle_syscall_fast(&mut self, pid: Pid, tid: Tid, site: u64) -> bool {
         if sim_obs::enabled()
             || self.fault.is_some()
+            || self.record.is_some()
             || self.trace_log.is_some()
             || self.tracers.contains_key(&pid)
         {
@@ -1828,6 +2297,7 @@ impl Kernel {
                 self.charge(cost.sud_slowpath);
             }
         }
+        self.record_syscall_entry(pid, tid, restarting);
 
         // SUD dispatch check (before anything else, as in Linux).
         let sud_check = if restarting { None } else { sud };
@@ -2024,6 +2494,50 @@ impl Kernel {
             }
         }
 
+        // Injecting replay: a non-process-local syscall is not re-executed;
+        // its recorded completion (return value, service cycles, page
+        // writes) is applied instead, so navigation after a checkpoint
+        // restore needs no VFS/net/RNG state.
+        if self
+            .record
+            .as_ref()
+            .is_some_and(|rs| rs.mode == RecordModeKind::Inject)
+            && !inject_passthrough(nr_)
+        {
+            let rec = self.record.as_mut().and_then(RecordSession::take_syscall);
+            match rec {
+                Some(Rec::Syscall {
+                    nr: rnr,
+                    ret,
+                    cycles,
+                    writes,
+                    ..
+                }) if rnr == nr_ => {
+                    if let Some(p) = self.procs.get_mut(&pid) {
+                        for (base, data) in &writes {
+                            let _ = p.space.write_raw(*base, data);
+                        }
+                        if let Some(t) = p.thread_mut(tid) {
+                            t.cpu.rip = site + 2;
+                            t.cpu.set(Reg::Rax, ret);
+                            t.cpu.apply_syscall_clobbers(site + 2);
+                        }
+                    }
+                    self.charge(cycles);
+                    if obs {
+                        sim_obs::syscall_exit(self.clock, nr_, ret, nr::syscall_name(nr_));
+                    }
+                }
+                _ => {
+                    // Log exhausted or misaligned: halt navigation.
+                    if let Some(rs) = self.record.as_mut() {
+                        rs.stopped = true;
+                    }
+                }
+            }
+            return;
+        }
+
         // Dispatch.
         let disp = match injected {
             Some(FaultKind::Eintr) => crate::sys::Disp::Ret(nr::err(nr::EINTR)),
@@ -2047,6 +2561,7 @@ impl Kernel {
                     t.cpu.set(Reg::Rax, ret);
                     t.cpu.apply_syscall_clobbers(site + 2);
                 }
+                self.record_syscall_ret(pid, tid, nr_, site, ret);
                 self.tracer_stop(pid, tid, Stop::SyscallExit { nr: nr_, ret }, |o| {
                     o.trace_syscalls
                 });
@@ -2061,6 +2576,7 @@ impl Kernel {
                     t.cpu.apply_syscall_clobbers(site + 2);
                     t.state = ThreadState::Blocked(wait);
                 }
+                self.record_syscall_ret(pid, tid, nr_, site, ret);
                 if obs {
                     sim_obs::syscall_exit(self.clock, nr_, ret, nr::syscall_name(nr_));
                 }

@@ -28,11 +28,13 @@ pub mod net;
 pub mod nr;
 pub mod process;
 pub mod ptrace_if;
+pub mod record;
 pub mod signal;
 mod sys;
 pub mod vfs;
 
 pub use config::{Engine, EngineConfig};
+pub use record::{Checkpoint, RecordSpec};
 pub use kernel::{ExecLoader, ExecOpts, HostcallFn, Kernel, LoadedImage, RunExit, TraceEntry};
 // Configuration building blocks re-exported so callers assemble an
 // `EngineConfig` from this crate alone.

@@ -324,23 +324,23 @@ impl Recorder {
             c.block_lengths.mean(),
             c.block_lengths.max
         );
-        if c.trace_forms > 0 || c.trace_entries > 0 {
-            let _ = writeln!(
-                s,
-                "traces: {} formed (mean {:.1} ops, max {}), {} entered, {} linked, {} side exits",
-                c.trace_forms,
-                c.trace_lengths.mean(),
-                c.trace_lengths.max,
-                c.trace_entries,
-                c.trace_links,
-                c.trace_side_exits
-            );
-            let _ = writeln!(
-                s,
-                "traces: {} revalidated, {} unlinked, {} recordings aborted",
-                c.trace_revalidations, c.trace_unlinks, c.trace_aborts
-            );
-        }
+        // Always emitted (zero outside the trace engine) so the counter
+        // snapshot has a stable shape tools can diff across engines.
+        let _ = writeln!(
+            s,
+            "traces: {} formed (mean {:.1} ops, max {}), {} entered, {} linked, {} side exits",
+            c.trace_forms,
+            c.trace_lengths.mean(),
+            c.trace_lengths.max,
+            c.trace_entries,
+            c.trace_links,
+            c.trace_side_exits
+        );
+        let _ = writeln!(
+            s,
+            "traces: {} revalidated, {} unlinked, {} recordings aborted",
+            c.trace_revalidations, c.trace_unlinks, c.trace_aborts
+        );
         let _ = writeln!(
             s,
             "page runs: {} accesses, mean {:.1} bytes, max {}",

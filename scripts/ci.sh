@@ -27,6 +27,9 @@ cmp target/SIMFAULT_smoke_a.txt target/SIMFAULT_smoke_b.txt
 echo "==> simprof smoke (profiler determinism across runs and engines)"
 cargo run --release -q -p bench --bin simprof -- --smoke
 
+echo "==> simrecord smoke (record on trace, replay on stepwise, bisection, navigation)"
+cargo run --release -q -p bench --bin simrecord -- --smoke
+
 echo "==> bench gate (profiler counts vs BENCH_simprof.json, engine throughput + determinism vs BENCH_simperf.json)"
 scripts/bench_gate.sh
 
