@@ -49,10 +49,10 @@ const COREUTIL: &str = "/usr/bin/ls-sim";
 /// Cycle budget per profiled run.
 const BUDGET: u64 = u64::MAX / 4;
 
-fn make_interposer(name: &str) -> Option<(Box<dyn Interposer>, bool)> {
+fn make_interposer(name: &str) -> Result<(Box<dyn Interposer>, bool), String> {
     pitfalls::register_all();
-    let ip = interpose::by_name(name)?;
-    Some((ip, name.starts_with("k23")))
+    let ip = interpose::by_name_spec(name).map_err(|e| e.to_string())?;
+    Ok((ip, name.starts_with("k23")))
 }
 
 fn engine_cfg(engine: &str) -> Result<EngineConfig, String> {
@@ -222,7 +222,7 @@ fn finish_run(k: &mut sim_kernel::Kernel, rec: Box<sim_obs::Recorder>) -> RunOut
 /// Profiles `COREUTIL` under one interposer.
 fn profile_coreutil(name: &str, engine: &str, period: u64) -> Result<RunOutput, String> {
     let (ip, needs_offline) =
-        make_interposer(name).ok_or_else(|| format!("unknown interposer {name:?}"))?;
+        make_interposer(name)?;
     let mut k = boot_kernel();
     apps::install_world(&mut k.vfs);
     let argv = vec![COREUTIL.to_string()];
@@ -279,7 +279,7 @@ fn profile_server(
     offline_log: &Option<(String, Vec<u8>)>,
 ) -> Result<RunOutput, String> {
     let (ip, needs_offline) =
-        make_interposer(name).ok_or_else(|| format!("unknown interposer {name:?}"))?;
+        make_interposer(name)?;
     let mut k = boot_kernel();
     apps::install_world(&mut k.vfs);
     if needs_offline {

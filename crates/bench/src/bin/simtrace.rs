@@ -32,12 +32,12 @@ use sim_kernel::RunExit;
 use sim_loader::boot_kernel;
 use std::process::ExitCode;
 
-/// `(interposer, needs_offline_phase)` for a mechanism name, resolved
+/// `(interposer, needs_offline_phase)` for a mechanism spec, resolved
 /// through the unified [`interpose`] registry.
-fn make_interposer(name: &str) -> Option<(Box<dyn Interposer>, bool)> {
+fn make_interposer(name: &str) -> Result<(Box<dyn Interposer>, bool), String> {
     pitfalls::register_all();
-    let ip = interpose::by_name(name)?;
-    Some((ip, name.starts_with("k23")))
+    let ip = interpose::by_name_spec(name).map_err(|e| e.to_string())?;
+    Ok((ip, name.starts_with("k23")))
 }
 
 fn engine_cfg(engine: &str) -> Result<sim_kernel::EngineConfig, String> {
@@ -120,13 +120,11 @@ fn parse_args() -> Result<Args, String> {
 
 /// Runs the chosen workload traced; returns the recorder.
 fn traced_run(args: &Args) -> Result<Box<sim_obs::Recorder>, String> {
-    let (ip, needs_offline) =
-        make_interposer(&args.interposer).ok_or_else(|| {
-            format!(
-                "unknown interposer {:?} (try native, ptrace, sud, sud-armed, zpoline, zpoline-ultra, lazypoline, k23, k23-ultra, k23-ultra+)",
-                args.interposer
-            )
-        })?;
+    let (ip, needs_offline) = make_interposer(&args.interposer).map_err(|e| {
+        format!(
+            "{e} (try native, ptrace, sud, sud-armed, zpoline, zpoline-ultra, lazypoline, k23, k23-ultra, k23-ultra+, or a composed spec like k23+tracer+recorder)"
+        )
+    })?;
 
     let mut k = boot_kernel();
     let (app, argv) = match args.micro {

@@ -82,7 +82,7 @@ impl Config {
     /// Instantiates the interposer via the registry.
     pub fn make(self) -> Box<dyn Interposer> {
         pitfalls::register_all();
-        interpose::by_name(self.name()).expect("registered mechanism")
+        interpose::by_name_spec(self.name()).expect("registered mechanism")
     }
 
     /// True for the K23 variants (which get an offline phase first, as in

@@ -216,19 +216,22 @@ impl Interposer for K23 {
         ]
     }
 
+    /// Only the sites that re-issue *application* syscalls: the fake
+    /// control syscalls (600/601) and the fallback handler's internal
+    /// rt_sigreturn belong to the mechanism and must not enter a
+    /// composed stack's chain.
+    fn chain_symbols(&self) -> Vec<String> {
+        vec![
+            "libk23.so:__k23_forward".to_string(),
+            "libk23.so:__k23_sud_forward".to_string(),
+            "libk23.so:__k23_forward_noswitch".to_string(),
+        ]
+    }
+
     /// K23's interposed count also includes the syscalls its startup
     /// ptracer covered — the component other interposers simply lack.
     fn interposed_count(&self, k: &Kernel, pid: Pid) -> u64 {
-        let in_process: u64 = {
-            let Some(p) = k.process(pid) else {
-                return 0;
-            };
-            self.forward_symbols()
-                .iter()
-                .filter_map(|s| p.symbols.get(s))
-                .map(|addr| p.stats.syscalls_at_site(*addr))
-                .sum()
-        };
-        in_process + self.ptracer_state.borrow().startup_syscalls
+        interpose::count_at_symbols(k, pid, &self.forward_symbols())
+            + self.ptracer_state.borrow().startup_syscalls
     }
 }

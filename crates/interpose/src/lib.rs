@@ -12,10 +12,14 @@
 pub mod handler_asm;
 pub mod ptrace;
 pub mod registry;
+pub mod stack;
 pub mod sud;
 
 pub use ptrace::PtraceInterposer;
-pub use registry::{all, by_name, names, register};
+#[allow(deprecated)]
+pub use registry::by_name;
+pub use registry::{all, by_name_spec, names, register, SpecError};
+pub use stack::InterposerStack;
 pub use sud::{SudInterposer, SudMode};
 
 use sim_kernel::{Kernel, Pid};
@@ -24,8 +28,10 @@ use sim_kernel::{Kernel, Pid};
 /// pitfalls matrix, and the fault explorer all drive
 /// `Box<dyn Interposer>` instances obtained from the [`registry`]).
 pub trait Interposer {
-    /// Canonical registry name (lowercase; the key [`registry::by_name`]
-    /// resolves and the name replay commands use).
+    /// Canonical registry name (lowercase; the key
+    /// [`registry::by_name_spec`] resolves and the name replay commands
+    /// use). For a composed stack this is the full spec
+    /// (`"k23+tracer+recorder"`).
     fn name(&self) -> &'static str;
 
     /// Display label matching the paper's configuration labels
@@ -35,14 +41,16 @@ pub trait Interposer {
     }
 
     /// Installs guest libraries into the VFS and registers hostcalls.
-    /// Must be called once per kernel before [`Interposer::spawn`].
+    /// Must be called at least once per kernel before
+    /// [`Interposer::spawn`].
+    ///
+    /// **Idempotency contract:** `install` must be safe to call multiple
+    /// times on the same kernel — library files overwrite identically,
+    /// hostcall registrations replace their previous closure, and no
+    /// per-call state accumulates. Drivers rely on this to re-install
+    /// after reconfiguring a kernel without tracking whether a mechanism
+    /// was installed before.
     fn install(&self, k: &mut Kernel);
-
-    /// Former name of [`Interposer::install`].
-    #[deprecated(note = "renamed to install()")]
-    fn prepare(&self, k: &mut Kernel) {
-        self.install(k);
-    }
 
     /// Spawns `path` under this interposer.
     ///
@@ -63,12 +71,6 @@ pub trait Interposer {
         None
     }
 
-    /// Former name of [`Interposer::attribution_path`].
-    #[deprecated(note = "renamed to attribution_path()")]
-    fn handler_region(&self) -> Option<String> {
-        self.attribution_path()
-    }
-
     /// Fully-qualified symbol names (`"lib basename:symbol"`) of the
     /// handler's *forwarding* `syscall` instructions. Every interposed call
     /// is re-issued from one of these exact sites, so counting executions at
@@ -77,17 +79,41 @@ pub trait Interposer {
         Vec::new()
     }
 
+    /// The forwarding symbols at which a composed stack's chain
+    /// dispatches. Defaults to [`Interposer::forward_symbols`];
+    /// mechanisms whose forward list includes interposer-internal sites
+    /// (fake control syscalls, internal sigreturns) override this to just
+    /// the sites that carry *application* syscalls. An empty list means
+    /// the chain intercepts every site of a covered process (ptrace,
+    /// native).
+    fn chain_symbols(&self) -> Vec<String> {
+        self.forward_symbols()
+    }
+
     /// How many of `pid`'s executed syscalls were demonstrably interposed.
     fn interposed_count(&self, k: &Kernel, pid: Pid) -> u64 {
-        let Some(p) = k.process(pid) else {
-            return 0;
-        };
-        self.forward_symbols()
-            .iter()
-            .filter_map(|s| p.symbols.get(s))
-            .map(|addr| p.stats.syscalls_at_site(*addr))
-            .sum()
+        count_at_symbols(k, pid, &self.forward_symbols())
     }
+}
+
+/// Sums the executed-syscall counts at the sites named by `symbols`,
+/// resolved through `pid`'s symbol table. Sites are deduplicated by
+/// address first: two stack layers (or two aliases) sharing a forward
+/// symbol must not double-count the syscalls issued there.
+pub fn count_at_symbols(k: &Kernel, pid: Pid, symbols: &[String]) -> u64 {
+    let Some(p) = k.process(pid) else {
+        return 0;
+    };
+    let mut addrs: Vec<u64> = symbols
+        .iter()
+        .filter_map(|s| p.symbols.get(s).copied())
+        .collect();
+    addrs.sort_unstable();
+    addrs.dedup();
+    addrs
+        .into_iter()
+        .map(|addr| p.stats.syscalls_at_site(addr))
+        .sum()
 }
 
 /// No interposition at all — the native baseline.

@@ -151,7 +151,9 @@ pub fn run_probe_on(mech: &str, plan: Option<&FaultPlan>, base: EngineConfig) ->
     crate::register_all();
     let mut k = boot_kernel();
     build_fault_probe().install(&mut k.vfs);
-    if mech == "k23" {
+    let (mech_base, _) = interpose::registry::parse_spec(mech)
+        .unwrap_or_else(|e| panic!("spec {mech:?}: {e}"));
+    if mech_base == "k23" {
         // Offline phase always runs fault-free under the default engine, so
         // the collected site log is identical regardless of `base`.
         let session = OfflineSession::new(&mut k, PROBE_PATH);
@@ -163,7 +165,8 @@ pub fn run_probe_on(mech: &str, plan: Option<&FaultPlan>, base: EngineConfig) ->
         None => base,
     };
     k.configure(cfg);
-    let ip: Box<dyn Interposer> = interpose::by_name(mech).expect("registered mechanism");
+    let ip: Box<dyn Interposer> =
+        interpose::by_name_spec(mech).unwrap_or_else(|e| panic!("spec {mech:?}: {e}"));
     ip.install(&mut k);
     let pid = ip
         .spawn(&mut k, PROBE_PATH, &[PROBE_PATH.to_string()], &[])

@@ -8,8 +8,10 @@
 pub mod fault;
 pub mod matrix;
 pub mod pocs;
+pub mod stack;
 
 pub use fault::{full_fault_matrix, render_fault_matrix, Scenario};
+pub use stack::{full_stack_matrix, render_stack_matrix, StackCell, STACKS};
 pub use matrix::{
     evaluate, full_matrix, p4b_footprint, render_matrix, P4bFootprint, Pitfall, Subject, Verdict,
     P4B_THRESHOLD_BYTES,

@@ -201,6 +201,8 @@ pub struct Kernel {
     mem_mode: MemMode,
     /// Live fault-injection session, when configured.
     fault: Option<FaultSession>,
+    /// Installed interposer stack (composed interposition), when any.
+    stack: Option<crate::stack::StackSession>,
     /// Live sampling-profiler session, when configured.
     prof: Option<ProfSession>,
     /// Live record/replay session, when configured.
@@ -237,6 +239,7 @@ impl Kernel {
             trace_params: sim_cpu::TraceParams::default(),
             mem_mode: MemMode::PageRun,
             fault: None,
+            stack: None,
             prof: None,
             record: None,
             exec_trace: None,
@@ -567,6 +570,7 @@ impl Kernel {
             aslr_seed,
         };
         let img = loader.load(&mut self.vfs, path, &argv, &env, &opts)?;
+        let exec_mask = self.stack.as_ref().map_or(0, |s| s.exec_mask());
 
         let tid = {
             let p = self.procs.get_mut(&pid).ok_or(-nr::ENOENT)?;
@@ -586,6 +590,12 @@ impl Kernel {
             p.symbols = img.symbols;
             p.lib_bases = img.lib_bases;
             p.symcache = None;
+            // Stack layers survive exec only if they opted in, and the
+            // chain-site resolution is stale either way (the new image may
+            // not even carry the base's handler library — the P1a
+            // env-clearing gap then leaves the chain inert).
+            p.stack_mask &= exec_mask;
+            p.chain_sites = None;
             tid
         };
 
@@ -604,6 +614,126 @@ impl Kernel {
             |o| o.trace_exec,
         );
         Ok(())
+    }
+
+    // ---- interposer stacks -----------------------------------------------
+
+    /// Installs a composed interposer stack. At most one stack is live per
+    /// kernel (it shares the single underlying mechanism slot); installing
+    /// replaces any previous session. Processes opt in via
+    /// [`Kernel::bind_stack`]; membership then propagates across
+    /// fork/execve per the layers' propagation flags.
+    pub fn install_stack(&mut self, session: crate::stack::StackSession) {
+        self.stack = Some(session);
+    }
+
+    /// Removes the installed stack (existing masks become inert).
+    pub fn clear_stack(&mut self) {
+        self.stack = None;
+    }
+
+    /// The installed stack session, if any.
+    pub fn stack(&self) -> Option<&crate::stack::StackSession> {
+        self.stack.as_ref()
+    }
+
+    /// Activates every layer of the installed stack for `pid` (called by
+    /// the stack's spawn path, once the base mechanism spawned the
+    /// process).
+    pub fn bind_stack(&mut self, pid: Pid) {
+        let mask = self.stack.as_ref().map_or(0, |s| s.full_mask());
+        if let Some(p) = self.procs.get_mut(&pid) {
+            p.stack_mask = mask;
+        }
+    }
+
+    /// True when the chain must intercept this dispatch: a stack is
+    /// installed, `pid` has active layers, and `site` passes the
+    /// session's filter (resolving and caching the base's forwarding
+    /// sites against the process symbol table on first use per image).
+    fn chain_applies(&mut self, pid: Pid, site: u64) -> bool {
+        let Some(sess) = self.stack.as_ref() else {
+            return false;
+        };
+        if sess.layers.is_empty() {
+            return false;
+        }
+        let filter = sess.filter.clone();
+        let Some(p) = self.procs.get_mut(&pid) else {
+            return false;
+        };
+        if p.stack_mask == 0 {
+            return false;
+        }
+        match filter {
+            crate::stack::ChainFilter::All => true,
+            crate::stack::ChainFilter::Sites(syms) => {
+                let key = p.symbols.len();
+                if p.chain_sites.as_ref().map(|(k2, _)| *k2) != Some(key) {
+                    let mut v: Vec<u64> =
+                        syms.iter().filter_map(|s| p.symbols.get(s).copied()).collect();
+                    v.sort_unstable();
+                    v.dedup();
+                    p.chain_sites = Some((key, v));
+                }
+                p.chain_sites
+                    .as_ref()
+                    .is_some_and(|(_, v)| v.binary_search(&site).is_ok())
+            }
+        }
+    }
+
+    /// Routes one syscall through the layer chain (see `stack.rs` for the
+    /// dispatch contract) and applies whatever the chain's top produced.
+    fn chain_dispatch(&mut self, mut ctx: crate::stack::SyscallCtx, injected: Option<FaultKind>, obs: bool) {
+        use crate::stack::{Chain, RealOutcome, SysResult};
+        let crate::stack::SyscallCtx { pid, tid, nr: nr_, site, .. } = ctx;
+        let (layers, order) = {
+            let sess = self.stack.as_ref().expect("chain_applies checked");
+            let mask = self.procs.get(&pid).map_or(0, |p| p.stack_mask);
+            let order: Vec<usize> = (0..sess.layers.len())
+                .filter(|i| mask & (1u64 << i) != 0)
+                .collect();
+            (sess.layers.clone(), order)
+        };
+        let mut chain = Chain::new(layers, order, injected, obs);
+        let fin = chain.call_next(self, &mut ctx);
+        match (chain.real_outcome(), fin) {
+            (Some(RealOutcome::Sigreturn), SysResult::Value(_)) => {
+                // The composition hazard (nested sigreturn × chained
+                // handlers): a layer marshalled "the return value" of a
+                // control transfer, so its epilogue runs on the frame the
+                // sigreturn below it already abandoned. On hardware the
+                // stale return address faults; modeled as a deterministic
+                // SIGSEGV kill.
+                self.kill_process(pid, 128 + nr::SIGSEGV as i64);
+            }
+            (Some(RealOutcome::Ret(v)), SysResult::Value(w)) if w != v => {
+                // A layer rewrote the result on the way out.
+                if let Some(t) = self.procs.get_mut(&pid).and_then(|p| p.thread_mut(tid)) {
+                    t.cpu.set(Reg::Rax, w);
+                }
+            }
+            (None, SysResult::Value(w)) => {
+                // Short-circuit: no layer dispatched. Skip-syscall
+                // semantics, like a tracer's SkipSyscall.
+                if let Some(t) = self.procs.get_mut(&pid).and_then(|p| p.thread_mut(tid)) {
+                    t.cpu.rip = site + 2;
+                    t.cpu.set(Reg::Rax, w);
+                    t.cpu.apply_syscall_clobbers(site + 2);
+                }
+                if obs {
+                    sim_obs::syscall_exit(self.clock, nr_, w, nr::syscall_name(nr_));
+                }
+            }
+            (None, SysResult::Control) => {
+                // Contract violation: no layer dispatched and none
+                // produced a value. Fall back to the real dispatch so the
+                // guest makes forward progress.
+                chain.call_real(self, &mut ctx);
+            }
+            _ => {}
+        }
     }
 
     /// Marks a process's interposer as live (called by interposer init paths;
@@ -1742,7 +1872,8 @@ impl Kernel {
     }
 
     /// True when [`Kernel::run_slice_hot`] may run: no instrumentation
-    /// (obs, fault session, profiler, syscall log, tracers) is armed, the
+    /// (obs, fault session, interposer stack, profiler, syscall log,
+    /// tracers) is armed, the
     /// machine has exactly one process with exactly one runnable thread
     /// (the current one), no seccomp filter is installed, no deferred
     /// writes are queued, and the run deadline is not reached. Everything
@@ -1751,6 +1882,7 @@ impl Kernel {
     fn hot_slice_ok(&self, pid: Pid, tid: Tid) -> bool {
         !sim_obs::enabled()
             && self.fault.is_none()
+            && self.stack.is_none()
             && self.prof.is_none()
             && self.record.is_none()
             && self.trace_log.is_none()
@@ -2152,6 +2284,7 @@ impl Kernel {
     fn handle_syscall_fast(&mut self, pid: Pid, tid: Tid, site: u64) -> bool {
         if sim_obs::enabled()
             || self.fault.is_some()
+            || self.stack.is_some()
             || self.record.is_some()
             || self.trace_log.is_some()
             || self.tracers.contains_key(&pid)
@@ -2538,7 +2671,32 @@ impl Kernel {
             return;
         }
 
-        // Dispatch.
+        // Dispatch — through the interposer chain when a composed stack
+        // covers this (process, site), otherwise straight to the kernel.
+        // In-kernel restarts never re-enter the chain: the layers ran at
+        // first entry; the retry completes below them.
+        if !restarting && self.chain_applies(pid, site) {
+            let ctx = crate::stack::SyscallCtx { pid, tid, nr: nr_, args, site };
+            self.chain_dispatch(ctx, injected, obs);
+        } else {
+            self.chain_real_dispatch(pid, tid, nr_, args, site, injected);
+        }
+    }
+
+    /// The real kernel dispatch and its architectural effects (registers,
+    /// blocking, record/trace/obs exits) — the bottom of the interposer
+    /// chain, and the whole dispatch step when no chain applies. Applies
+    /// `injected` exactly as the pre-chain dispatch did.
+    pub(crate) fn chain_real_dispatch(
+        &mut self,
+        pid: Pid,
+        tid: Tid,
+        nr_: u64,
+        args: [u64; 6],
+        site: u64,
+        injected: Option<FaultKind>,
+    ) -> crate::stack::RealOutcome {
+        let obs = sim_obs::enabled();
         let disp = match injected {
             Some(FaultKind::Eintr) => crate::sys::Disp::Ret(nr::err(nr::EINTR)),
             Some(FaultKind::Eagain) => crate::sys::Disp::Ret(nr::err(nr::EAGAIN)),
@@ -2568,6 +2726,7 @@ impl Kernel {
                 if obs {
                     sim_obs::syscall_exit(self.clock, nr_, ret, nr::syscall_name(nr_));
                 }
+                crate::stack::RealOutcome::Ret(ret)
             }
             crate::sys::Disp::RetThenBlock(ret, wait) => {
                 if let Some(t) = self.procs.get_mut(&pid).and_then(|p| p.thread_mut(tid)) {
@@ -2580,6 +2739,7 @@ impl Kernel {
                 if obs {
                     sim_obs::syscall_exit(self.clock, nr_, ret, nr::syscall_name(nr_));
                 }
+                crate::stack::RealOutcome::Ret(ret)
             }
             crate::sys::Disp::Block(wait) => {
                 // rip stays at the syscall instruction: the thread retries on
@@ -2606,8 +2766,15 @@ impl Kernel {
                         t.restarting = true;
                     }
                 }
+                crate::stack::RealOutcome::Opaque
             }
-            crate::sys::Disp::NoReturn => {}
+            crate::sys::Disp::NoReturn => {
+                if nr_ == nr::SYS_RT_SIGRETURN {
+                    crate::stack::RealOutcome::Sigreturn
+                } else {
+                    crate::stack::RealOutcome::Opaque
+                }
+            }
         }
     }
 
@@ -2639,6 +2806,11 @@ impl Kernel {
         child.lib_bases = parent.lib_bases.clone();
         child.interposer_live = parent.interposer_live;
         child.seccomp = parent.seccomp.clone();
+        // Stack-layer membership: only layers that opted into fork
+        // propagation follow the child.
+        let fork_mask = self.stack.as_ref().map_or(0, |s| s.fork_mask());
+        child.stack_mask = parent.stack_mask & fork_mask;
+        child.chain_sites = parent.chain_sites.clone();
         let mut ccpu = t.cpu.clone();
         ccpu.rip = site + 2;
         ccpu.set(Reg::Rax, 0);

@@ -30,6 +30,7 @@ pub mod process;
 pub mod ptrace_if;
 pub mod record;
 pub mod signal;
+pub mod stack;
 mod sys;
 pub mod vfs;
 

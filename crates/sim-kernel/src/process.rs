@@ -298,6 +298,15 @@ pub struct Process {
     /// Installed seccomp filter, if any (checked on every dispatch; like
     /// Linux, it cannot be removed once installed).
     pub seccomp: Option<SeccompFilter>,
+    /// Active-layer bitmask of the installed interposer stack: bit *i*
+    /// set means layer *i* of the session interposes this process. Zero
+    /// (the default) leaves the chain inert. Fork/execve filter it by the
+    /// layers' propagation flags.
+    pub stack_mask: u64,
+    /// Cached chain-site resolution for the stack's site filter:
+    /// `(symbols.len() key, sorted site addresses)`, invalidated on exec
+    /// and whenever the symbol table changes size.
+    pub(crate) chain_sites: Option<(usize, Vec<u64>)>,
     /// Memoized `site → containing-region name` for per-syscall accounting:
     /// `site → (space generation, region name)`. Entries are valid only
     /// while the space generation is unchanged, so mapping churn can never
@@ -340,6 +349,8 @@ impl Process {
             symbols: BTreeMap::new(),
             lib_bases: BTreeMap::new(),
             seccomp: None,
+            stack_mask: 0,
+            chain_sites: None,
             region_cache: sim_cpu::FastMap::default(),
             symcache: None,
         }

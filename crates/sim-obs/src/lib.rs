@@ -530,7 +530,7 @@ thread_local! {
     static CPU: Cell<(u64, u64)> = const { Cell::new((0, 0)) };
     static RECORDER: RefCell<Option<Box<Recorder>>> = const { RefCell::new(None) };
     /// `(region basename, interposer label)` registrations. Survives
-    /// enable/disable cycles so interposer `prepare()` may run before
+    /// enable/disable cycles so interposer `install()` may run before
     /// tracing starts.
     static REGION_PATHS: RefCell<Vec<(String, String)>> = const { RefCell::new(Vec::new()) };
     /// Guest-address range → stage registrations ([`register_span_range`]).

@@ -24,6 +24,11 @@ cargo run --release -q -p bench --bin simfault -- --smoke > target/SIMFAULT_smok
 cargo run --release -q -p bench --bin simfault -- --smoke > target/SIMFAULT_smoke_b.txt
 cmp target/SIMFAULT_smoke_a.txt target/SIMFAULT_smoke_b.txt
 
+echo "==> simstack smoke (composed-stack matrix + propagation, byte-determinism check)"
+cargo run --release -q -p bench --bin simstack -- --smoke > target/SIMSTACK_smoke_a.txt
+cargo run --release -q -p bench --bin simstack -- --smoke > target/SIMSTACK_smoke_b.txt
+cmp target/SIMSTACK_smoke_a.txt target/SIMSTACK_smoke_b.txt
+
 echo "==> simprof smoke (profiler determinism across runs and engines)"
 cargo run --release -q -p bench --bin simprof -- --smoke
 

@@ -20,7 +20,7 @@ const PERIOD: u64 = 64;
 
 fn make(name: &str) -> (Box<dyn Interposer>, bool) {
     pitfalls::register_all();
-    let ip = interpose::by_name(name).expect("known interposer");
+    let ip = interpose::by_name_spec(name).expect("known interposer");
     (ip, name.starts_with("k23"))
 }
 
