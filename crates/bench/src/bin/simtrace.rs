@@ -154,7 +154,10 @@ fn traced_run(args: &Args) -> Result<Box<sim_obs::Recorder>, String> {
         session.finish(&mut k);
     }
 
-    k.configure(engine_cfg(&args.engine)?);
+    // Audit the traced run against the mechanism's declared coverage so
+    // the summary's counter block reports interposed/bypassed/double
+    // counts per attribution path alongside the latency table.
+    k.configure(engine_cfg(&args.engine)?.audit(ip.coverage()));
     sim_obs::enable(sim_obs::ObsConfig {
         micro_events: args.micro_events,
         ..sim_obs::ObsConfig::default()

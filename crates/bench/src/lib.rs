@@ -14,8 +14,13 @@
 //! | `fig4`   | online-phase walkthrough |
 //! | `all`    | everything above, in order |
 //!
+//! Diagnostics binaries (`simtrace`, `simperf`, `simprof`, `simfault`,
+//! `simstack`, `simrecord`, `simaudit`) live alongside; `simaudit`
+//! regenerates the committed `MATRIX_simaudit.txt` coverage ledger.
+//!
 //! Scale with `K23_BENCH_SCALE` (default 10; 1 = full size, larger = faster).
 
+pub mod audit;
 pub mod config;
 pub mod figures;
 pub mod macros_;

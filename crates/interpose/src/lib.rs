@@ -16,8 +16,6 @@ pub mod stack;
 pub mod sud;
 
 pub use ptrace::PtraceInterposer;
-#[allow(deprecated)]
-pub use registry::by_name;
 pub use registry::{all, by_name_spec, names, register, SpecError};
 pub use stack::InterposerStack;
 pub use sud::{SudInterposer, SudMode};
@@ -93,6 +91,16 @@ pub trait Interposer {
     /// How many of `pid`'s executed syscalls were demonstrably interposed.
     fn interposed_count(&self, k: &Kernel, pid: Pid) -> u64 {
         count_at_symbols(k, pid, &self.forward_symbols())
+    }
+
+    /// What this mechanism claims to cover — the expectation the
+    /// kernel-side audit ledger (`sim_kernel::audit`) checks every
+    /// retired syscall against. The default claims nothing: every
+    /// syscall audits as `uncovered`, which is correct for the native
+    /// baseline and any mechanism that has not yet declared its
+    /// coverage.
+    fn coverage(&self) -> sim_kernel::AuditSpec {
+        sim_kernel::AuditSpec::none(self.name())
     }
 }
 

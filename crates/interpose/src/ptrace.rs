@@ -76,6 +76,17 @@ impl Interposer for PtraceInterposer {
     fn interposed_count(&self, _k: &Kernel, _pid: Pid) -> u64 {
         self.state.borrow().interposed
     }
+
+    fn coverage(&self) -> sim_kernel::AuditSpec {
+        sim_kernel::AuditSpec {
+            mechanism: self.name().to_string(),
+            via_tracer: true,
+            // Spawned with `disable_vdso`, so would-be vDSO calls fall
+            // through to real syscalls the tracer stops on.
+            covers_vdso: true,
+            ..sim_kernel::AuditSpec::default()
+        }
+    }
 }
 
 #[cfg(test)]

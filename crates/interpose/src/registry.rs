@@ -156,12 +156,6 @@ pub fn by_name_spec(spec: &str) -> Result<Box<dyn Interposer>, SpecError> {
     )))
 }
 
-/// `Option` shim over [`by_name_spec`], kept one release for old callers.
-#[deprecated(note = "use by_name_spec(), which reports why a spec failed")]
-pub fn by_name(name: &str) -> Option<Box<dyn Interposer>> {
-    by_name_spec(name).ok()
-}
-
 /// Currently registered names, in canonical order (names outside
 /// [`ORDER`] follow, in registration order).
 pub fn names() -> Vec<&'static str> {
@@ -227,12 +221,8 @@ mod tests {
         let ip = by_name_spec("sud+tracer+recorder").expect("composed spec");
         assert_eq!(ip.name(), "sud+tracer+recorder");
         assert_eq!(ip.label(), "sud+tracer+recorder");
-        // The Option shim resolves the same specs, one release longer.
-        #[allow(deprecated)]
-        {
-            assert!(by_name("sud+tracer").is_some());
-            assert!(by_name("sud+nope").is_none());
-        }
+        assert!(by_name_spec("sud+tracer").is_ok());
+        assert!(by_name_spec("sud+nope").is_err());
     }
 
     #[test]

@@ -401,6 +401,18 @@ impl Interposer for InterposerStack {
     fn interposed_count(&self, k: &Kernel, pid: Pid) -> u64 {
         self.base.interposed_count(k, pid)
     }
+
+    fn coverage(&self) -> sim_kernel::AuditSpec {
+        // Layers add behavior on top of the base's interception — they
+        // never widen which syscalls are caught — so the stack's coverage
+        // claim is the base's, relabeled with the full spec. Per-layer
+        // participation is accounted separately via the ledger's
+        // `layer_hits`.
+        sim_kernel::AuditSpec {
+            mechanism: self.spec.clone(),
+            ..self.base.coverage()
+        }
+    }
 }
 
 /// Interns a spec so [`Interposer::name`] can hand out `&'static str` for

@@ -136,6 +136,21 @@ impl Interposer for SudInterposer {
     fn forward_symbols(&self) -> Vec<String> {
         vec!["libsud-interpose.so:__interpose_forward".to_string()]
     }
+
+    fn coverage(&self) -> sim_kernel::AuditSpec {
+        match self.mode {
+            SudMode::Interpose => sim_kernel::AuditSpec {
+                mechanism: self.name().to_string(),
+                handler_regions: vec!["libsud-interpose.so".to_string()],
+                via_sigsys: true,
+                ..sim_kernel::AuditSpec::default()
+            },
+            // SUD-no-interposition arms the dispatcher but installs no
+            // handler: it claims nothing, so every syscall audits as
+            // uncovered (the paper's pure-overhead row).
+            SudMode::Armed => sim_kernel::AuditSpec::none(self.name()),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -223,6 +223,18 @@ impl Interposer for Lazypoline {
             "liblazypoline.so:__lp_sud_forward".to_string(),
         ]
     }
+
+    fn coverage(&self) -> sim_kernel::AuditSpec {
+        // Hybrid: unrewritten sites trap through SUD's SIGSYS, rewritten
+        // ones call straight into the handler library. The vDSO is left
+        // alone (and SUD never sees its calls), so it stays a shadow.
+        sim_kernel::AuditSpec {
+            mechanism: self.name().to_string(),
+            handler_regions: vec!["liblazypoline.so".to_string()],
+            via_sigsys: true,
+            ..sim_kernel::AuditSpec::default()
+        }
+    }
 }
 
 /// lazypoline's rewrite, with the paper's P5 flaws intact:

@@ -1,0 +1,85 @@
+//! Bridges the kernel audit ledger's signature taxonomy
+//! (`sim_kernel::audit::Signature`) to this crate's pitfall catalogue
+//! ([`crate::Pitfall`]), so the quantified coverage reports
+//! (`MATRIX_simaudit.txt`) and the pass/fail PoC matrix (Table 3) speak
+//! the same language: an audited bypass carrying `P1a-exec` is the same
+//! phenomenon the P1a PoC demonstrates, now counted instead of merely
+//! detected.
+
+use crate::matrix::Pitfall;
+use sim_kernel::Signature;
+
+/// The pitfall a bypass signature instantiates, if the taxonomy maps it
+/// to one of the paper's named pitfalls. Both P1b flavors map to P1b:
+/// `SudOff` is the Listing 2 `prctl` disable, `SelectorRewrite` the
+/// selector-byte rewrite. `ForkGap`, `Vdso`, and `Uncovered` are
+/// coverage phenomena without a dedicated Table 3 row (`Vdso` is
+/// discussed under P2b but audited separately so startup and vDSO
+/// shadows stay distinguishable).
+pub fn signature_pitfall(sig: Signature) -> Option<Pitfall> {
+    match sig {
+        Signature::PreInit => Some(Pitfall::P2b),
+        Signature::ExecGap => Some(Pitfall::P1a),
+        Signature::SelectorRewrite | Signature::SudOff => Some(Pitfall::P1b),
+        Signature::Blind => Some(Pitfall::P2a),
+        Signature::ForkGap | Signature::Vdso | Signature::Uncovered => None,
+    }
+}
+
+/// One-line description for report legends, stable across runs (the
+/// committed matrices embed these strings).
+pub fn signature_describe(sig: Signature) -> &'static str {
+    match sig {
+        Signature::PreInit => "startup syscalls before the interposer went live (P2b)",
+        Signature::ExecGap => "post-execve window after the image cleared the interposer (P1a)",
+        Signature::SelectorRewrite => "SUD selector rewritten to ALLOW by application code (P1b)",
+        Signature::SudOff => "SUD disarmed by application prctl on the issuing thread (P1b)",
+        Signature::ForkGap => "child spawned outside the mechanism's propagation",
+        Signature::Blind => "issued from an uninstrumented region (dynamically generated code, P2a)",
+        Signature::Vdso => "serviced by the vDSO; never entered the kernel",
+        Signature::Uncovered => "mechanism claims no coverage",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pitfall_signatures_map_to_table3_rows() {
+        assert_eq!(signature_pitfall(Signature::PreInit), Some(Pitfall::P2b));
+        assert_eq!(signature_pitfall(Signature::ExecGap), Some(Pitfall::P1a));
+        assert_eq!(
+            signature_pitfall(Signature::SelectorRewrite),
+            Some(Pitfall::P1b)
+        );
+        assert_eq!(signature_pitfall(Signature::Blind), Some(Pitfall::P2a));
+        assert_eq!(signature_pitfall(Signature::SudOff), Some(Pitfall::P1b));
+        assert_eq!(signature_pitfall(Signature::Vdso), None);
+        assert_eq!(signature_pitfall(Signature::Uncovered), None);
+    }
+
+    #[test]
+    fn signature_codes_embed_their_pitfall_labels() {
+        // The stable report codes and the Table 3 labels must never
+        // drift apart: a code like "P1a-exec" starts with the label of
+        // the pitfall the signature maps to.
+        for sig in Signature::ALL {
+            if let Some(p) = signature_pitfall(sig) {
+                assert!(
+                    sig.code().starts_with(p.label()),
+                    "{} should start with {}",
+                    sig.code(),
+                    p.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_signature_has_a_description() {
+        for sig in Signature::ALL {
+            assert!(!signature_describe(sig).is_empty());
+        }
+    }
+}

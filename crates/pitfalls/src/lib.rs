@@ -5,11 +5,13 @@
 //! ([`matrix`]) runs every PoC under zpoline, lazypoline, and K23 and
 //! records who defends what — regenerating Table 3.
 
+pub mod audit;
 pub mod fault;
 pub mod matrix;
 pub mod pocs;
 pub mod stack;
 
+pub use audit::{signature_describe, signature_pitfall};
 pub use fault::{full_fault_matrix, render_fault_matrix, Scenario};
 pub use stack::{full_stack_matrix, render_stack_matrix, StackCell, STACKS};
 pub use matrix::{

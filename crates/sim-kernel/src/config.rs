@@ -68,6 +68,8 @@ pub struct EngineConfig {
     pub obs_ring_capacity: Option<usize>,
     /// Record/replay mode, if any (see [`crate::record`]).
     pub record: Option<RecordSpec>,
+    /// Coverage-audit expectation, if auditing (see [`crate::audit`]).
+    pub audit: Option<crate::audit::AuditSpec>,
 }
 
 impl EngineConfig {
@@ -159,6 +161,16 @@ impl EngineConfig {
         self.record = Some(RecordSpec::Record {
             checkpoint_period: period.max(1),
         });
+        self
+    }
+
+    /// Enables the interposition coverage ledger, auditing every retired
+    /// syscall against `spec` (a mechanism's expected-coverage
+    /// declaration, `interpose::Interposer::coverage`). Auditing forces
+    /// the full slow path so every syscall reaches the dispatch choke
+    /// point; with no session configured the fast paths are untouched.
+    pub fn audit(mut self, spec: crate::audit::AuditSpec) -> EngineConfig {
+        self.audit = Some(spec);
         self
     }
 

@@ -207,6 +207,8 @@ pub struct Kernel {
     prof: Option<ProfSession>,
     /// Live record/replay session, when configured.
     record: Option<RecordSession>,
+    /// Live coverage-audit session, when configured.
+    audit: Option<crate::audit::AuditSession>,
     /// When `Some`, every step is recorded (both scheduler modes).
     exec_trace: Option<Vec<TraceEntry>>,
 }
@@ -242,6 +244,7 @@ impl Kernel {
             stack: None,
             prof: None,
             record: None,
+            audit: None,
             exec_trace: None,
         }
     }
@@ -259,6 +262,7 @@ impl Kernel {
         self.fault = cfg.fault.map(FaultSession::new);
         self.prof = cfg.profile.map(ProfSession::new);
         self.record = cfg.record.map(RecordSession::new);
+        self.audit = cfg.audit.map(crate::audit::AuditSession::new);
         if let Some(cap) = cfg.obs_ring_capacity {
             sim_obs::set_ring_capacity(cap);
         }
@@ -572,9 +576,10 @@ impl Kernel {
         let img = loader.load(&mut self.vfs, path, &argv, &env, &opts)?;
         let exec_mask = self.stack.as_ref().map_or(0, |s| s.exec_mask());
 
-        let tid = {
+        let (tid, was_live) = {
             let p = self.procs.get_mut(&pid).ok_or(-nr::ENOENT)?;
             let tid = p.threads[0].tid;
+            let was_live = p.interposer_live;
             p.exe = path.to_string();
             p.space = img.space;
             p.space.set_mem_mode(self.mem_mode);
@@ -596,8 +601,13 @@ impl Kernel {
             // env-clearing gap then leaves the chain inert).
             p.stack_mask &= exec_mask;
             p.chain_sites = None;
-            tid
+            (tid, was_live)
         };
+        if let Some(a) = self.audit.as_mut() {
+            // P1a: a covered image exec'd away; bypasses now classify as
+            // the post-exec gap until the mechanism re-marks itself live.
+            a.note_exec(pid, was_live);
+        }
 
         self.hostcall_sites.retain(|(p, _), _| *p != pid);
         for (name, addr) in img.hostcall_sites {
@@ -696,6 +706,14 @@ impl Kernel {
                 .collect();
             (sess.layers.clone(), order)
         };
+        if let Some(a) = self.audit.as_mut() {
+            // Per-layer coverage: layers a fork/exec propagation flag
+            // stripped from this process show up as `chained` minus their
+            // own hit count.
+            let names: Vec<String> =
+                order.iter().map(|&i| layers[i].name.clone()).collect();
+            a.note_chain(pid, &names);
+        }
         let mut chain = Chain::new(layers, order, injected, obs);
         let fin = chain.call_next(self, &mut ctx);
         match (chain.real_outcome(), fin) {
@@ -742,6 +760,26 @@ impl Kernel {
         if let Some(p) = self.procs.get_mut(&pid) {
             p.interposer_live = true;
         }
+        if let Some(a) = self.audit.as_mut() {
+            a.note_live(pid);
+        }
+    }
+
+    /// The live audit session, if auditing was configured.
+    pub fn audit_session(&self) -> Option<&crate::audit::AuditSession> {
+        self.audit.as_ref()
+    }
+
+    /// The coverage ledger with vDSO shadows folded in (vDSO calls never
+    /// reach the dispatch choke point, so they are merged from each
+    /// process's architectural `vdso_calls` counter at report time).
+    pub fn audit_ledger(&self) -> Option<crate::audit::AuditLedger> {
+        let session = self.audit.as_ref()?;
+        let mut ledger = session.ledger.clone();
+        for (pid, p) in &self.procs {
+            crate::audit::AuditSession::fold_vdso(&mut ledger, *pid, p.stats.vdso_calls);
+        }
+        Some(ledger)
     }
 
     /// Terminates a whole process with `status`.
@@ -1885,6 +1923,7 @@ impl Kernel {
             && self.stack.is_none()
             && self.prof.is_none()
             && self.record.is_none()
+            && self.audit.is_none()
             && self.trace_log.is_none()
             && self.tracers.is_empty()
             && self.deferred.is_empty()
@@ -2286,6 +2325,7 @@ impl Kernel {
             || self.fault.is_some()
             || self.stack.is_some()
             || self.record.is_some()
+            || self.audit.is_some()
             || self.trace_log.is_some()
             || self.tracers.contains_key(&pid)
         {
@@ -2431,6 +2471,48 @@ impl Kernel {
             }
         }
         self.record_syscall_entry(pid, tid, restarting);
+
+        // Coverage audit: tag each architectural syscall once, at first
+        // entry (a restart resumes in-kernel — the tag stands). The SUD
+        // outcome is predicted from the same state the dispatch check
+        // below reads, so tagging here also covers the SIGSYS early
+        // return.
+        if !restarting && self.audit.is_some() {
+            let region = self.site_region(pid, site);
+            let traced = self
+                .tracers
+                .get(&pid)
+                .is_some_and(|t| t.opts.trace_syscalls);
+            let live = self.procs.get(&pid).is_some_and(|p| p.interposer_live);
+            let in_allowlist = sud.is_some_and(|s| s.in_allowlist(site));
+            let view = crate::audit::SyscallView {
+                region: &region,
+                traced,
+                live,
+                sud_armed: sud.is_some(),
+                in_allowlist,
+                will_sigsys: sud.is_some()
+                    && !in_allowlist
+                    && selector == Some(nr::SYSCALL_DISPATCH_FILTER_BLOCK),
+                selector_allow: selector == Some(nr::SYSCALL_DISPATCH_FILTER_ALLOW),
+            };
+            let tag = self
+                .audit
+                .as_mut()
+                .expect("checked above")
+                .classify(pid, site, &view);
+            if obs {
+                let mark = match tag {
+                    crate::audit::AuditTag::Path => sim_obs::AuditMark::Path,
+                    crate::audit::AuditTag::Control => sim_obs::AuditMark::Control,
+                    crate::audit::AuditTag::Double => sim_obs::AuditMark::Double,
+                    crate::audit::AuditTag::Bypassed(sig) => {
+                        sim_obs::AuditMark::Bypass(sig.code())
+                    }
+                };
+                sim_obs::audit_tag(self.clock, nr_, site, &region, mark);
+            }
+        }
 
         // SUD dispatch check (before anything else, as in Linux).
         let sud_check = if restarting { None } else { sud };
@@ -2867,6 +2949,25 @@ impl Kernel {
             self.hostcall_sites.insert((child_pid, a), n);
         }
         self.maybe_trace_fork(pid, child_pid, tid);
+        if let Some(a) = &mut self.audit {
+            // Fork-propagation audit: a child born outside the mechanism's
+            // reach (no inherited liveness, no tracer follow) while the
+            // parent was covered is a fork-gap shadow.
+            let parent_covered = self.procs.get(&pid).is_some_and(|p| p.interposer_live)
+                || self
+                    .tracers
+                    .get(&pid)
+                    .is_some_and(|t| t.opts.trace_syscalls);
+            let child_covered = self
+                .procs
+                .get(&child_pid)
+                .is_some_and(|p| p.interposer_live)
+                || self
+                    .tracers
+                    .get(&child_pid)
+                    .is_some_and(|t| t.opts.trace_syscalls);
+            a.note_fork(child_pid, parent_covered, child_covered);
+        }
         child_pid
     }
 

@@ -22,6 +22,7 @@
 //! registered address) — how interposer libraries bridge to their host-side
 //! runtime.
 
+pub mod audit;
 pub mod config;
 pub mod kernel;
 pub mod net;
@@ -34,6 +35,7 @@ pub mod stack;
 mod sys;
 pub mod vfs;
 
+pub use audit::{AuditLedger, AuditSession, AuditSpec, AuditTag, ProcAudit, Signature};
 pub use config::{Engine, EngineConfig};
 pub use record::{Checkpoint, RecordSpec};
 pub use kernel::{ExecLoader, ExecOpts, HostcallFn, Kernel, LoadedImage, RunExit, TraceEntry};

@@ -164,6 +164,12 @@ impl Recorder {
                     ("entries", Value::UInt(entries)),
                 ],
             ),
+            EventKind::AuditBypass { nr, site, sig } => (
+                "i",
+                format!("audit-bypass:{sig}"),
+                "audit",
+                vec![("nr", Value::UInt(nr)), ("site", Value::UInt(site))],
+            ),
             EventKind::SpanEnter { stage } => (
                 "B",
                 self.stage_label(stage).to_string(),
@@ -257,6 +263,9 @@ impl Recorder {
             ("faults_signal", Value::UInt(c.faults_signal)),
             ("faults_flip", Value::UInt(c.faults_flip)),
             ("ptrace_hooks", Value::UInt(c.ptrace_hooks)),
+            ("audit_interposed", Value::UInt(c.audit_interposed)),
+            ("audit_bypassed", Value::UInt(c.audit_bypassed)),
+            ("audit_double", Value::UInt(c.audit_double)),
             ("recorded_events", Value::UInt(self.total_events())),
             ("dropped_events", Value::UInt(self.total_dropped())),
             ("syscall_latency", Value::Array(latency)),
@@ -348,6 +357,28 @@ impl Recorder {
             c.page_runs.mean(),
             c.page_runs.max
         );
+        if c.audit_interposed + c.audit_bypassed + c.audit_double > 0 {
+            let _ = writeln!(
+                s,
+                "audit: {} interposed, {} bypassed, {} double-interposed",
+                c.audit_interposed, c.audit_bypassed, c.audit_double
+            );
+            let _ = writeln!(
+                s,
+                "  {:<24} {:>10} {:>10} {:>10}",
+                "path", "interposed", "bypassed", "double"
+            );
+            for (path, [ip, by, db]) in &self.audit_by_path {
+                let _ = writeln!(
+                    s,
+                    "  {:<24} {:>10} {:>10} {:>10}",
+                    self.path_label(*path),
+                    ip,
+                    by,
+                    db
+                );
+            }
+        }
         if !self.latency.is_empty() {
             let _ = writeln!(s, "per-path syscall latency (sim-cycles):");
             let _ = writeln!(

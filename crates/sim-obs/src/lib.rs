@@ -112,6 +112,18 @@ pub enum EventKind {
     IcacheRevalidate { rip: u64 },
     /// Microarchitectural: a store invalidated decoded instructions.
     IcacheInvalidate { addr: u64, entries: u64 },
+    /// Coverage audit: the kernel's dispatch choke point saw a syscall
+    /// the configured mechanism missed. `sig` is the pitfall-signature
+    /// code (`sim_kernel::audit::Signature::code`). Gated behind
+    /// [`ObsConfig::audit_events`] (off by default) so the event stream
+    /// stays byte-identical between audit-on and audit-off runs;
+    /// [`Counters`] and [`Recorder::audit_by_path`] are maintained
+    /// regardless.
+    AuditBypass {
+        nr: u64,
+        site: u64,
+        sig: &'static str,
+    },
     /// A critical-path span opened. `stage` indexes [`Recorder::stages`];
     /// emitted by an explicit [`span_enter`] or when execution entered a
     /// guest-address range registered via [`register_span_range`].
@@ -145,6 +157,12 @@ pub struct ObsConfig {
     /// because their counts legitimately differ between the block and
     /// stepwise engines; counters are maintained regardless.
     pub micro_events: bool,
+    /// Record [`EventKind::AuditBypass`] events into the rings. Off by
+    /// default so enabling the kernel's coverage audit never perturbs
+    /// the event stream (the audit-on/audit-off identity the
+    /// invisibility proptests pin down); audit counters and the per-path
+    /// table are maintained regardless.
+    pub audit_events: bool,
 }
 
 impl Default for ObsConfig {
@@ -157,6 +175,7 @@ impl Default for ObsConfig {
         ObsConfig {
             ring_capacity,
             micro_events: false,
+            audit_events: false,
         }
     }
 }
@@ -230,11 +249,14 @@ impl Hist {
     }
 
     /// Upper bound of the bucket containing the `q`-quantile (an
-    /// over-approximation, exact to a factor of two).
+    /// over-approximation, exact to a factor of two). `q` is clamped to
+    /// `[0, 1]`; a NaN quantile reads as 0. An empty histogram answers 0
+    /// for every quantile.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
         let target = ((self.count as f64) * q).ceil() as u64;
         let mut seen = 0;
         for (b, &n) in self.buckets.iter().enumerate() {
@@ -295,6 +317,11 @@ pub struct Counters {
     pub faults_flip: u64,
     // interposers
     pub ptrace_hooks: u64,
+    // sim-kernel coverage audit (architectural; maintained whenever the
+    // kernel's audit session is live, independent of `audit_events`)
+    pub audit_interposed: u64,
+    pub audit_bypassed: u64,
+    pub audit_double: u64,
 }
 
 impl Counters {
@@ -359,6 +386,10 @@ pub struct Recorder {
     /// Profiler samples in capture order (the sample hook in sim-kernel
     /// fires at deterministic retired-instruction boundaries).
     pub samples: Vec<ProfSample>,
+    /// Per-path coverage-audit tallies `[interposed, bypassed, double]`,
+    /// keyed like [`Recorder::latency`] by path id. Fed by the kernel's
+    /// audit session ([`audit_tag`]); empty unless auditing ran.
+    pub audit_by_path: BTreeMap<u16, [u64; 3]>,
     /// Interned symbolized frame names; [`ProfSample::frames`] indexes it.
     pub frame_names: Vec<String>,
     frame_ids: BTreeMap<String, u32>,
@@ -382,6 +413,7 @@ impl Recorder {
             stages: Vec::new(),
             stage_cycles: BTreeMap::new(),
             samples: Vec::new(),
+            audit_by_path: BTreeMap::new(),
             frame_names: Vec::new(),
             frame_ids: BTreeMap::new(),
             pending: BTreeMap::new(),
@@ -867,6 +899,60 @@ pub fn ptrace_hook() {
     with_rec(|r| r.counters.ptrace_hooks += 1);
 }
 
+/// How the kernel's coverage audit tagged one syscall (the obs-side
+/// mirror of `sim_kernel::audit::AuditTag`; sim-obs sits below
+/// sim-kernel in the dependency graph, so the kernel maps its tags onto
+/// this when calling [`audit_tag`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuditMark {
+    /// Interposed via a declared handler region.
+    Path,
+    /// Interposed via a control transfer (SIGSYS / ptrace stop).
+    Control,
+    /// Observed by two interposition channels at once.
+    Double,
+    /// Bypassed; the payload is the pitfall-signature code.
+    Bypass(&'static str),
+}
+
+/// The kernel's audit session tagged one retired syscall. Counters and
+/// the per-path table update unconditionally; a ring event is emitted
+/// only for bypasses and only under [`ObsConfig::audit_events`], so the
+/// default event stream is identical with auditing on or off.
+#[inline]
+pub fn audit_tag(clock: u64, nr: u64, site: u64, region: &str, mark: AuditMark) {
+    if !enabled() {
+        return;
+    }
+    set_clock(clock);
+    let cpu = CPU.with(|c| c.get());
+    let label = lookup_region_label(region);
+    with_rec(|r| {
+        let path = match &label {
+            Some(l) => r.path_id(l),
+            None => 0,
+        };
+        let slot = r.audit_by_path.entry(path).or_insert([0; 3]);
+        match mark {
+            AuditMark::Path | AuditMark::Control => {
+                r.counters.audit_interposed += 1;
+                slot[0] += 1;
+            }
+            AuditMark::Double => {
+                r.counters.audit_double += 1;
+                slot[2] += 1;
+            }
+            AuditMark::Bypass(sig) => {
+                r.counters.audit_bypassed += 1;
+                slot[1] += 1;
+                if r.cfg.audit_events {
+                    r.record(cpu, clock, EventKind::AuditBypass { nr, site, sig });
+                }
+            }
+        }
+    });
+}
+
 // ---------------------------------------------------------------------
 // Critical-path spans and profiler samples (simprof).
 // ---------------------------------------------------------------------
@@ -1210,7 +1296,7 @@ mod tests {
     fn ring_is_bounded_with_drop_counter() {
         enable(ObsConfig {
             ring_capacity: 4,
-            micro_events: false,
+            ..ObsConfig::default()
         });
         for i in 0..10 {
             context_switch(i, 1, 1);
@@ -1326,6 +1412,61 @@ mod tests {
         assert_eq!(h.quantile(0.5), 0);
         assert_eq!(h.quantile(1.0), 0);
         assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn hist_quantile_clamps_out_of_range_and_nan_q() {
+        let mut h = Hist::default();
+        for v in [1, 2, 4, 8] {
+            h.record(v);
+        }
+        // q outside [0, 1] clamps instead of over/under-shooting.
+        assert_eq!(h.quantile(2.0), h.quantile(1.0));
+        assert_eq!(h.quantile(-3.0), h.quantile(0.0));
+        // NaN reads as the 0-quantile, never a garbage bucket index.
+        assert_eq!(h.quantile(f64::NAN), h.quantile(0.0));
+        // And the empty histogram stays 0 under the same abuse.
+        let e = Hist::default();
+        assert_eq!(e.quantile(f64::NAN), 0);
+        assert_eq!(e.quantile(7.5), 0);
+    }
+
+    #[test]
+    fn audit_tags_count_without_events_unless_opted_in() {
+        clear_region_paths();
+        register_region_path("/usr/lib/libzpoline.so", "zpoline-default");
+        enable(ObsConfig::default());
+        set_cpu(1, 1);
+        audit_tag(10, 0, 0x7000, "libzpoline.so", AuditMark::Path);
+        audit_tag(20, 1, 0x4000, "app", AuditMark::Bypass("P2b-preinit"));
+        audit_tag(30, 2, 0x7000, "libzpoline.so", AuditMark::Double);
+        let rec = disable().expect("recorder");
+        assert_eq!(rec.counters.audit_interposed, 1);
+        assert_eq!(rec.counters.audit_bypassed, 1);
+        assert_eq!(rec.counters.audit_double, 1);
+        let zp = rec.paths.iter().position(|p| p == "zpoline-default").unwrap() as u16;
+        assert_eq!(rec.audit_by_path[&zp], [1, 0, 1]);
+        assert_eq!(rec.audit_by_path[&0], [0, 1, 0]);
+        assert_eq!(rec.total_events(), 0, "no ring events by default");
+
+        enable(ObsConfig {
+            audit_events: true,
+            ..ObsConfig::default()
+        });
+        set_cpu(1, 1);
+        audit_tag(10, 1, 0x4000, "app", AuditMark::Bypass("P1a-exec"));
+        audit_tag(20, 2, 0x4000, "app", AuditMark::Control);
+        let rec = disable().expect("recorder");
+        clear_region_paths();
+        assert_eq!(rec.total_events(), 1, "only bypasses become events");
+        assert_eq!(
+            rec.rings[&(1, 1)].events[0].kind,
+            EventKind::AuditBypass {
+                nr: 1,
+                site: 0x4000,
+                sig: "P1a-exec"
+            }
+        );
     }
 
     #[test]

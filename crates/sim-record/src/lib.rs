@@ -419,6 +419,9 @@ pub fn obs_lines(rec: &Recorder) -> Vec<String> {
                 EventKind::IcacheInvalidate { addr, entries } => {
                     format!("icache_invalidate addr={addr:#x} entries={entries}")
                 }
+                EventKind::AuditBypass { nr, site, sig } => {
+                    format!("audit_bypass nr={nr} site={site:#x} sig={sig}")
+                }
                 EventKind::SpanEnter { stage } => {
                     format!("span_enter stage={}", rec.stage_label(stage))
                 }

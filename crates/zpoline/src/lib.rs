@@ -263,6 +263,18 @@ impl Interposer for Zpoline {
     fn forward_symbols(&self) -> Vec<String> {
         vec!["libzpoline.so:__zp_forward".to_string()]
     }
+
+    fn coverage(&self) -> sim_kernel::AuditSpec {
+        // Binary rewriting redirects every rewritten site into the
+        // handler; the only channel is the handler's own forwarding
+        // re-issue. No SIGSYS, no tracer, and the vDSO stays mapped —
+        // its calls are a genuine shadow.
+        sim_kernel::AuditSpec {
+            mechanism: self.name().to_string(),
+            handler_regions: vec!["libzpoline.so".to_string()],
+            ..sim_kernel::AuditSpec::default()
+        }
+    }
 }
 
 fn zpoline_init(

@@ -14,10 +14,16 @@
 #    baseline × (1 − tol) (SIMPERF_TOL, default 0.5 — wall-clock
 #    throughput on shared CI is noisy; only slowdowns fail).
 #
+# 3. Coverage gate: re-run the simaudit sweep and require every
+#    (mechanism, workload) cell's coverage to stay at or above the
+#    committed MATRIX_simaudit.txt floor.
+#
 # Refresh the baselines after an intentional change with:
 #   cargo run --release -q -p bench --bin simprof
 #   cargo run --release -q -p bench --bin simperf -- --json BENCH_simperf.json
+#   cargo run --release -q -p bench --bin simaudit -- --out MATRIX_simaudit.txt
 set -euo pipefail
 cd "$(dirname "$0")/.."
 cargo run --release -q -p bench --bin simprof -- --gate BENCH_simprof.json "$@"
 cargo run --release -q -p bench --bin simperf -- --gate BENCH_simperf.json
+cargo run --release -q -p bench --bin simaudit -- --gate MATRIX_simaudit.txt

@@ -29,6 +29,12 @@ cargo run --release -q -p bench --bin simstack -- --smoke > target/SIMSTACK_smok
 cargo run --release -q -p bench --bin simstack -- --smoke > target/SIMSTACK_smoke_b.txt
 cmp target/SIMSTACK_smoke_a.txt target/SIMSTACK_smoke_b.txt
 
+echo "==> simaudit smoke (coverage matrix + JSON export, byte-determinism check)"
+cargo run --release -q -p bench --bin simaudit -- --smoke --json target/SIMAUDIT_smoke_a.json > target/SIMAUDIT_smoke_a.txt
+cargo run --release -q -p bench --bin simaudit -- --smoke --json target/SIMAUDIT_smoke_b.json > target/SIMAUDIT_smoke_b.txt
+cmp target/SIMAUDIT_smoke_a.txt target/SIMAUDIT_smoke_b.txt
+cmp target/SIMAUDIT_smoke_a.json target/SIMAUDIT_smoke_b.json
+
 echo "==> simprof smoke (profiler determinism across runs and engines)"
 cargo run --release -q -p bench --bin simprof -- --smoke
 

@@ -21,22 +21,34 @@ use sim_loader::boot_kernel;
 use sim_obs::ObsConfig;
 
 /// Runs the SMC guest under one engine with tracing as configured;
-/// returns the recorder plus the guest-visible outcome.
+/// returns the recorder plus the guest-visible outcome. With `audit` a
+/// kernel-side audit session is configured against a claim nothing in
+/// the guest satisfies (worst-case classification work on every
+/// syscall).
 fn run_smc_traced(
     stepwise: bool,
     cfg: Option<ObsConfig>,
     guest: (Vec<u8>, u64),
+    audit: bool,
 ) -> (Option<Box<sim_obs::Recorder>>, u64, Option<i64>, u64) {
     let (code, imm_addr) = guest;
     if let Some(cfg) = cfg {
         sim_obs::enable(cfg);
     }
     let mut k = Kernel::new();
-    k.configure(if stepwise {
+    let mut engine = if stepwise {
         EngineConfig::stepwise()
     } else {
         EngineConfig::new()
-    });
+    };
+    if audit {
+        engine = engine.audit(sim_kernel::AuditSpec {
+            mechanism: "probe".to_string(),
+            handler_regions: vec!["libprobe.so".to_string()],
+            ..sim_kernel::AuditSpec::default()
+        });
+    }
+    k.configure(engine);
     k.set_loader(Rc::new(RwxLoader(code)));
     let pid = k.spawn("/bin/smc", &[], &[], None).expect("spawn");
     k.defer_write_u8(pid, imm_addr, 7, 40_000);
@@ -53,8 +65,8 @@ fn run_smc_traced(
 #[test]
 fn event_streams_identical_across_engines() {
     let cfg = ObsConfig::default(); // arch events only
-    let (fast, fc, fs, fn_) = run_smc_traced(false, Some(cfg.clone()), smc_guest());
-    let (slow, sc, ss, sn) = run_smc_traced(true, Some(cfg), smc_guest());
+    let (fast, fc, fs, fn_) = run_smc_traced(false, Some(cfg.clone()), smc_guest(), false);
+    let (slow, sc, ss, sn) = run_smc_traced(true, Some(cfg), smc_guest(), false);
     let (fast, slow) = (fast.expect("recorder"), slow.expect("recorder"));
     assert_eq!((fc, fs, fn_), (sc, ss, sn));
     let (fj, sj) = (fast.chrome_trace_json(), slow.chrome_trace_json());
@@ -80,8 +92,8 @@ fn trace_json_byte_identical_across_runs() {
         micro_events: true,
         ..ObsConfig::default()
     };
-    let (a, ..) = run_smc_traced(false, Some(cfg.clone()), smc_guest());
-    let (b, ..) = run_smc_traced(false, Some(cfg), smc_guest());
+    let (a, ..) = run_smc_traced(false, Some(cfg.clone()), smc_guest(), false);
+    let (b, ..) = run_smc_traced(false, Some(cfg), smc_guest(), false);
     let (a, b) = (a.expect("recorder"), b.expect("recorder"));
     assert!(a.counters.tlb_fills > 0, "micro counters exercised");
     // The cross-core patch surfaces through thread A's revalidation path
@@ -103,11 +115,48 @@ proptest! {
         stepwise in any::<bool>(),
         micro_events in any::<bool>(),
     ) {
-        let cfg = ObsConfig { micro_events, ring_capacity: 1024 };
-        let traced = run_smc_traced(stepwise, Some(cfg), smc_guest_param(iters, spin1, spin2));
-        let plain = run_smc_traced(stepwise, None, smc_guest_param(iters, spin1, spin2));
+        let cfg = ObsConfig { micro_events, ring_capacity: 1024, ..ObsConfig::default() };
+        let traced = run_smc_traced(stepwise, Some(cfg), smc_guest_param(iters, spin1, spin2), false);
+        let plain = run_smc_traced(stepwise, None, smc_guest_param(iters, spin1, spin2), false);
         prop_assert!(traced.0.is_some() && plain.0.is_none());
         prop_assert_eq!((traced.1, traced.2, traced.3), (plain.1, plain.2, plain.3));
+    }
+}
+
+proptest! {
+    /// Enabling the kernel's coverage audit never changes guest-visible
+    /// state *or* the recorded event stream: clock, exit status, syscall
+    /// counts, and every per-cpu ring are identical with auditing on and
+    /// off (the audit maintains counters, not events, unless
+    /// `ObsConfig::audit_events` is opted into). The audited run must
+    /// still have classified real work — the probe spec covers nothing,
+    /// so every retired syscall lands in the bypass counter.
+    #[test]
+    fn auditing_is_invisible_to_the_guest(
+        iters in 5u64..40,
+        spin1 in 100u64..1200,
+        spin2 in 100u64..1200,
+        stepwise in any::<bool>(),
+    ) {
+        let cfg = ObsConfig { ring_capacity: 1024, ..ObsConfig::default() };
+        let audited =
+            run_smc_traced(stepwise, Some(cfg.clone()), smc_guest_param(iters, spin1, spin2), true);
+        let plain =
+            run_smc_traced(stepwise, Some(cfg), smc_guest_param(iters, spin1, spin2), false);
+        prop_assert_eq!((audited.1, audited.2, audited.3), (plain.1, plain.2, plain.3));
+        let (a, p) = (audited.0.expect("recorder"), plain.0.expect("recorder"));
+        prop_assert_eq!(a.rings.len(), p.rings.len());
+        for (cpu, ring) in &a.rings {
+            prop_assert_eq!(
+                &ring.events,
+                &p.rings[cpu].events,
+                "audit perturbed the cpu{:?} event stream",
+                cpu
+            );
+        }
+        prop_assert!(a.counters.audit_bypassed > 0, "audit classified nothing");
+        prop_assert_eq!(p.counters.audit_bypassed, 0);
+        prop_assert_eq!(p.counters.audit_interposed, 0);
     }
 }
 
@@ -123,7 +172,11 @@ proptest! {
         spans in 0u64..16,
     ) {
         let run = |cap: usize| {
-            sim_obs::enable(ObsConfig { ring_capacity: cap, micro_events: false });
+            sim_obs::enable(ObsConfig {
+                ring_capacity: cap,
+                micro_events: false,
+                ..ObsConfig::default()
+            });
             let mut emitted = 0u64;
             for i in 0..switches {
                 // Rotate over three simulated CPUs so several rings fill.

@@ -137,6 +137,83 @@ fn stack_layers_emit_spans() {
     assert!(!bare_json.contains("stack/"));
 }
 
+/// The audit ledger's per-layer accounting mirrors the propagation
+/// probes exactly: under `k23+tracer+recorder` the P1a victim keeps the
+/// tracer (exec propagation on) but sheds the recorder (exec propagation
+/// off), so after its single pre-exec chained syscall the victim's
+/// `layer_hits` accrue to the tracer alone — while the parent, which
+/// never exec'd, chains through both layers. The exec event itself lands
+/// in the ledger's `note_exec` path: K23 re-attaches, so the victim
+/// shows no `P1a-exec` bypasses despite the env-cleared image.
+#[test]
+fn audit_ledger_tracks_per_layer_propagation_masks() {
+    use interpose::{Interposer, InterposerStack};
+    use sim_kernel::Signature;
+
+    pitfalls::register_all();
+    let stack = InterposerStack::from_spec("k23+tracer+recorder").expect("composed spec");
+    let mut k = sim_loader::boot_kernel();
+    pitfalls::install_pocs(&mut k.vfs);
+    let session = k23::OfflineSession::new(&mut k, "/usr/bin/p1a-parent");
+    let _ = session.run_once(
+        &mut k,
+        &["/usr/bin/p1a-parent".to_string()],
+        &[],
+        u64::MAX / 4,
+    );
+    session.finish(&mut k);
+    k.configure(EngineConfig::new().audit(stack.coverage()));
+    stack.install(&mut k);
+    let parent = stack
+        .spawn(
+            &mut k,
+            "/usr/bin/p1a-parent",
+            &["/usr/bin/p1a-parent".to_string()],
+            &[],
+        )
+        .expect("spawn p1a-parent");
+    k.run(u64::MAX / 4);
+    let ledger = k.audit_ledger().expect("audit configured");
+    // The offline phase ran an unaudited parent/victim pair before the
+    // session was configured; pick the victim the ledger actually saw.
+    let victim = k
+        .pids()
+        .into_iter()
+        .find(|pid| {
+            ledger.per_proc.contains_key(pid)
+                && k.process(*pid)
+                    .is_some_and(|p| p.exe == "/usr/bin/p1-victim")
+        })
+        .expect("audited exec'd victim present");
+
+    let pa = &ledger.per_proc[&parent];
+    assert!(pa.chained > 0, "parent syscalls chain through the stack");
+    assert_eq!(pa.layer_hits["tracer"], pa.chained);
+    assert_eq!(pa.layer_hits["recorder"], pa.chained);
+
+    let va = &ledger.per_proc[&victim];
+    assert!(
+        va.layer_hits["tracer"] >= 10,
+        "tracer follows the exec (saw {})",
+        va.layer_hits["tracer"]
+    );
+    assert_eq!(
+        va.layer_hits["tracer"], va.chained,
+        "the tracer participates in every chained victim syscall"
+    );
+    assert_eq!(
+        va.layer_hits["recorder"], 1,
+        "the recorder sees only the victim's single pre-exec chained \
+         syscall; the exec mask strips it afterwards"
+    );
+    assert_eq!(
+        va.bypassed_by(Signature::ExecGap),
+        0,
+        "the K23 base follows the exec, so no P1a shadow"
+    );
+    assert_eq!(va.coverage_permille(), 1000);
+}
+
 /// `interposed_count` must not double-count syscalls when two entries of
 /// the symbol list resolve to the same forwarding site (two layers — or
 /// aliases — sharing one symbol).
