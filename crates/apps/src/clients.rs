@@ -167,8 +167,199 @@ pub fn build_redis_bench() -> SimElf {
     b.finish()
 }
 
-/// Installs both load generators.
+/// Builds loadgen-sim: the connection-scale generator for the simscale
+/// sweep. It opens `conns` connections up front (the concurrent-connection
+/// population the server must multiplex), writes `/data/connected` as the
+/// phase marker the harness times from, then issues `reqs` synchronous
+/// 64-byte requests round-robin over the first `active` connections —
+/// the rest stay idle, which is what separates readiness multiplexing
+/// from busy-polling. With `record` set, every received byte is appended
+/// to `/data/rx.log` so two server variants can be compared byte-for-byte.
+///
+/// Config `/etc/loadgen-sim.conf`:
+/// `[conns_lo, conns_hi, reqs_lo, reqs_hi, port_lo, port_hi, resp64,
+///   active_lo, active_hi, record, work, 0...]`
+pub fn build_loadgen() -> SimElf {
+    let mut b = ImageBuilder::new("/usr/bin/loadgen-sim");
+    b.entry("main");
+    b.needs(LIBC_PATH);
+    b.asm.label("main");
+    // config
+    b.asm.mov_imm(Reg::Rdi, (-100i64) as u64);
+    b.asm.lea_label(Reg::Rsi, "cfg_path");
+    b.asm.mov_imm(Reg::Rdx, 0);
+    b.call_import_via("openat", Reg::R11);
+    b.asm.mov_reg(Reg::R12, Reg::Rax);
+    b.asm.label("cfg_rd");
+    b.asm.mov_reg(Reg::Rdi, Reg::R12);
+    b.asm.lea_label(Reg::Rsi, "cfg");
+    b.asm.mov_imm(Reg::Rdx, 16);
+    b.call_import_via("read", Reg::R11);
+    b.asm.cmp_imm(Reg::Rax, 0);
+    b.asm.jl("cfg_rd"); // injected errno: retry
+    b.asm.mov_reg(Reg::Rdi, Reg::R12);
+    b.call_import_via("close", Reg::R11);
+    // r12 = record fd, or -1 when not recording
+    b.asm.mov_imm(Reg::R12, (-1i64) as u64);
+    b.asm.lea_label(Reg::R11, "cfg");
+    b.asm.load_byte(Reg::Rcx, Reg::R11, 9);
+    b.asm.test_reg(Reg::Rcx, Reg::Rcx);
+    b.asm.jz("rec_done");
+    b.asm.mov_imm(Reg::Rdi, (-100i64) as u64);
+    b.asm.lea_label(Reg::Rsi, "rx_path");
+    b.asm.mov_imm(Reg::Rdx, 0x40); // O_CREAT
+    b.call_import_via("openat", Reg::R11);
+    b.asm.mov_reg(Reg::R12, Reg::Rax);
+    b.asm.label("rec_done");
+    // r15 = port, r13 = conns
+    b.asm.lea_label(Reg::R11, "cfg");
+    b.asm.load_byte(Reg::R15, Reg::R11, 4);
+    b.asm.load_byte(Reg::Rcx, Reg::R11, 5);
+    b.asm.shl_imm(Reg::Rcx, 8);
+    b.asm.add_reg(Reg::R15, Reg::Rcx);
+    b.asm.load_byte(Reg::R13, Reg::R11, 0);
+    b.asm.load_byte(Reg::Rcx, Reg::R11, 1);
+    b.asm.shl_imm(Reg::Rcx, 8);
+    b.asm.add_reg(Reg::R13, Reg::Rcx);
+    // Open every connection up front (blocking: a full accept backlog
+    // parks us until the server drains it).
+    b.asm.mov_imm(Reg::Rbx, 0);
+    b.asm.label("conn_loop");
+    b.call_import_via("socket", Reg::R11);
+    b.asm.mov_reg(Reg::Rbp, Reg::Rax);
+    b.asm.lea_label(Reg::R11, "cfds");
+    b.asm.mov_reg(Reg::Rcx, Reg::Rbx);
+    b.asm.shl_imm(Reg::Rcx, 3);
+    b.asm.add_reg(Reg::R11, Reg::Rcx);
+    b.asm.store(Reg::R11, 0, Reg::Rbp);
+    b.asm.mov_reg(Reg::Rdi, Reg::Rbp);
+    b.asm.mov_reg(Reg::Rsi, Reg::R15);
+    b.call_import_via("connect", Reg::R11);
+    b.asm.add_imm(Reg::Rbx, 1);
+    b.asm.cmp_reg(Reg::Rbx, Reg::R13);
+    b.asm.jl("conn_loop");
+    // Marker: the measured load phase starts here.
+    b.asm.mov_imm(Reg::Rdi, (-100i64) as u64);
+    b.asm.lea_label(Reg::Rsi, "marker_path");
+    b.asm.mov_imm(Reg::Rdx, 0x40); // O_CREAT
+    b.call_import_via("openat", Reg::R11);
+    b.asm.mov_reg(Reg::Rdi, Reg::Rax);
+    b.call_import_via("close", Reg::R11);
+    // r9 = stats fd; stamp the load-phase start time so the harness can
+    // measure the request phase exactly (chunked execution only observes
+    // chunk boundaries).
+    b.asm.mov_imm(Reg::Rdi, (-100i64) as u64);
+    b.asm.lea_label(Reg::Rsi, "stats_path");
+    b.asm.mov_imm(Reg::Rdx, 0x40); // O_CREAT
+    b.call_import_via("openat", Reg::R11);
+    b.asm.mov_reg(Reg::R9, Reg::Rax);
+    b.asm.mov_imm(Reg::Rdi, 0);
+    b.asm.lea_label(Reg::Rsi, "tsbuf");
+    b.call_import_via("clock_gettime", Reg::R11);
+    b.asm.mov_reg(Reg::Rdi, Reg::R9);
+    b.asm.lea_label(Reg::Rsi, "tsbuf");
+    b.asm.mov_imm(Reg::Rdx, 16);
+    b.call_import_via("write", Reg::R11);
+    // r14 = requests, r13 = active window
+    b.asm.lea_label(Reg::R11, "cfg");
+    b.asm.load_byte(Reg::R14, Reg::R11, 2);
+    b.asm.load_byte(Reg::Rcx, Reg::R11, 3);
+    b.asm.shl_imm(Reg::Rcx, 8);
+    b.asm.add_reg(Reg::R14, Reg::Rcx);
+    b.asm.load_byte(Reg::R13, Reg::R11, 7);
+    b.asm.load_byte(Reg::Rcx, Reg::R11, 8);
+    b.asm.shl_imm(Reg::Rcx, 8);
+    b.asm.add_reg(Reg::R13, Reg::Rcx);
+    b.asm.mov_imm(Reg::Rbx, 0);
+
+    b.asm.label("req_loop");
+    b.asm.lea_label(Reg::R11, "cfds");
+    b.asm.mov_reg(Reg::Rcx, Reg::Rbx);
+    b.asm.shl_imm(Reg::Rcx, 3);
+    b.asm.add_reg(Reg::R11, Reg::Rcx);
+    b.asm.load(Reg::Rbp, Reg::R11, 0);
+    b.asm.label("wr_req");
+    b.asm.mov_reg(Reg::Rdi, Reg::Rbp);
+    b.asm.lea_label(Reg::Rsi, "reqbuf");
+    b.asm.mov_imm(Reg::Rdx, 64);
+    b.call_import_via("write", Reg::R11);
+    b.asm.cmp_imm(Reg::Rax, 0);
+    b.asm.jl("wr_req");
+    // r15 = response bytes outstanding (port is no longer needed)
+    b.asm.lea_label(Reg::R11, "cfg");
+    b.asm.load_byte(Reg::R15, Reg::R11, 6);
+    b.asm.shl_imm(Reg::R15, 6);
+    b.asm.label("recv_loop");
+    b.asm.mov_reg(Reg::Rdi, Reg::Rbp);
+    b.asm.lea_label(Reg::Rsi, "respbuf");
+    b.asm.mov_imm(Reg::Rdx, 8192);
+    b.call_import_via("read", Reg::R11);
+    b.asm.cmp_imm(Reg::Rax, 0);
+    b.asm.jl("recv_loop"); // injected errno: retry
+    b.asm.jz("conn_dead");
+    b.asm.mov_reg(Reg::R8, Reg::Rax);
+    b.asm.cmp_imm(Reg::R12, 0);
+    b.asm.jl("skip_rec");
+    b.asm.label("rec_wr");
+    b.asm.mov_reg(Reg::Rdi, Reg::R12);
+    b.asm.lea_label(Reg::Rsi, "respbuf");
+    b.asm.mov_reg(Reg::Rdx, Reg::R8);
+    b.call_import_via("write", Reg::R11);
+    b.asm.cmp_imm(Reg::Rax, 0);
+    b.asm.jl("rec_wr"); // injected errno: the rx log must stay exact
+    b.asm.label("skip_rec");
+    b.asm.sub_reg(Reg::R15, Reg::R8);
+    b.asm.cmp_imm(Reg::R15, 0);
+    b.asm.jcc(sim_isa::Cond::G, "recv_loop");
+    // response-handling work
+    b.asm.lea_label(Reg::R11, "cfg");
+    b.asm.load_byte(Reg::Rcx, Reg::R11, 10);
+    b.asm.shl_imm(Reg::Rcx, 8);
+    b.asm.test_reg(Reg::Rcx, Reg::Rcx);
+    b.asm.jz("work_done");
+    b.asm.label("work_loop");
+    b.asm.sub_imm(Reg::Rcx, 1);
+    b.asm.jnz("work_loop");
+    b.asm.label("work_done");
+    // next connection in the active window
+    b.asm.add_imm(Reg::Rbx, 1);
+    b.asm.cmp_reg(Reg::Rbx, Reg::R13);
+    b.asm.jl("no_wrap");
+    b.asm.mov_imm(Reg::Rbx, 0);
+    b.asm.label("no_wrap");
+    b.asm.sub_imm(Reg::R14, 1);
+    b.asm.jnz("req_loop");
+    // Stamp the load-phase end time, then exit clean.
+    b.asm.mov_imm(Reg::Rdi, 0);
+    b.asm.lea_label(Reg::Rsi, "tsbuf");
+    b.call_import_via("clock_gettime", Reg::R11);
+    b.asm.mov_reg(Reg::Rdi, Reg::R9);
+    b.asm.lea_label(Reg::Rsi, "tsbuf");
+    b.asm.mov_imm(Reg::Rdx, 16);
+    b.call_import_via("write", Reg::R11);
+    b.asm.mov_reg(Reg::Rdi, Reg::R9);
+    b.call_import_via("close", Reg::R11);
+    b.asm.mov_imm(Reg::Rdi, 0);
+    b.call_import_via("exit_group", Reg::R11);
+    b.asm.label("conn_dead");
+    b.asm.mov_imm(Reg::Rdi, 1);
+    b.call_import_via("exit_group", Reg::R11);
+
+    b.data_object("cfg", &[0u8; 16]);
+    b.data_object("cfg_path", b"/etc/loadgen-sim.conf\0");
+    b.data_object("marker_path", b"/data/connected\0");
+    b.data_object("rx_path", b"/data/rx.log\0");
+    b.data_object("stats_path", b"/data/loadgen.stats\0");
+    b.data_object("tsbuf", &[0u8; 16]);
+    b.data_object("cfds", &vec![0u8; super::servers::SCALE_MAX_CONNS * 8]);
+    b.data_object("reqbuf", b"GET /scale HTTP/1.1\r\nHost: sim\r\nConnection: keep-alive\r\n\r\n\0\0\0\0\0\0");
+    b.data_object("respbuf", &[0u8; 8192]);
+    b.finish()
+}
+
+/// Installs the load generators.
 pub fn install_clients(vfs: &mut sim_kernel::Vfs) {
     build_wrk().install(vfs);
     build_redis_bench().install(vfs);
+    build_loadgen().install(vfs);
 }

@@ -11,12 +11,15 @@ pub mod coreutils;
 pub mod servers;
 pub mod workloads;
 
-pub use clients::{build_redis_bench, build_wrk, install_clients};
+pub use clients::{build_loadgen, build_redis_bench, build_wrk, install_clients};
 pub use coreutils::{install_coreutils, COREUTILS, EXPECTED_SITES};
-pub use servers::{build_lighttpd, build_nginx, build_redis, build_sqlite, install_servers};
+pub use servers::{
+    build_epoll_server, build_lighttpd, build_nginx, build_poll_server, build_redis, build_sqlite,
+    install_servers, EPOLL_PORT, POLL_PORT, SCALE_MAX_CONNS,
+};
 pub use workloads::{
-    install_spec_config, run_macro, run_sqlite, sqlite_cfg, table6_specs, MacroError, MacroResult,
-    MacroSpec,
+    install_spec_config, run_macro, run_scale, run_sqlite, scale_spec, sqlite_cfg, table6_specs,
+    MacroError, MacroResult, MacroSpec, ScaleRun, CONNECTED_MARKER, RX_LOG,
 };
 
 /// Installs every application and its data into a VFS.
@@ -78,6 +81,46 @@ mod tests {
                 });
             assert_eq!(res.requests, spec.total_requests, "{}", spec.name);
         }
+    }
+
+    #[test]
+    fn epoll_server_serves_scaled_load() {
+        let mut k = boot_kernel();
+        install_world(&mut k.vfs);
+        let spec = scale_spec(true, 1, 64, 16, 128, 2, 2, true);
+        let run = run_scale(&mut k, &Native, &spec, 2_000_000_000_000).expect("scale run");
+        assert_eq!(run.requests, 128);
+        assert!(run.t1 > run.t0);
+        // Every response was recorded: 128 requests x 2x64 bytes.
+        assert_eq!(k.vfs.read_file(CONNECTED_MARKER).map(|f| f.len()).ok(), Some(0));
+        assert_eq!(k.vfs.read_file(RX_LOG).map(|f| f.len()).ok(), Some(128 * 128));
+    }
+
+    #[test]
+    fn epoll_server_prefork_workers_share_listener() {
+        let mut k = boot_kernel();
+        install_world(&mut k.vfs);
+        let spec = scale_spec(true, 4, 32, 32, 96, 1, 2, true);
+        let run = run_scale(&mut k, &Native, &spec, 2_000_000_000_000).expect("scale run");
+        assert_eq!(run.requests, 96);
+        assert_eq!(k.vfs.read_file(RX_LOG).map(|f| f.len()).ok(), Some(96 * 64));
+    }
+
+    #[test]
+    fn poll_server_serves_identical_byte_stream() {
+        let stream = |epoll: bool| {
+            let mut k = boot_kernel();
+            install_world(&mut k.vfs);
+            let spec = scale_spec(epoll, 1, 48, 8, 64, 3, 2, true);
+            run_scale(&mut k, &Native, &spec, 2_000_000_000_000).expect("scale run");
+            k.vfs.read_file(RX_LOG).expect("rx log").to_vec()
+        };
+        let ep = stream(true);
+        let po = stream(false);
+        assert_eq!(ep.len(), 64 * 192);
+        // Same response protocol, different multiplexing: the client-side
+        // byte stream must not be able to tell the variants apart.
+        assert_eq!(ep, po);
     }
 
     #[test]

@@ -31,6 +31,13 @@ pub const NGINX_PORT: u64 = 80;
 pub const LIGHTTPD_PORT: u64 = 8080;
 /// redis-sim listen port.
 pub const REDIS_PORT: u64 = 6379;
+/// epollsrv-sim listen port.
+pub const EPOLL_PORT: u64 = 7070;
+/// pollsrv-sim listen port.
+pub const POLL_PORT: u64 = 7071;
+/// Most concurrent connections the scale servers/clients size their fd
+/// arrays for (the top of the simscale sweep).
+pub const SCALE_MAX_CONNS: usize = 10_000;
 /// Bytes per redis request in a pipeline batch.
 pub const REDIS_REQ_BYTES: u64 = 32;
 /// Bytes per redis response.
@@ -54,10 +61,13 @@ fn emit_load_config(b: &mut ImageBuilder) {
     b.asm.mov_imm(Reg::Rdx, 0);
     b.call_import("openat");
     b.asm.mov_reg(Reg::R12, Reg::Rax);
+    b.asm.label("__cfg_rd");
     b.asm.mov_reg(Reg::Rdi, Reg::R12);
     b.asm.lea_label(Reg::Rsi, "cfg");
     b.asm.mov_imm(Reg::Rdx, 16);
     b.call_import("read");
+    b.asm.cmp_imm(Reg::Rax, 0);
+    b.asm.jl("__cfg_rd"); // injected errno: retry
     b.asm.mov_reg(Reg::Rdi, Reg::R12);
     b.call_import("close");
 }
@@ -434,11 +444,280 @@ pub fn build_sqlite() -> SimElf {
     b.finish()
 }
 
+/// `fcntl(fd_reg, F_SETFL, O_NONBLOCK)`.
+fn emit_set_nonblock(b: &mut ImageBuilder, fd: Reg) {
+    b.asm.mov_reg(Reg::Rdi, fd);
+    b.asm.mov_imm(Reg::Rsi, nr::F_SETFL);
+    b.asm.mov_imm(Reg::Rdx, nr::O_NONBLOCK);
+    b.call_import_via("fcntl", Reg::R11);
+}
+
+/// Creates the readiness marker file the scale harness polls for, then
+/// closes it (`openat(O_CREAT)` + `close`). Emitted after `listen` so a
+/// client spawned on seeing the marker can always connect.
+fn emit_ready_marker(b: &mut ImageBuilder) {
+    b.asm.mov_imm(Reg::Rdi, (-100i64) as u64);
+    b.asm.lea_label(Reg::Rsi, "ready_path");
+    b.asm.mov_imm(Reg::Rdx, 0x40); // O_CREAT
+    b.call_import_via("openat", Reg::R11);
+    b.asm.mov_reg(Reg::Rdi, Reg::Rax);
+    b.call_import_via("close", Reg::R11);
+}
+
+/// Serves every request in the buffer just read (`rax` = bytes, `rbp` =
+/// connection fd): per 64-byte request, `cfg[2]*256` parse/format work
+/// and a `cfg[1]*64`-byte response. The write loop tolerates short writes
+/// and injected errnos (retry with the unsent remainder) so the response
+/// byte stream is identical under any errno fault plan — the property the
+/// epoll-vs-polling equivalence proptest pins down. Jumps to `done` when
+/// the buffer is answered.
+fn emit_serve_requests(b: &mut ImageBuilder, unique: &str, done: &str) {
+    let serve_one = format!("__serve_one_{unique}");
+    let wr_loop = format!("__wr_loop_{unique}");
+    b.asm.mov_reg(Reg::R13, Reg::Rax);
+    b.asm.shr_imm(Reg::R13, 6);
+    b.asm.cmp_imm(Reg::R13, 0);
+    b.asm.jz(done); // runt read (< one request): nothing to answer
+    b.asm.label(&serve_one);
+    emit_work_loop(b, 2, unique);
+    // r9 = response bytes, r8 = bytes sent so far (both survive syscalls).
+    b.asm.lea_label(Reg::R11, "cfg");
+    b.asm.load_byte(Reg::R9, Reg::R11, 1);
+    b.asm.shl_imm(Reg::R9, 6);
+    b.asm.mov_imm(Reg::R8, 0);
+    b.asm.label(&wr_loop);
+    b.asm.lea_label(Reg::Rsi, "respbuf");
+    b.asm.add_reg(Reg::Rsi, Reg::R8);
+    b.asm.mov_reg(Reg::Rdx, Reg::R9);
+    b.asm.sub_reg(Reg::Rdx, Reg::R8);
+    b.asm.mov_reg(Reg::Rdi, Reg::Rbp);
+    b.call_import_via("write", Reg::R11);
+    b.asm.cmp_imm(Reg::Rax, 0);
+    b.asm.jl(&wr_loop); // EAGAIN/injected errno: retry
+    b.asm.add_reg(Reg::R8, Reg::Rax);
+    b.asm.cmp_reg(Reg::R8, Reg::R9);
+    b.asm.jl(&wr_loop); // short write: send the rest
+    b.asm.sub_imm(Reg::R13, 1);
+    b.asm.jnz(&serve_one);
+    b.asm.jmp(done);
+}
+
+/// Builds epollsrv-sim: an event-driven server in the nginx/libevent
+/// mold. Each worker (prefork via `cfg[0]`) owns a private epoll instance
+/// watching the shared nonblocking listener (level-triggered, so the
+/// thundering herd on a connect burst is real) plus its accepted
+/// connections; ready connections are drained with blocking reads —
+/// level-triggered readiness guarantees data or EOF.
+///
+/// Config `/etc/epollsrv-sim.conf`: `[workers, resp64, work, 0]`
+/// (`resp64` = response bytes / 64 per request).
+pub fn build_epoll_server() -> SimElf {
+    let mut b = ImageBuilder::new("/usr/bin/epollsrv-sim");
+    b.entry("main");
+    b.needs(LIBC_PATH);
+    for f in FILLER_LIBS {
+        b.needs(f);
+    }
+    b.asm.label("main");
+    emit_load_config(&mut b);
+    emit_diversity_sites(&mut b, 20);
+    // socket / bind / listen / O_NONBLOCK, then the readiness marker.
+    b.call_import_via("socket", Reg::R11);
+    b.asm.mov_reg(Reg::R12, Reg::Rax); // listener fd
+    b.asm.mov_reg(Reg::Rdi, Reg::R12);
+    b.asm.mov_imm(Reg::Rsi, EPOLL_PORT);
+    b.call_import_via("bind", Reg::R11);
+    b.asm.mov_reg(Reg::Rdi, Reg::R12);
+    b.asm.mov_imm(Reg::Rsi, 4096);
+    b.call_import_via("listen", Reg::R11);
+    emit_set_nonblock(&mut b, Reg::R12);
+    emit_ready_marker(&mut b);
+    // Prefork cfg[0]-1 children; every worker runs the event loop.
+    b.asm.lea_label(Reg::R11, "cfg");
+    b.asm.load_byte(Reg::R13, Reg::R11, 0);
+    b.asm.sub_imm(Reg::R13, 1);
+    b.asm.label("fork_loop");
+    b.asm.cmp_imm(Reg::R13, 0);
+    b.asm.jz("ep_setup");
+    b.call_import_via("fork", Reg::R11);
+    b.asm.test_reg(Reg::Rax, Reg::Rax);
+    b.asm.jz("ep_setup"); // child serves
+    b.asm.sub_imm(Reg::R13, 1);
+    b.asm.jmp("fork_loop");
+
+    // Per-worker epoll instance watching the shared listener.
+    b.asm.label("ep_setup");
+    b.asm.mov_imm(Reg::Rdi, 0);
+    b.call_import_via("epoll_create1", Reg::R11);
+    b.asm.mov_reg(Reg::R15, Reg::Rax); // epoll fd
+    b.asm.mov_reg(Reg::Rdi, Reg::R15);
+    b.asm.mov_imm(Reg::Rsi, nr::EPOLL_CTL_ADD);
+    b.asm.mov_reg(Reg::Rdx, Reg::R12);
+    b.asm.mov_imm(Reg::R10, nr::EPOLLIN);
+    b.call_import_via("epoll_ctl", Reg::R11);
+
+    b.asm.label("ev_wait");
+    b.asm.mov_reg(Reg::Rdi, Reg::R15);
+    b.asm.lea_label(Reg::Rsi, "evbuf");
+    b.asm.mov_imm(Reg::Rdx, 64);
+    b.call_import_via("epoll_wait", Reg::R11);
+    b.asm.cmp_imm(Reg::Rax, 0);
+    b.asm.jl("ev_wait"); // injected errno: retry
+    b.asm.mov_reg(Reg::R14, Reg::Rax); // event count (>= 1)
+    b.asm.mov_imm(Reg::Rbx, 0); // event index
+    b.asm.label("ev_body");
+    // rbp = evbuf[rbx].fd (16-byte records: [fd u64][events u64])
+    b.asm.lea_label(Reg::R11, "evbuf");
+    b.asm.mov_reg(Reg::Rcx, Reg::Rbx);
+    b.asm.shl_imm(Reg::Rcx, 4);
+    b.asm.add_reg(Reg::R11, Reg::Rcx);
+    b.asm.load(Reg::Rbp, Reg::R11, 0);
+    b.asm.cmp_reg(Reg::Rbp, Reg::R12);
+    b.asm.jz("do_accept");
+    // Connection readable: level-triggered IN means data or EOF/HUP.
+    b.asm.label("rd_retry");
+    b.asm.mov_reg(Reg::Rdi, Reg::Rbp);
+    b.asm.lea_label(Reg::Rsi, "reqbuf");
+    b.asm.mov_imm(Reg::Rdx, 4096);
+    b.call_import_via("read", Reg::R11);
+    b.asm.cmp_imm(Reg::Rax, 0);
+    b.asm.jl("rd_retry"); // injected errno: retry
+    b.asm.jz("close_conn"); // EOF
+    emit_serve_requests(&mut b, "ep", "ev_next");
+    b.asm.label("close_conn");
+    b.asm.mov_reg(Reg::Rdi, Reg::Rbp);
+    b.call_import_via("close", Reg::R11); // the kernel drops it from our interest set
+    b.asm.jmp("ev_next");
+    // Listener readable: drain the backlog (EAGAIN ends the drain — with
+    // several workers another one may have won the race).
+    b.asm.label("do_accept");
+    b.asm.mov_reg(Reg::Rdi, Reg::R12);
+    b.call_import_via("accept", Reg::R11);
+    b.asm.cmp_imm(Reg::Rax, 0);
+    b.asm.jl("ev_next"); // backlog drained
+    b.asm.mov_reg(Reg::Rdx, Reg::Rax); // new connection: watch it
+    b.asm.mov_reg(Reg::Rdi, Reg::R15);
+    b.asm.mov_imm(Reg::Rsi, nr::EPOLL_CTL_ADD);
+    b.asm.mov_imm(Reg::R10, nr::EPOLLIN);
+    b.call_import_via("epoll_ctl", Reg::R11);
+    b.asm.jmp("do_accept");
+    b.asm.label("ev_next");
+    b.asm.add_imm(Reg::Rbx, 1);
+    b.asm.cmp_reg(Reg::Rbx, Reg::R14);
+    b.asm.jl("ev_body");
+    b.asm.jmp("ev_wait");
+
+    b.data_object("cfg", &[1, 2, 4, 0, 0, 0, 0, 0]);
+    b.data_object("cfg_path", b"/etc/epollsrv-sim.conf\0");
+    b.data_object("ready_path", b"/data/epollsrv.ready\0");
+    b.data_object("div_scratch", &[0u8; 16]);
+    b.data_object("reqbuf", &[0u8; 4096]);
+    b.data_object("evbuf", &[0u8; 64 * 16]);
+    b.data_object("respbuf", &vec![b'r'; 16384]);
+    b.finish()
+}
+
+/// Builds pollsrv-sim: the readiness strawman. One process keeps every
+/// connection nonblocking in a flat array and busy-scans it — accept
+/// probe, then a speculative `read` per live connection per pass. Each
+/// idle connection costs a full EAGAIN syscall round-trip through the
+/// interposer on every pass, which is exactly the O(connections) tax the
+/// simscale matrix quantifies against the epoll variant.
+///
+/// Config `/etc/pollsrv-sim.conf`: `[_, resp64, work, 0]` (single
+/// process; the worker byte is ignored).
+pub fn build_poll_server() -> SimElf {
+    let mut b = ImageBuilder::new("/usr/bin/pollsrv-sim");
+    b.entry("main");
+    b.needs(LIBC_PATH);
+    for f in FILLER_LIBS {
+        b.needs(f);
+    }
+    b.asm.label("main");
+    emit_load_config(&mut b);
+    emit_diversity_sites(&mut b, 12);
+    b.call_import_via("socket", Reg::R11);
+    b.asm.mov_reg(Reg::R12, Reg::Rax); // listener fd
+    b.asm.mov_reg(Reg::Rdi, Reg::R12);
+    b.asm.mov_imm(Reg::Rsi, POLL_PORT);
+    b.call_import_via("bind", Reg::R11);
+    b.asm.mov_reg(Reg::Rdi, Reg::R12);
+    b.asm.mov_imm(Reg::Rsi, 4096);
+    b.call_import_via("listen", Reg::R11);
+    emit_set_nonblock(&mut b, Reg::R12);
+    emit_ready_marker(&mut b);
+    b.asm.mov_imm(Reg::R15, 0); // connection count
+
+    b.asm.label("scan");
+    // Accept drain: pull everything out of the backlog, nonblocking.
+    b.asm.label("acc_loop");
+    b.asm.mov_reg(Reg::Rdi, Reg::R12);
+    b.call_import_via("accept", Reg::R11);
+    b.asm.cmp_imm(Reg::Rax, 0);
+    b.asm.jl("scan_conns"); // EAGAIN: backlog empty
+    b.asm.mov_reg(Reg::Rbp, Reg::Rax);
+    b.asm.lea_label(Reg::R11, "conns");
+    b.asm.mov_reg(Reg::Rcx, Reg::R15);
+    b.asm.shl_imm(Reg::Rcx, 3);
+    b.asm.add_reg(Reg::R11, Reg::Rcx);
+    b.asm.store(Reg::R11, 0, Reg::Rbp);
+    emit_set_nonblock(&mut b, Reg::Rbp);
+    b.asm.add_imm(Reg::R15, 1);
+    b.asm.jmp("acc_loop");
+
+    // Scan every connection with a speculative nonblocking read.
+    b.asm.label("scan_conns");
+    b.asm.cmp_imm(Reg::R15, 0);
+    b.asm.jz("scan");
+    b.asm.mov_imm(Reg::Rbx, 0);
+    b.asm.label("conn_iter");
+    b.asm.lea_label(Reg::R11, "conns");
+    b.asm.mov_reg(Reg::Rcx, Reg::Rbx);
+    b.asm.shl_imm(Reg::Rcx, 3);
+    b.asm.add_reg(Reg::R11, Reg::Rcx);
+    b.asm.load(Reg::Rbp, Reg::R11, 0);
+    b.asm.cmp_imm(Reg::Rbp, 0);
+    b.asm.jl("next_conn"); // closed slot (-1)
+    b.asm.mov_reg(Reg::Rdi, Reg::Rbp);
+    b.asm.lea_label(Reg::Rsi, "reqbuf");
+    b.asm.mov_imm(Reg::Rdx, 4096);
+    b.call_import_via("read", Reg::R11);
+    b.asm.cmp_imm(Reg::Rax, 0);
+    b.asm.jl("next_conn"); // EAGAIN (or injected errno): next pass
+    b.asm.jz("close_this"); // EOF
+    emit_serve_requests(&mut b, "poll", "next_conn");
+    b.asm.label("close_this");
+    b.asm.mov_reg(Reg::Rdi, Reg::Rbp);
+    b.call_import_via("close", Reg::R11);
+    b.asm.lea_label(Reg::R11, "conns");
+    b.asm.mov_reg(Reg::Rcx, Reg::Rbx);
+    b.asm.shl_imm(Reg::Rcx, 3);
+    b.asm.add_reg(Reg::R11, Reg::Rcx);
+    b.asm.mov_imm(Reg::Rbp, (-1i64) as u64);
+    b.asm.store(Reg::R11, 0, Reg::Rbp);
+    b.asm.label("next_conn");
+    b.asm.add_imm(Reg::Rbx, 1);
+    b.asm.cmp_reg(Reg::Rbx, Reg::R15);
+    b.asm.jl("conn_iter");
+    b.asm.jmp("scan");
+
+    b.data_object("cfg", &[1, 2, 4, 0, 0, 0, 0, 0]);
+    b.data_object("cfg_path", b"/etc/pollsrv-sim.conf\0");
+    b.data_object("ready_path", b"/data/pollsrv.ready\0");
+    b.data_object("div_scratch", &[0u8; 16]);
+    b.data_object("reqbuf", &[0u8; 4096]);
+    b.data_object("conns", &vec![0u8; SCALE_MAX_CONNS * 8]);
+    b.data_object("respbuf", &vec![b'r'; 16384]);
+    b.finish()
+}
+
 /// Installs every server binary.
 pub fn install_servers(vfs: &mut sim_kernel::Vfs) {
     build_nginx().install(vfs);
     build_lighttpd().install(vfs);
     build_redis().install(vfs);
     build_sqlite().install(vfs);
+    build_epoll_server().install(vfs);
+    build_poll_server().install(vfs);
     vfs.mkdir_p("/data").expect("/data creatable");
 }

@@ -4,9 +4,19 @@
 //! the benchmarked metric is requests per (simulated) time, with client
 //! count matched to worker count.
 
-use crate::servers::{LIGHTTPD_PORT, NGINX_PORT};
+use crate::servers::{EPOLL_PORT, LIGHTTPD_PORT, NGINX_PORT, POLL_PORT, SCALE_MAX_CONNS};
 use interpose::Interposer;
 use sim_kernel::{Kernel, Pid, RunExit, ThreadState};
+
+/// Marker file loadgen-sim creates once every connection is open; the
+/// scale harness times the load phase from its appearance.
+pub const CONNECTED_MARKER: &str = "/data/connected";
+
+/// Where loadgen-sim mirrors received bytes when recording is on.
+pub const RX_LOG: &str = "/data/rx.log";
+
+/// Where the load generator stamps its load-phase start/end timespecs.
+pub const STATS_LOG: &str = "/data/loadgen.stats";
 
 /// A client/server macrobenchmark specification (one Table 6 row).
 #[derive(Debug, Clone)]
@@ -130,6 +140,56 @@ pub fn table6_specs(scale: u64) -> Vec<MacroSpec> {
     ]
 }
 
+/// A connection-scale row: `conns` concurrent connections to the epoll
+/// (`epoll = true`) or busy-polling server variant, `requests` synchronous
+/// requests issued round-robin over the first `active` connections.
+/// `record` mirrors every received byte to [`RX_LOG`] for byte-stream
+/// comparisons. Run these with [`run_scale`], not [`run_macro`]: the
+/// polling server never blocks, so the kernel never reports Deadlock.
+#[allow(clippy::too_many_arguments)] // mirrors the simscale matrix axes
+pub fn scale_spec(
+    epoll: bool,
+    workers: u8,
+    conns: u32,
+    active: u32,
+    requests: u32,
+    resp64: u8,
+    server_work: u8,
+    record: bool,
+) -> MacroSpec {
+    let conns = conns.clamp(1, SCALE_MAX_CONNS as u32);
+    let active = active.clamp(1, conns);
+    let requests = requests.max(1).min(u16::MAX as u32);
+    let (server, cfg_path, port, label) = if epoll {
+        ("/usr/bin/epollsrv-sim", "/etc/epollsrv-sim.conf", EPOLL_PORT, "epollsrv")
+    } else {
+        ("/usr/bin/pollsrv-sim", "/etc/pollsrv-sim.conf", POLL_PORT, "pollsrv")
+    };
+    MacroSpec {
+        name: format!("{label} (c={conns})"),
+        server,
+        client: "/usr/bin/loadgen-sim",
+        server_cfg: vec![workers.max(1), resp64, server_work, 0],
+        client_cfg: vec![
+            (conns & 0xff) as u8,
+            (conns >> 8) as u8,
+            (requests & 0xff) as u8,
+            (requests >> 8) as u8,
+            (port & 0xff) as u8,
+            (port >> 8) as u8,
+            resp64,
+            (active & 0xff) as u8,
+            (active >> 8) as u8,
+            record as u8,
+            1, // client-side response-handling work
+        ],
+        client_cfg_path: "/etc/loadgen-sim.conf",
+        server_cfg_path: cfg_path,
+        clients: 1,
+        total_requests: requests as u64,
+    }
+}
+
 /// sqlite speedtest1 configuration: (ops, work) for `-size=800`.
 pub fn sqlite_cfg(scale: u64) -> Vec<u8> {
     let ops = (32_000 / scale).max(3000);
@@ -237,6 +297,145 @@ pub fn run_macro(
         requests: spec.total_requests,
         cycles: k.clock - t0,
     })
+}
+
+/// Result of a connection-scale run.
+#[derive(Debug, Clone, Copy)]
+pub struct ScaleRun {
+    /// Requests completed.
+    pub requests: u64,
+    /// Clock at the end of the chunk in which the client finished
+    /// connecting (the [`CONNECTED_MARKER`] appeared).
+    pub t0: u64,
+    /// Clock when the client was observed exited.
+    pub t1: u64,
+    /// The load generator's pid (for event-stream attribution).
+    pub client: Pid,
+}
+
+impl ScaleRun {
+    /// Requests per billion cycles over the load phase.
+    pub fn throughput(&self) -> f64 {
+        self.requests as f64 / (self.t1 - self.t0).max(1) as f64 * 1e9
+    }
+}
+
+/// Chunk length for [`run_scale`]'s incremental run loop. Fixed so chunk
+/// boundaries — and therefore every measured clock — are deterministic.
+const SCALE_CHUNK: u64 = 2_000_000;
+
+/// Runs a [`scale_spec`] workload under `ip` on a **fresh** kernel (the
+/// phase markers in `/data` must not pre-exist). Unlike [`run_macro`]
+/// this drives the kernel in fixed-size chunks and watches guest-visible
+/// state, because the busy-polling server never blocks: the run would
+/// otherwise only end by budget exhaustion.
+///
+/// # Errors
+///
+/// See [`MacroError`].
+pub fn run_scale(
+    k: &mut Kernel,
+    ip: &dyn Interposer,
+    spec: &MacroSpec,
+    budget: u64,
+) -> Result<ScaleRun, MacroError> {
+    ip.install(k);
+    install_spec_config(k, spec);
+    let ready = if spec.server.contains("epollsrv") {
+        "/data/epollsrv.ready"
+    } else {
+        "/data/pollsrv.ready"
+    };
+    let spid = ip
+        .spawn(k, spec.server, &[spec.server.to_string()], &[])
+        .map_err(MacroError::Spawn)?;
+    let mut spent: u64 = 0;
+    while !k.vfs.exists(ready) {
+        match k.run(SCALE_CHUNK) {
+            RunExit::Budget => {}
+            RunExit::Deadlock => {
+                if !k.vfs.exists(ready) {
+                    return Err(MacroError::Stuck("server wedged before ready".into()));
+                }
+            }
+            RunExit::AllExited => {
+                return Err(MacroError::Stuck(format!(
+                    "server exited early: {:?}",
+                    k.process(spid).and_then(|p| p.exit_status)
+                )))
+            }
+            RunExit::Stop => return Err(MacroError::Stuck("record session halted startup".into())),
+        }
+        spent += SCALE_CHUNK;
+        if spent > budget {
+            return Err(MacroError::Budget);
+        }
+    }
+    let cpid = k
+        .spawn(spec.client, &[spec.client.to_string()], &[], None)
+        .map_err(MacroError::Spawn)?;
+    let mut t0 = None;
+    let t1 = loop {
+        let exit = k.run(SCALE_CHUNK);
+        if t0.is_none() && k.vfs.exists(CONNECTED_MARKER) {
+            t0 = Some(k.clock);
+        }
+        let client_done = k
+            .process(cpid)
+            .map(|p| p.exit_status.is_some())
+            .unwrap_or(true);
+        if client_done {
+            break k.clock;
+        }
+        match exit {
+            RunExit::Budget => {}
+            RunExit::Deadlock | RunExit::AllExited => {
+                let p = k.process(cpid);
+                return Err(MacroError::Stuck(format!(
+                    "system wedged with client unfinished: exit={:?} threads={:?}",
+                    p.and_then(|p| p.exit_status),
+                    p.map(|p| p.threads.iter().map(|t| t.state).collect::<Vec<ThreadState>>())
+                )));
+            }
+            RunExit::Stop => return Err(MacroError::Stuck("record session halted load".into())),
+        }
+        spent += SCALE_CHUNK;
+        if spent > budget {
+            return Err(MacroError::Budget);
+        }
+    };
+    let st = k.process(cpid).and_then(|p| p.exit_status);
+    if st != Some(0) {
+        return Err(MacroError::Stuck(format!("client exited {st:?}")));
+    }
+    // The client stamps clock_gettime timespecs into STATS_LOG at the start
+    // and end of its load phase; those are cycle-exact where the chunked
+    // observations above are only chunk-granular.
+    let (t0, t1) = match k.vfs.read_file(STATS_LOG).ok().and_then(parse_stats) {
+        Some(ts) => ts,
+        None => (t0.unwrap_or(t1), t1),
+    };
+    Ok(ScaleRun {
+        requests: spec.total_requests,
+        t0,
+        t1,
+        client: cpid,
+    })
+}
+
+/// Reconstructs the two load-phase cycle stamps from the raw timespec
+/// pairs the load generator wrote to [`STATS_LOG`].
+fn parse_stats(bytes: &[u8]) -> Option<(u64, u64)> {
+    if bytes.len() < 32 {
+        return None;
+    }
+    let cycles = |b: &[u8]| {
+        let sec = u64::from_le_bytes(b[..8].try_into().unwrap());
+        let nsec = u64::from_le_bytes(b[8..16].try_into().unwrap());
+        // Inverse of the kernel's clock -> (sec, nsec) map at 3.2 GHz.
+        sec * 3_200_000_000 + nsec * 32 / 10
+    };
+    Some((cycles(&bytes[..16]), cycles(&bytes[16..32])))
 }
 
 /// Runs the sqlite completion workload; returns total cycles from spawn to

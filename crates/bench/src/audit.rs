@@ -4,7 +4,8 @@
 //! with a PoC verdict, this sweep answers "how many syscalls did the
 //! mechanism actually see?" with the kernel-side audit ledger
 //! (`sim_kernel::audit`): every registry mechanism — plus a set of
-//! composed stacks — runs a coreutil and a client/server workload with
+//! composed stacks — runs a coreutil, a client/server workload, and the
+//! epoll server under scale load (readiness-based dispatch) with
 //! an [`sim_kernel::AuditSession`] correlating the dispatch choke point
 //! against the mechanism's declared [`sim_kernel::AuditSpec`]. The
 //! result is one row per (mechanism, workload) cell: coverage in
@@ -74,6 +75,26 @@ pub fn audit_specs() -> Vec<String> {
 /// The audited server workload (smallest Table 6 row at the fixed scale).
 pub fn server_spec() -> MacroSpec {
     apps::table6_specs(SERVER_SCALE).remove(0)
+}
+
+/// Fixed shape of the audited epoll-server workload. Small but real:
+/// the server parks in `epoll_wait` between bursts, so the cell
+/// exercises coverage attribution across blocked-wakeup dispatch — a
+/// path the polling servers never take.
+fn epollsrv_params() -> crate::scale::ScaleParams {
+    crate::scale::ScaleParams {
+        requests: 64,
+        active: 16,
+        resp64: 2,
+        server_work: 2,
+        workers: 1,
+    }
+}
+
+/// The audited epoll-server workload (readiness-multiplexed dispatch).
+pub fn epollsrv_spec() -> MacroSpec {
+    let p = epollsrv_params();
+    apps::scale_spec(true, p.workers, 64, p.active, p.requests, p.resp64, p.server_work, false)
 }
 
 fn make(spec: &str) -> Box<dyn Interposer> {
@@ -177,6 +198,40 @@ pub fn run_server_audit(
     ledger
 }
 
+/// Runs the epoll-server scale workload under `spec` with auditing on.
+/// Same methodology as [`run_server_audit`]: the load generator runs
+/// natively, so the ledger is filtered to the server's process tree —
+/// the row isolates how well the mechanism covers readiness-based
+/// dispatch (`epoll_wait` parks and blocked wakeups included).
+pub fn run_epollsrv_audit(
+    spec: &str,
+    cfg: EngineConfig,
+    offline_log: &Option<(String, Vec<u8>)>,
+) -> AuditLedger {
+    let ip = make(spec);
+    let mut k = boot_kernel();
+    apps::install_world(&mut k.vfs);
+    if needs_offline(spec) {
+        let (path, bytes) = offline_log.as_ref().expect("offline log collected");
+        k.vfs.mkdir_p(k23::LOG_DIR).expect("log dir");
+        k.vfs.write_file(path, bytes).expect("log install");
+        k.vfs.set_immutable(k23::LOG_DIR, true).expect("seal");
+    }
+    k.configure(cfg.audit(ip.coverage()));
+    let mspec = epollsrv_spec();
+    let res = apps::run_scale(&mut k, ip.as_ref(), &mspec, BUDGET);
+    res.unwrap_or_else(|e| panic!("{} under {spec}: {e:?}", mspec.name));
+    let mut ledger = k.audit_ledger().expect("audit configured");
+    let tree = server_tree(&k, mspec.server);
+    ledger.per_proc.retain(|pid, _| tree.contains(pid));
+    ledger
+}
+
+/// The epoll variant's offline site log for the audited workload shape.
+pub fn collect_epollsrv_offline() -> (String, Vec<u8>) {
+    crate::scale::collect_offline_log_scale(crate::scale::Variant::Epoll, &epollsrv_params())
+}
+
 /// The server's process subtree: every process running the server binary
 /// plus all their descendants (forked workers).
 fn server_tree(k: &sim_kernel::Kernel, server: &str) -> BTreeSet<sim_kernel::Pid> {
@@ -210,7 +265,11 @@ pub fn run_cell(spec: &str, workload: &str, cfg: EngineConfig) -> AuditLedger {
             let offline = needs_offline(spec).then(|| crate::macros_::collect_offline_log(&mspec));
             run_server_audit(spec, cfg, &mspec, &offline)
         }
-        other => panic!("unknown workload {other:?} (coreutil|server|hostile)"),
+        "epollsrv" => {
+            let offline = needs_offline(spec).then(collect_epollsrv_offline);
+            run_epollsrv_audit(spec, cfg, &offline)
+        }
+        other => panic!("unknown workload {other:?} (coreutil|server|epollsrv|hostile)"),
     }
 }
 
@@ -219,10 +278,12 @@ pub fn run_cell(spec: &str, workload: &str, cfg: EngineConfig) -> AuditLedger {
 pub fn full_audit_matrix(cfg: impl Fn() -> EngineConfig) -> Vec<AuditRow> {
     let mspec = server_spec();
     let mut offline: Option<(String, Vec<u8>)> = None;
+    let mut epoll_offline: Option<(String, Vec<u8>)> = None;
     let mut rows = Vec::new();
     for spec in audit_specs() {
         if needs_offline(&spec) && offline.is_none() {
             offline = Some(crate::macros_::collect_offline_log(&mspec));
+            epoll_offline = Some(collect_epollsrv_offline());
         }
         let l = run_coreutil_audit(&spec, cfg());
         rows.push(AuditRow {
@@ -235,6 +296,13 @@ pub fn full_audit_matrix(cfg: impl Fn() -> EngineConfig) -> Vec<AuditRow> {
         rows.push(AuditRow {
             spec: spec.clone(),
             workload: "server",
+            totals: l.totals(),
+            procs: l.per_proc.len(),
+        });
+        let l = run_epollsrv_audit(&spec, cfg(), &epoll_offline);
+        rows.push(AuditRow {
+            spec: spec.clone(),
+            workload: "epollsrv",
             totals: l.totals(),
             procs: l.per_proc.len(),
         });
@@ -274,10 +342,11 @@ pub fn render_audit_matrix(rows: &[AuditRow], server_name: &str) -> String {
     out.push_str("simaudit: interposition coverage ledger (kernel dispatch ground truth vs mechanism claims)\n");
     out.push_str(&format!(
         "workloads: coreutil={COREUTIL}; server={server_name} (scale {SERVER_SCALE}, server process tree only);\n\
+         \x20          epollsrv=epollsrv-sim under scale load (readiness dispatch, server tree only);\n\
          \x20          hostile=P1a env-clearing exec + P1b prctl rewrite + P2b vDSO read\n"
     ));
     out.push_str(
-        "replay one cell: cargo run --release -p bench --bin simaudit -- --replay <mechanism> <coreutil|server|hostile>\n\n",
+        "replay one cell: cargo run --release -p bench --bin simaudit -- --replay <mechanism> <coreutil|server|epollsrv|hostile>\n\n",
     );
     out.push_str(&format!(
         "{:<18} {:<8} {:>8} {:>8} {:>6} {:>7} {:>6} {:>6}  {}\n",

@@ -1,8 +1,9 @@
 //! `simaudit` — the interposition coverage matrix.
 //!
 //! Sweeps every registry mechanism plus the composed stacks in
-//! [`bench::audit::AUDIT_STACKS`] across the coreutil and client/server
-//! workloads with the kernel-side audit ledger enabled, and prints one
+//! [`bench::audit::AUDIT_STACKS`] across the coreutil, client/server,
+//! epoll-server (readiness dispatch), and hostile workloads with the
+//! kernel-side audit ledger enabled, and prints one
 //! byte-deterministic row per cell: coverage, interposed-via-path /
 //! via-control / double-interposed counts, and bypasses broken down by
 //! pitfall signature (`P2b-preinit`, `P1a-exec`, ...).
@@ -16,7 +17,7 @@
 //! simaudit --json PATH           # also write the matrix as JSON
 //! simaudit --out PATH            # also write the matrix text (use to
 //!                                # refresh MATRIX_simaudit.txt)
-//! simaudit --replay <mech> <coreutil|server|hostile>   # one cell, full ledger
+//! simaudit --replay <mech> <coreutil|server|epollsrv|hostile>   # one cell, full ledger
 //! simaudit --gate MATRIX_simaudit.txt          # coverage floor check
 //! ```
 
@@ -54,8 +55,10 @@ fn sweep(engine: &str, json_out: Option<&str>, text_out: Option<&str>) -> Result
 fn replay(spec: &str, workload: &str) -> Result<String, String> {
     pitfalls::register_all();
     interpose::registry::parse_spec(spec).map_err(|e| format!("bad spec {spec:?}: {e}"))?;
-    if !matches!(workload, "coreutil" | "server" | "hostile") {
-        return Err(format!("unknown workload {workload:?} (coreutil|server|hostile)"));
+    if !matches!(workload, "coreutil" | "server" | "epollsrv" | "hostile") {
+        return Err(format!(
+            "unknown workload {workload:?} (coreutil|server|epollsrv|hostile)"
+        ));
     }
     let ledger = run_cell(spec, workload, EngineConfig::new());
     Ok(render_cell(spec, workload, &ledger))
@@ -104,7 +107,7 @@ fn gate(baseline_path: &str) -> Result<(), String> {
 fn usage() -> ! {
     eprintln!(
         "usage: simaudit [--smoke | --engine <block|stepwise|trace>] [--json PATH] [--out PATH]\n\
-         \x20      simaudit --replay <mechanism> <coreutil|server|hostile>\n\
+         \x20      simaudit --replay <mechanism> <coreutil|server|epollsrv|hostile>\n\
          \x20      simaudit --gate <MATRIX file>"
     );
     std::process::exit(2);

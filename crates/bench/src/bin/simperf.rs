@@ -24,9 +24,10 @@
 
 use bench::micro::{build_micro_app, MICRO_APP, MICRO_CFG};
 use interpose::{Interposer, Native};
-use sim_kernel::{EngineConfig, Kernel, MemMode, Pid, RunExit, TraceEntry};
-use sim_loader::boot_kernel;
+use sim_kernel::{EngineConfig, Kernel, MemMode, Pid, RunExit, TraceEntry, Vfs};
+use sim_loader::{boot_kernel, boot_kernel_from};
 use std::process::ExitCode;
+use std::sync::OnceLock;
 use std::time::Instant;
 
 /// Which engine a run uses.
@@ -71,9 +72,20 @@ impl Mode {
     }
 }
 
+/// The world VFS (libc + micro app), assembled exactly once: every
+/// engine x repetition run clones this template instead of re-assembling
+/// the guest images per boot.
+fn world() -> &'static Vfs {
+    static WORLD: OnceLock<Vfs> = OnceLock::new();
+    WORLD.get_or_init(|| {
+        let mut k = boot_kernel();
+        build_micro_app().install(&mut k.vfs);
+        k.vfs
+    })
+}
+
 fn boot(n: u64) -> (Kernel, Pid) {
-    let mut k = boot_kernel();
-    build_micro_app().install(&mut k.vfs);
+    let mut k = boot_kernel_from(world());
     k.vfs.write_file(MICRO_CFG, &n.to_le_bytes()).expect("cfg");
     let ip = Native;
     ip.install(&mut k);

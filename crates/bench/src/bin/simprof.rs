@@ -1,8 +1,9 @@
 //! simprof — deterministic sampling profiler driver and bench regression
 //! gate.
 //!
-//! Profiles a coreutil and a Table 6 server workload under every registry
-//! interposer with the sim-clock-driven sampler enabled
+//! Profiles a coreutil, a Table 6 server workload, and the epoll server
+//! under production-traffic load (the simscale shape) under every
+//! registry interposer with the sim-clock-driven sampler enabled
 //! ([`sim_kernel::EngineConfig::profile`]), then writes:
 //!
 //! * `SIMPROF_folded.txt` — folded guest stacks (flamegraph.pl format),
@@ -37,17 +38,32 @@
 //! both engines (DESIGN.md §9).
 
 use apps::MacroSpec;
+use bench::scale::{collect_offline_log_scale, ScaleParams, Variant};
 use interpose::Interposer;
 use k23::OfflineSession;
-use sim_kernel::{EngineConfig, RunExit};
-use sim_loader::boot_kernel;
+use sim_kernel::{EngineConfig, RunExit, Vfs};
+use sim_loader::{boot_kernel, boot_kernel_from};
 use std::fmt::Write as _;
 use std::process::ExitCode;
+use std::sync::OnceLock;
 
 /// Coreutil workload (installed by `apps::install_world`).
 const COREUTIL: &str = "/usr/bin/ls-sim";
 /// Cycle budget per profiled run.
 const BUDGET: u64 = u64::MAX / 4;
+
+/// The world VFS (libc + every app image), assembled exactly once per
+/// process: the serial mechanism sweep boots one kernel per
+/// (workload, interposer) row and re-assembling every guest image per
+/// row is pure startup waste.
+fn world() -> &'static Vfs {
+    static WORLD: OnceLock<Vfs> = OnceLock::new();
+    WORLD.get_or_init(|| {
+        let mut k = boot_kernel();
+        apps::install_world(&mut k.vfs);
+        k.vfs
+    })
+}
 
 fn make_interposer(name: &str) -> Result<(Box<dyn Interposer>, bool), String> {
     pitfalls::register_all();
@@ -179,6 +195,20 @@ fn trace_table(k: &mut sim_kernel::Kernel) -> String {
         return String::new();
     }
     let mut s = String::new();
+    // Formation / side-exit summary first: how many superblocks the
+    // workload earned and how often a replay left one early. This is the
+    // measurement half of the "fatter traces" open item — server event
+    // loops form few, hot traces whose side-exit rate bounds how much
+    // fatter they could get.
+    let formed = rows.len();
+    let enters: u64 = rows.iter().map(|(_, _, st)| st.enters).sum();
+    let steps: u64 = rows.iter().map(|(_, _, st)| st.steps).sum();
+    let side_exits: u64 = rows.iter().map(|(_, _, st)| st.side_exits).sum();
+    let _ = writeln!(
+        s,
+        "trace formation: {formed} traces formed, {enters} enters, {steps} replayed steps, side-exit rate {:.1}%",
+        100.0 * side_exits as f64 / enters.max(1) as f64
+    );
     let _ = writeln!(s, "per-trace occupancy (replayed steps per trace, hottest first):");
     let _ = writeln!(
         s,
@@ -223,8 +253,7 @@ fn finish_run(k: &mut sim_kernel::Kernel, rec: Box<sim_obs::Recorder>) -> RunOut
 fn profile_coreutil(name: &str, engine: &str, period: u64) -> Result<RunOutput, String> {
     let (ip, needs_offline) =
         make_interposer(name)?;
-    let mut k = boot_kernel();
-    apps::install_world(&mut k.vfs);
+    let mut k = boot_kernel_from(world());
     let argv = vec![COREUTIL.to_string()];
 
     if needs_offline {
@@ -280,8 +309,7 @@ fn profile_server(
 ) -> Result<RunOutput, String> {
     let (ip, needs_offline) =
         make_interposer(name)?;
-    let mut k = boot_kernel();
-    apps::install_world(&mut k.vfs);
+    let mut k = boot_kernel_from(world());
     if needs_offline {
         let (path, bytes) = offline_log
             .as_ref()
@@ -303,6 +331,68 @@ fn profile_server(
     let res = apps::run_macro(&mut k, ip.as_ref(), spec, BUDGET);
     let rec = sim_obs::disable().expect("recorder was enabled");
     res.map_err(|e| format!("{} under {name}: {e:?}", spec.name))?;
+    Ok(finish_run(&mut k, rec))
+}
+
+/// Connections for the epollsrv profiling row: enough that readiness
+/// dispatch (blocked `epoll_wait` wakeups) dominates the profile, few
+/// enough that sweeping every interposer stays cheap.
+const EPOLLSRV_CONNS: u32 = 128;
+
+/// Scale-load parameters for the epollsrv profiling row.
+fn epollsrv_params(scale: u64) -> ScaleParams {
+    ScaleParams {
+        requests: ((2_000 / scale.max(1)) as u32).max(64),
+        active: 16,
+        resp64: 2,
+        server_work: 2,
+        workers: 1,
+    }
+}
+
+/// Profiles the epoll server under production-traffic load (the simscale
+/// workload shape) under one interposer. Same offline-log transplant
+/// discipline as [`profile_server`].
+fn profile_epoll_server(
+    name: &str,
+    engine: &str,
+    period: u64,
+    params: &ScaleParams,
+    offline_log: &Option<(String, Vec<u8>)>,
+) -> Result<RunOutput, String> {
+    let (ip, needs_offline) = make_interposer(name)?;
+    let mut k = boot_kernel_from(world());
+    if needs_offline {
+        let (path, bytes) = offline_log
+            .as_ref()
+            .ok_or_else(|| "offline log not collected".to_string())?;
+        k.vfs.mkdir_p(k23::LOG_DIR).map_err(|e| format!("log dir: {e}"))?;
+        k.vfs.write_file(path, bytes).map_err(|e| format!("log install: {e}"))?;
+        k.vfs
+            .set_immutable(k23::LOG_DIR, true)
+            .map_err(|e| format!("log seal: {e}"))?;
+    }
+
+    sim_obs::clear_region_paths();
+    sim_obs::clear_span_ranges();
+    k.configure(engine_cfg(engine)?.profile(period));
+    sim_obs::enable(sim_obs::ObsConfig {
+        micro_events: false,
+        ..sim_obs::ObsConfig::default()
+    });
+    let spec = apps::scale_spec(
+        true,
+        params.workers,
+        EPOLLSRV_CONNS,
+        params.active,
+        params.requests,
+        params.resp64,
+        params.server_work,
+        false,
+    );
+    let res = apps::run_scale(&mut k, ip.as_ref(), &spec, BUDGET);
+    let rec = sim_obs::disable().expect("recorder was enabled");
+    res.map_err(|e| format!("epollsrv under {name}: {e:?}"))?;
     Ok(finish_run(&mut k, rec))
 }
 
@@ -418,8 +508,15 @@ fn run(args: &Args) -> Result<ExitCode, String> {
         .into_iter()
         .next()
         .ok_or_else(|| "no table6 specs".to_string())?;
-    let server_offline = if args.interposers.iter().any(|n| n.starts_with("k23")) {
+    let scale_params = epollsrv_params(args.scale);
+    let any_k23 = args.interposers.iter().any(|n| n.starts_with("k23"));
+    let server_offline = if any_k23 {
         Some(bench::macros_::collect_offline_log(&spec))
+    } else {
+        None
+    };
+    let epollsrv_offline = if any_k23 {
+        Some(collect_offline_log_scale(Variant::Epoll, &scale_params))
     } else {
         None
     };
@@ -429,10 +526,17 @@ fn run(args: &Args) -> Result<ExitCode, String> {
     let mut stages_all = String::new();
     let mut flame = String::new();
     for name in &args.interposers {
-        for workload in ["coreutil", "server"] {
+        for workload in ["coreutil", "server", "epollsrv"] {
             let out = match workload {
                 "coreutil" => profile_coreutil(name, &args.engine, args.period)?,
-                _ => profile_server(name, &args.engine, args.period, &spec, &server_offline)?,
+                "server" => profile_server(name, &args.engine, args.period, &spec, &server_offline)?,
+                _ => profile_epoll_server(
+                    name,
+                    &args.engine,
+                    args.period,
+                    &scale_params,
+                    &epollsrv_offline,
+                )?,
             };
             let _ = writeln!(folded_all, "# {workload} under {name}");
             folded_all.push_str(&out.folded);

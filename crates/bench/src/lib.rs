@@ -25,6 +25,7 @@ pub mod config;
 pub mod figures;
 pub mod macros_;
 pub mod micro;
+pub mod scale;
 pub mod table2;
 
 pub use config::Config;

@@ -59,6 +59,24 @@ pub mod test_runner {
             .filter(|v| *v > 0)
             .unwrap_or(96)
     }
+
+    /// Per-block configuration, the `proptest_config` subset. A block
+    /// opening with `#![proptest_config(ProptestConfig::with_cases(n))]`
+    /// runs exactly `n` cases — an explicit count wins over the
+    /// `PROPTEST_CASES` env var, so expensive properties (whole-kernel
+    /// boots per case) stay cheap even when CI cranks the global knob.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Cases to run per property in the block.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running exactly `cases` cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
 }
 
 pub mod strategy {
@@ -357,6 +375,7 @@ pub mod sample {
 pub mod prelude {
     pub use crate as prop;
     pub use crate::strategy::{Arbitrary, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
     use std::marker::PhantomData;
 
@@ -378,6 +397,19 @@ pub mod prelude {
 /// ```
 #[macro_export]
 macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases = u64::from(($cfg).cases);
+                let mut rng = $crate::test_runner::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+                for _case in 0..cases {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)*
+                    $body
+                }
+            }
+        )*
+    };
     ($( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block )*) => {
         $(
             $(#[$meta])*

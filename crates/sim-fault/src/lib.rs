@@ -180,7 +180,7 @@ pub struct FaultPlan {
 /// callers must already tolerate those errnos on real Linux. Never inject
 /// into control-plane calls (rt_sigreturn, exit, execve, clone, prctl, …) —
 /// that would perturb the *machine*, not the workload.
-const RESTARTABLE: &[u64] = &[0, 1, 35, 42, 43, 61, 202, 500];
+const RESTARTABLE: &[u64] = &[0, 1, 35, 42, 43, 61, 202, 232, 500];
 
 impl FaultPlan {
     /// An empty (guest-invisible) plan carrying only a seed.

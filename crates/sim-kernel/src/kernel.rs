@@ -830,6 +830,9 @@ impl Kernel {
                 l.refs = l.refs.saturating_sub(1);
                 if l.refs == 0 {
                     self.net.listeners.remove(&port);
+                    // Parked connectors retry and observe ECONNREFUSED.
+                    self.wake_backlog(port);
+                    self.wake_accept(port);
                 }
             }
         }
@@ -865,14 +868,45 @@ impl Kernel {
         }
     }
 
-    /// Wakes threads blocked reading `chan`.
+    /// Wakes threads blocked on `chan` (readers and bounded-buffer writers),
+    /// plus every `epoll_wait` parker: readiness on the channel may satisfy
+    /// an interest set, and parked epoll waiters deterministically recompute
+    /// and re-block when it doesn't (cheap spurious wakeups instead of
+    /// kernel-side waiter bookkeeping).
     pub fn wake_channel(&mut self, chan: usize) {
-        self.wake_where(|_, w| matches!(w, Wait::ChannelReadable { chan: c, .. } if *c == chan));
+        self.wake_where(|_, w| {
+            matches!(w,
+                Wait::ChannelReadable { chan: c, .. } | Wait::ChannelWritable { chan: c, .. }
+                    if *c == chan)
+                || matches!(w, Wait::Epoll)
+        });
     }
 
-    /// Wakes threads blocked accepting on `port`.
+    /// Wakes threads blocked accepting on `port` (and epoll waiters, for
+    /// listeners registered in an interest set).
     pub fn wake_accept(&mut self, port: u16) {
-        self.wake_where(|_, w| matches!(w, Wait::Accept { port: p } if *p == port));
+        self.wake_where(|_, w| {
+            matches!(w, Wait::Accept { port: p } if *p == port) || matches!(w, Wait::Epoll)
+        });
+    }
+
+    /// Wakes connectors parked on a full accept backlog for `port`.
+    pub fn wake_backlog(&mut self, port: u16) {
+        self.wake_where(|_, w| matches!(w, Wait::Backlog { port: p } if *p == port));
+    }
+
+    /// Wakes every thread parked in `epoll_wait` (readiness recompute).
+    pub fn wake_epoll_waiters(&mut self) {
+        self.wake_where(|_, w| matches!(w, Wait::Epoll));
+    }
+
+    /// Wakes readers of eventfd `id` (ids are per-process, but cross-process
+    /// collisions only cause a harmless deterministic recompute) and epoll
+    /// waiters.
+    pub fn wake_eventfd(&mut self, id: usize) {
+        self.wake_where(|_, w| {
+            matches!(w, Wait::EventFd { id: i } if *i == id) || matches!(w, Wait::Epoll)
+        });
     }
 
     /// Wakes `wait4` blockers in process `ppid`.
@@ -2893,6 +2927,15 @@ impl Kernel {
         let fork_mask = self.stack.as_ref().map_or(0, |s| s.fork_mask());
         child.stack_mask = parent.stack_mask & fork_mask;
         child.chain_sites = parent.chain_sites.clone();
+        // Readiness state follows the fd table: epoll instances and eventfd
+        // counters are duplicated (each side then mutates its own copy, the
+        // same as two processes holding independent descriptions), and the
+        // per-fd O_NONBLOCK set carries over.
+        child.epolls = parent.epolls.clone();
+        child.next_epoll = parent.next_epoll;
+        child.eventfds = parent.eventfds.clone();
+        child.next_eventfd = parent.next_eventfd;
+        child.nonblock = parent.nonblock.clone();
         let mut ccpu = t.cpu.clone();
         ccpu.rip = site + 2;
         ccpu.set(Reg::Rax, 0);
@@ -3151,5 +3194,194 @@ mod tests {
         assert_eq!(exit, RunExit::AllExited);
         assert_eq!(k.process(pid).unwrap().exit_status, Some(7));
         assert!(k.clock >= 5_000);
+    }
+
+    /// Emits `pipe(&0x8_0100)`, one byte written into it, and an epoll
+    /// instance watching the read end with `events`. Leaves rfd in r12,
+    /// wfd in r13, epfd in rbp.
+    fn emit_watched_pipe(a: &mut Asm, events: u64) {
+        a.mov_imm(Reg::Rdi, 0x8_0100);
+        a.mov_imm(Reg::Rax, nr::SYS_PIPE);
+        a.syscall();
+        a.mov_imm(Reg::R11, 0x8_0100);
+        a.inst(sim_isa::Inst::Load(Reg::R12, Reg::R11, 0));
+        a.mov_reg(Reg::R13, Reg::R12);
+        a.shl_imm(Reg::R12, 32);
+        a.shr_imm(Reg::R12, 32); // rfd
+        a.shr_imm(Reg::R13, 32); // wfd
+        a.mov_reg(Reg::Rdi, Reg::R13);
+        a.mov_imm(Reg::Rsi, 0x8_0200);
+        a.mov_imm(Reg::Rdx, 1);
+        a.mov_imm(Reg::Rax, nr::SYS_WRITE);
+        a.syscall();
+        a.mov_imm(Reg::Rdi, 0);
+        a.mov_imm(Reg::Rax, nr::SYS_EPOLL_CREATE1);
+        a.syscall();
+        a.mov_reg(Reg::Rbp, Reg::Rax);
+        a.mov_reg(Reg::Rdi, Reg::Rbp);
+        a.mov_imm(Reg::Rsi, nr::EPOLL_CTL_ADD);
+        a.mov_reg(Reg::Rdx, Reg::R12);
+        a.mov_imm(Reg::R10, events);
+        a.mov_imm(Reg::Rax, nr::SYS_EPOLL_CTL);
+        a.syscall();
+    }
+
+    /// `epoll_wait(rbp, 0x8_0400, 8)`; exits with `bad` unless it
+    /// returned exactly one event.
+    fn emit_wait_expect_one(a: &mut Asm, bad: u64, ok: &str) {
+        a.mov_reg(Reg::Rdi, Reg::Rbp);
+        a.mov_imm(Reg::Rsi, 0x8_0400);
+        a.mov_imm(Reg::Rdx, 8);
+        a.mov_imm(Reg::Rax, nr::SYS_EPOLL_WAIT);
+        a.syscall();
+        a.cmp_imm(Reg::Rax, 1);
+        a.jz(ok);
+        a.mov_imm(Reg::Rdi, bad);
+        a.mov_imm(Reg::Rax, nr::SYS_EXIT_GROUP);
+        a.syscall();
+        a.label(ok);
+    }
+
+    /// Level-triggered interest re-delivers as long as the fd stays
+    /// readable: two consecutive waits without draining both return the
+    /// event.
+    #[test]
+    fn level_triggered_epoll_redelivers_until_drained() {
+        let mut a = Asm::new();
+        emit_watched_pipe(&mut a, nr::EPOLLIN);
+        emit_wait_expect_one(&mut a, 1, "w1");
+        emit_wait_expect_one(&mut a, 2, "w2");
+        // The delivered record is [fd u64][events u64] with our rfd.
+        a.mov_imm(Reg::R11, 0x8_0400);
+        a.inst(sim_isa::Inst::Load(Reg::Rcx, Reg::R11, 0));
+        a.cmp_reg(Reg::Rcx, Reg::R12);
+        a.jz("fd_ok");
+        a.mov_imm(Reg::Rdi, 3);
+        a.mov_imm(Reg::Rax, nr::SYS_EXIT_GROUP);
+        a.syscall();
+        a.label("fd_ok");
+        a.mov_imm(Reg::Rdi, 0);
+        a.mov_imm(Reg::Rax, nr::SYS_EXIT_GROUP);
+        a.syscall();
+        let (mut k, pid) = kernel_with(a.finish());
+        assert_eq!(k.run(10_000_000_000), RunExit::AllExited);
+        assert_eq!(k.process(pid).unwrap().exit_status, Some(0));
+    }
+
+    /// Edge-triggered interest fires once per not-ready -> ready
+    /// transition: the second wait on undrained data parks forever, and a
+    /// drain + rewrite produces a fresh edge.
+    #[test]
+    fn edge_triggered_epoll_fires_once_per_edge() {
+        let mut a = Asm::new();
+        emit_watched_pipe(&mut a, nr::EPOLLIN | nr::EPOLLET);
+        emit_wait_expect_one(&mut a, 1, "w1");
+        // Drain the byte (readiness drops: the edge re-arms), write a new
+        // one, and expect a second delivery.
+        a.mov_reg(Reg::Rdi, Reg::R12);
+        a.mov_imm(Reg::Rsi, 0x8_0200);
+        a.mov_imm(Reg::Rdx, 1);
+        a.mov_imm(Reg::Rax, nr::SYS_READ);
+        a.syscall();
+        a.mov_reg(Reg::Rdi, Reg::R13);
+        a.mov_imm(Reg::Rsi, 0x8_0200);
+        a.mov_imm(Reg::Rdx, 1);
+        a.mov_imm(Reg::Rax, nr::SYS_WRITE);
+        a.syscall();
+        emit_wait_expect_one(&mut a, 2, "w2");
+        // Same edge again, no drain: this wait must park forever.
+        a.mov_reg(Reg::Rdi, Reg::Rbp);
+        a.mov_imm(Reg::Rsi, 0x8_0400);
+        a.mov_imm(Reg::Rdx, 8);
+        a.mov_imm(Reg::Rax, nr::SYS_EPOLL_WAIT);
+        a.syscall();
+        a.mov_imm(Reg::Rdi, 9);
+        a.mov_imm(Reg::Rax, nr::SYS_EXIT_GROUP);
+        a.syscall();
+        let (mut k, pid) = kernel_with(a.finish());
+        assert_eq!(k.run(10_000_000_000), RunExit::Deadlock);
+        // Parked, not exited: the checks before the final wait passed.
+        assert_eq!(k.process(pid).unwrap().exit_status, None);
+    }
+
+    /// EPOLLONESHOT disarms after one delivery (the second wait parks on
+    /// still-readable data) and EPOLL_CTL_MOD re-arms.
+    #[test]
+    fn epoll_oneshot_disarms_until_mod_rearms() {
+        let mut a = Asm::new();
+        emit_watched_pipe(&mut a, nr::EPOLLIN | nr::EPOLLONESHOT);
+        emit_wait_expect_one(&mut a, 1, "w1");
+        // Re-arm with MOD; level-triggered readiness redelivers.
+        a.mov_reg(Reg::Rdi, Reg::Rbp);
+        a.mov_imm(Reg::Rsi, nr::EPOLL_CTL_MOD);
+        a.mov_reg(Reg::Rdx, Reg::R12);
+        a.mov_imm(Reg::R10, nr::EPOLLIN | nr::EPOLLONESHOT);
+        a.mov_imm(Reg::Rax, nr::SYS_EPOLL_CTL);
+        a.syscall();
+        emit_wait_expect_one(&mut a, 2, "w2");
+        // Disarmed again, still readable: park forever.
+        a.mov_reg(Reg::Rdi, Reg::Rbp);
+        a.mov_imm(Reg::Rsi, 0x8_0400);
+        a.mov_imm(Reg::Rdx, 8);
+        a.mov_imm(Reg::Rax, nr::SYS_EPOLL_WAIT);
+        a.syscall();
+        a.mov_imm(Reg::Rdi, 9);
+        a.mov_imm(Reg::Rax, nr::SYS_EXIT_GROUP);
+        a.syscall();
+        let (mut k, pid) = kernel_with(a.finish());
+        assert_eq!(k.run(10_000_000_000), RunExit::Deadlock);
+        assert_eq!(k.process(pid).unwrap().exit_status, None);
+    }
+
+    /// Closing a watched fd removes it from every interest set: a
+    /// subsequent DEL reports ENOENT, ADD on a never-open fd reports
+    /// EBADF, and a wait on the emptied instance parks despite the byte
+    /// still sitting in the (now closed) pipe.
+    #[test]
+    fn epoll_on_closed_fd_is_removed_and_rejected() {
+        let mut a = Asm::new();
+        emit_watched_pipe(&mut a, nr::EPOLLIN);
+        a.mov_reg(Reg::Rdi, Reg::R12);
+        a.mov_imm(Reg::Rax, nr::SYS_CLOSE);
+        a.syscall();
+        // DEL on the closed fd: the close already dropped the entry AND
+        // the fd, so the fd lookup itself reports EBADF.
+        a.mov_reg(Reg::Rdi, Reg::Rbp);
+        a.mov_imm(Reg::Rsi, nr::EPOLL_CTL_DEL);
+        a.mov_reg(Reg::Rdx, Reg::R12);
+        a.mov_imm(Reg::R10, 0);
+        a.mov_imm(Reg::Rax, nr::SYS_EPOLL_CTL);
+        a.syscall();
+        a.cmp_imm(Reg::Rax, -(nr::EBADF as i32));
+        a.jz("del_ok");
+        a.mov_imm(Reg::Rdi, 1);
+        a.mov_imm(Reg::Rax, nr::SYS_EXIT_GROUP);
+        a.syscall();
+        a.label("del_ok");
+        // ADD on a never-open fd: EBADF.
+        a.mov_reg(Reg::Rdi, Reg::Rbp);
+        a.mov_imm(Reg::Rsi, nr::EPOLL_CTL_ADD);
+        a.mov_imm(Reg::Rdx, 99);
+        a.mov_imm(Reg::R10, nr::EPOLLIN);
+        a.mov_imm(Reg::Rax, nr::SYS_EPOLL_CTL);
+        a.syscall();
+        a.cmp_imm(Reg::Rax, -(nr::EBADF as i32));
+        a.jz("add_ok");
+        a.mov_imm(Reg::Rdi, 2);
+        a.mov_imm(Reg::Rax, nr::SYS_EXIT_GROUP);
+        a.syscall();
+        a.label("add_ok");
+        // Empty interest set: the wait parks forever.
+        a.mov_reg(Reg::Rdi, Reg::Rbp);
+        a.mov_imm(Reg::Rsi, 0x8_0400);
+        a.mov_imm(Reg::Rdx, 8);
+        a.mov_imm(Reg::Rax, nr::SYS_EPOLL_WAIT);
+        a.syscall();
+        a.mov_imm(Reg::Rdi, 9);
+        a.mov_imm(Reg::Rax, nr::SYS_EXIT_GROUP);
+        a.syscall();
+        let (mut k, pid) = kernel_with(a.finish());
+        assert_eq!(k.run(10_000_000_000), RunExit::Deadlock);
+        assert_eq!(k.process(pid).unwrap().exit_status, None);
     }
 }

@@ -45,7 +45,7 @@ pub use sim_cpu::{IcacheMode, TraceParams};
 pub use sim_fault::FaultPlan;
 pub use sim_mem::MemMode;
 pub use net::{Channel, End, Net};
-pub use process::{FdEntry, Pid, ProcStats, Process, SeccompAction, SeccompFilter, SigAction, Sud, Thread, ThreadState, Tid, Wait};
+pub use process::{Epoll, EpollEntry, FdEntry, Pid, ProcStats, Process, SeccompAction, SeccompFilter, SigAction, Sud, Thread, ThreadState, Tid, Wait};
 pub use ptrace_if::{CountingTracer, Stop, TraceOpts, Tracer, TracerAction};
 pub use signal::SigInfo;
 pub use vfs::Vfs;

@@ -7,6 +7,14 @@
 
 use std::collections::{HashMap, VecDeque};
 
+/// Default per-direction channel buffer (bytes). Large enough that the
+/// request/response workloads never stall on it, small enough that a
+/// runaway writer blocks instead of growing host memory without bound.
+pub const DEFAULT_CHANNEL_CAP: usize = 256 * 1024;
+
+/// Default accept-backlog length when `listen` passes 0.
+pub const DEFAULT_BACKLOG: usize = 1024;
+
 /// Which end of a channel a descriptor holds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum End {
@@ -38,6 +46,8 @@ pub struct Channel {
     pub refs_a: u32,
     /// Open descriptor count on end B.
     pub refs_b: u32,
+    /// Per-direction buffer bound in bytes; 0 means [`DEFAULT_CHANNEL_CAP`].
+    pub cap: usize,
 }
 
 impl Channel {
@@ -56,6 +66,24 @@ impl Channel {
         }
     }
 
+    /// The effective per-direction buffer bound.
+    pub fn capacity(&self) -> usize {
+        if self.cap == 0 {
+            DEFAULT_CHANNEL_CAP
+        } else {
+            self.cap
+        }
+    }
+
+    /// Bytes `end` may still write toward its peer before blocking.
+    pub fn space(&self, end: End) -> usize {
+        let queued = match end {
+            End::A => self.a_to_b.len(),
+            End::B => self.b_to_a.len(),
+        };
+        self.capacity().saturating_sub(queued)
+    }
+
     /// True if the peer has closed all its descriptors.
     pub fn peer_closed(&self, end: End) -> bool {
         match end {
@@ -71,10 +99,13 @@ impl Channel {
         q.drain(..n).collect()
     }
 
-    /// Writes bytes toward the peer of `end`.
-    pub fn write(&mut self, end: End, data: &[u8]) {
+    /// Writes up to `space(end)` bytes toward the peer of `end`; returns
+    /// how many were queued (a short count once the buffer bound is hit).
+    pub fn write(&mut self, end: End, data: &[u8]) -> usize {
+        let n = data.len().min(self.space(end));
         let q = self.rx(end.peer());
-        q.extend(data.iter().copied());
+        q.extend(data[..n].iter().copied());
+        n
     }
 }
 
@@ -86,6 +117,24 @@ pub struct Listener {
     pub backlog: VecDeque<usize>,
     /// Open listener descriptor count.
     pub refs: u32,
+    /// Accept-backlog bound; 0 means [`DEFAULT_BACKLOG`].
+    pub max_backlog: usize,
+}
+
+impl Listener {
+    /// The effective backlog bound.
+    pub fn capacity(&self) -> usize {
+        if self.max_backlog == 0 {
+            DEFAULT_BACKLOG
+        } else {
+            self.max_backlog
+        }
+    }
+
+    /// True if another `connect` would overflow the backlog.
+    pub fn backlog_full(&self) -> bool {
+        self.backlog.len() >= self.capacity()
+    }
 }
 
 /// The kernel's networking state.

@@ -51,9 +51,13 @@ pub const SYS_GETDENTS64: u64 = 217;
 pub const SYS_SET_TID_ADDRESS: u64 = 218;
 pub const SYS_CLOCK_GETTIME: u64 = 228;
 pub const SYS_EXIT_GROUP: u64 = 231;
+pub const SYS_EPOLL_WAIT: u64 = 232;
+pub const SYS_EPOLL_CTL: u64 = 233;
 pub const SYS_OPENAT: u64 = 257;
 pub const SYS_NEWFSTATAT: u64 = 262;
 pub const SYS_UTIMENSAT: u64 = 280;
+pub const SYS_EVENTFD2: u64 = 290;
+pub const SYS_EPOLL_CREATE1: u64 = 291;
 pub const SYS_PROCESS_VM_READV: u64 = 310;
 pub const SYS_PROCESS_VM_WRITEV: u64 = 311;
 pub const SYS_GETRANDOM: u64 = 318;
@@ -67,6 +71,24 @@ pub const SYS_NONEXISTENT: u64 = 500;
 pub const SYS_K23_HANDOFF: u64 = 600;
 /// K23's second *fake* syscall: ptracer detach request (paper §5.3).
 pub const SYS_K23_DETACH: u64 = 601;
+
+// epoll event bits (match the Linux ABI so guest code reads like real epoll)
+pub const EPOLLIN: u64 = 0x001;
+pub const EPOLLOUT: u64 = 0x004;
+pub const EPOLLERR: u64 = 0x008;
+pub const EPOLLHUP: u64 = 0x010;
+pub const EPOLLONESHOT: u64 = 1 << 30;
+pub const EPOLLET: u64 = 1 << 31;
+
+// epoll_ctl operations
+pub const EPOLL_CTL_ADD: u64 = 1;
+pub const EPOLL_CTL_DEL: u64 = 2;
+pub const EPOLL_CTL_MOD: u64 = 3;
+
+// fcntl commands + file status flags (the O_NONBLOCK subset we implement)
+pub const F_GETFL: u64 = 3;
+pub const F_SETFL: u64 = 4;
+pub const O_NONBLOCK: u64 = 0x800;
 
 // prctl operations
 pub const PR_SET_SYSCALL_USER_DISPATCH: u64 = 59;
@@ -172,6 +194,10 @@ pub fn syscall_name(nr: u64) -> &'static str {
         SYS_SET_TID_ADDRESS => "set_tid_address",
         SYS_CLOCK_GETTIME => "clock_gettime",
         SYS_EXIT_GROUP => "exit_group",
+        SYS_EPOLL_WAIT => "epoll_wait",
+        SYS_EPOLL_CTL => "epoll_ctl",
+        SYS_EVENTFD2 => "eventfd2",
+        SYS_EPOLL_CREATE1 => "epoll_create1",
         SYS_OPENAT => "openat",
         SYS_NEWFSTATAT => "newfstatat",
         SYS_UTIMENSAT => "utimensat",

@@ -95,6 +95,29 @@ pub enum Wait {
         /// The futex word address.
         addr: u64,
     },
+    /// Buffer space to write into a channel end (bounded buffers).
+    ChannelWritable {
+        /// Channel index in the kernel's channel table.
+        chan: usize,
+        /// Which end this thread writes from.
+        end: crate::net::End,
+    },
+    /// Room in a listening port's accept backlog (`connect` on a full
+    /// backlog parks until an `accept` drains a slot).
+    Backlog {
+        /// The listening port.
+        port: u16,
+    },
+    /// Readiness on any member of an epoll interest set. Deliberately
+    /// payload-free: readiness transitions wake *all* epoll waiters, which
+    /// deterministically recompute their ready sets and re-block if still
+    /// empty (spurious wakeups are cheap; waiter bookkeeping is not).
+    Epoll,
+    /// A nonzero eventfd counter (`read` on an empty eventfd).
+    EventFd {
+        /// Eventfd object index in the owning process.
+        id: usize,
+    },
 }
 
 /// Thread run state.
@@ -197,6 +220,41 @@ pub enum FdEntry {
         /// Bound port.
         port: u16,
     },
+    /// An epoll instance (readiness multiplexer).
+    Epoll {
+        /// Index into the owning process's `epolls` table.
+        id: usize,
+    },
+    /// An eventfd counter object.
+    EventFd {
+        /// Index into the owning process's `eventfds` table.
+        id: usize,
+    },
+}
+
+/// One fd's membership in an epoll interest set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpollEntry {
+    /// Requested event mask (`EPOLLIN`/`EPOLLOUT` plus `EPOLLET` /
+    /// `EPOLLONESHOT` modifiers).
+    pub events: u64,
+    /// Cleared by a delivered `EPOLLONESHOT` event until re-armed via
+    /// `EPOLL_CTL_MOD`.
+    pub armed: bool,
+    /// Edge-trigger memory: bits already reported while continuously
+    /// ready. A bit leaves this set when the fd stops being ready for it,
+    /// re-arming the edge.
+    pub seen: u64,
+}
+
+/// An epoll instance: interest set keyed by member fd (BTreeMap iteration
+/// order makes `epoll_wait` output deterministic and fd-ordered).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Epoll {
+    /// Member fd → registration.
+    pub interest: BTreeMap<i64, EpollEntry>,
+    /// Open descriptor count (dup shares the instance).
+    pub refs: u32,
 }
 
 /// Per-process statistics (observability for tests and experiments).
@@ -316,6 +374,19 @@ pub struct Process {
     /// symbolization, keyed by `symbols.len()` for invalidation and
     /// explicitly cleared on exec.
     pub(crate) symcache: Option<(usize, Vec<(u64, String)>)>,
+    /// Epoll instances owned by this process, keyed by the `id` inside
+    /// `FdEntry::Epoll`. Slots persist after close (ids stay stable);
+    /// `refs == 0` marks a dead instance.
+    pub epolls: BTreeMap<usize, Epoll>,
+    /// Next epoll instance id.
+    pub(crate) next_epoll: usize,
+    /// Eventfd counters, keyed by the `id` inside `FdEntry::EventFd`:
+    /// `(counter value, open descriptor count)`.
+    pub eventfds: BTreeMap<usize, (u64, u32)>,
+    /// Next eventfd id.
+    pub(crate) next_eventfd: usize,
+    /// Fds with `O_NONBLOCK` set via `fcntl(F_SETFL)`.
+    pub nonblock: std::collections::BTreeSet<i64>,
 }
 
 impl Process {
@@ -353,7 +424,34 @@ impl Process {
             chain_sites: None,
             region_cache: sim_cpu::FastMap::default(),
             symcache: None,
+            epolls: BTreeMap::new(),
+            next_epoll: 0,
+            eventfds: BTreeMap::new(),
+            next_eventfd: 0,
+            nonblock: std::collections::BTreeSet::new(),
         }
+    }
+
+    /// Allocates a fresh epoll instance with one descriptor reference.
+    pub fn alloc_epoll(&mut self) -> usize {
+        let id = self.next_epoll;
+        self.next_epoll += 1;
+        self.epolls.insert(
+            id,
+            Epoll {
+                interest: BTreeMap::new(),
+                refs: 1,
+            },
+        );
+        id
+    }
+
+    /// Allocates a fresh eventfd with the given initial counter.
+    pub fn alloc_eventfd(&mut self, initval: u64) -> usize {
+        let id = self.next_eventfd;
+        self.next_eventfd += 1;
+        self.eventfds.insert(id, (initval, 1));
+        id
     }
 
     /// Allocates the lowest free fd ≥ 3.

@@ -3,7 +3,7 @@
 use crate::kernel::Kernel;
 use crate::net::End;
 use crate::nr::{self, err};
-use crate::process::{FdEntry, Pid, SigAction, ThreadState, Tid, Wait};
+use crate::process::{EpollEntry, FdEntry, Pid, SigAction, ThreadState, Tid, Wait};
 use crate::process::{Sud, Wait::*};
 use sim_isa::Reg;
 
@@ -40,6 +40,9 @@ pub(crate) fn service_cost(nr_: u64, bytes: u64) -> u64 {
         nr::SYS_ACCEPT | nr::SYS_CONNECT => 150,
         nr::SYS_SOCKET | nr::SYS_BIND | nr::SYS_LISTEN => 90,
         nr::SYS_GETDENTS64 => 100,
+        nr::SYS_EPOLL_WAIT => 70,
+        nr::SYS_EPOLL_CTL => 60,
+        nr::SYS_EPOLL_CREATE1 | nr::SYS_EVENTFD2 => 90,
         nr::SYS_RT_SIGRETURN => 0, // costed as CostModel::sigreturn
         nr::SYS_PRCTL | nr::SYS_RT_SIGACTION => 60,
         nr::SYS_GETPID | nr::SYS_GETTID | nr::SYS_GETUID | nr::SYS_SCHED_YIELD => 30,
@@ -161,8 +164,13 @@ impl Kernel {
             }
             nr::SYS_RT_SIGPROCMASK => Disp::Ret(0),
             nr::SYS_RT_SIGRETURN => self.sys_sigreturn(pid, tid),
-            nr::SYS_IOCTL | nr::SYS_FCNTL | nr::SYS_MADVISE | nr::SYS_ARCH_PRCTL
+            nr::SYS_IOCTL | nr::SYS_MADVISE | nr::SYS_ARCH_PRCTL
             | nr::SYS_SET_TID_ADDRESS => Disp::Ret(0),
+            nr::SYS_FCNTL => self.sys_fcntl(pid, args),
+            nr::SYS_EPOLL_CREATE1 => self.sys_epoll_create1(pid),
+            nr::SYS_EPOLL_CTL => self.sys_epoll_ctl(pid, args),
+            nr::SYS_EPOLL_WAIT => self.sys_epoll_wait(pid, args),
+            nr::SYS_EVENTFD2 => self.sys_eventfd2(pid, args),
             nr::SYS_ACCESS => {
                 let path = match self.guest_cstr(pid, args[0]) {
                     Ok(p) => self.abs_path(pid, &p),
@@ -356,10 +364,14 @@ impl Kernel {
                 Disp::Ret(chunk.len() as u64)
             }
             FdEntry::ChannelRead { chan, end } | FdEntry::Socket { chan, end } => {
+                let nonblock = self.process(pid).is_some_and(|p| p.nonblock.contains(&fd));
                 let c = &mut self.net.channels[chan];
                 if c.readable(end) == 0 {
                     if c.peer_closed(end) {
                         return Disp::Ret(0);
+                    }
+                    if nonblock {
+                        return Disp::Ret(err(nr::EAGAIN));
                     }
                     return Disp::Block(ChannelReadable { chan, end });
                 }
@@ -367,7 +379,34 @@ impl Kernel {
                 if let Err(e) = self.guest_write(pid, buf, &data) {
                     return Disp::Ret(e);
                 }
+                // Draining freed buffer space: writers parked on the bound
+                // (and epoll waiters watching EPOLLOUT) can retry.
+                self.wake_channel(chan);
                 Disp::Ret(data.len() as u64)
+            }
+            FdEntry::EventFd { id } => {
+                let nonblock = self.process(pid).is_some_and(|p| p.nonblock.contains(&fd));
+                let val = self
+                    .process(pid)
+                    .and_then(|p| p.eventfds.get(&id))
+                    .map(|(v, _)| *v)
+                    .unwrap_or(0);
+                if val == 0 {
+                    if nonblock {
+                        return Disp::Ret(err(nr::EAGAIN));
+                    }
+                    return Disp::Block(EventFd { id });
+                }
+                if count < 8 {
+                    return Disp::Ret(err(nr::EINVAL));
+                }
+                if let Some((v, _)) = self.process_mut(pid).and_then(|p| p.eventfds.get_mut(&id)) {
+                    *v = 0;
+                }
+                if let Err(e) = self.guest_write(pid, buf, &val.to_le_bytes()) {
+                    return Disp::Ret(e);
+                }
+                Disp::Ret(8)
             }
             _ => Disp::Ret(err(nr::EINVAL)),
         }
@@ -408,9 +447,33 @@ impl Kernel {
                 Disp::Ret(count as u64)
             }
             FdEntry::ChannelWrite { chan, end } | FdEntry::Socket { chan, end } => {
-                self.net.channels[chan].write(end, &data);
+                let nonblock = self.process(pid).is_some_and(|p| p.nonblock.contains(&fd));
+                let c = &mut self.net.channels[chan];
+                let n = c.write(end, &data);
+                if n == 0 && !data.is_empty() {
+                    if c.peer_closed(end) {
+                        // No reader will ever drain the buffer: discard,
+                        // as the unbounded channel effectively did.
+                        return Disp::Ret(count as u64);
+                    }
+                    if nonblock {
+                        return Disp::Ret(err(nr::EAGAIN));
+                    }
+                    return Disp::Block(ChannelWritable { chan, end });
+                }
                 self.wake_channel(chan);
-                Disp::Ret(count as u64)
+                Disp::Ret(n as u64)
+            }
+            FdEntry::EventFd { id } => {
+                if data.len() < 8 {
+                    return Disp::Ret(err(nr::EINVAL));
+                }
+                let add = u64::from_le_bytes(data[..8].try_into().expect("8 bytes"));
+                if let Some((v, _)) = self.process_mut(pid).and_then(|p| p.eventfds.get_mut(&id)) {
+                    *v = v.saturating_add(add);
+                }
+                self.wake_eventfd(id);
+                Disp::Ret(8)
             }
             _ => Disp::Ret(err(nr::EINVAL)),
         }
@@ -473,6 +536,14 @@ impl Kernel {
             Some(e) => e,
             None => return Disp::Ret(err(nr::EBADF)),
         };
+        // Linux auto-removes a closed description from every epoll interest
+        // set; with per-process single-description fds that means: on close.
+        if let Some(p) = self.process_mut(pid) {
+            p.nonblock.remove(&fd);
+            for ep in p.epolls.values_mut() {
+                ep.interest.remove(&fd);
+            }
+        }
         match entry {
             FdEntry::ChannelRead { chan, end }
             | FdEntry::ChannelWrite { chan, end }
@@ -481,10 +552,40 @@ impl Kernel {
                 self.wake_channel(chan);
             }
             FdEntry::Listener { port } => {
-                if let Some(l) = self.net.listeners.get_mut(&port) {
+                let gone = if let Some(l) = self.net.listeners.get_mut(&port) {
                     l.refs = l.refs.saturating_sub(1);
                     if l.refs == 0 {
                         self.net.listeners.remove(&port);
+                        true
+                    } else {
+                        false
+                    }
+                } else {
+                    false
+                };
+                if gone {
+                    // Parked connectors must wake and observe ECONNREFUSED.
+                    self.wake_backlog(port);
+                    self.wake_accept(port);
+                }
+            }
+            FdEntry::Epoll { id } => {
+                if let Some(p) = self.process_mut(pid) {
+                    if let Some(ep) = p.epolls.get_mut(&id) {
+                        ep.refs = ep.refs.saturating_sub(1);
+                        if ep.refs == 0 {
+                            p.epolls.remove(&id);
+                        }
+                    }
+                }
+            }
+            FdEntry::EventFd { id } => {
+                if let Some(p) = self.process_mut(pid) {
+                    if let Some((_, refs)) = p.eventfds.get_mut(&id) {
+                        *refs = refs.saturating_sub(1);
+                        if *refs == 0 {
+                            p.eventfds.remove(&id);
+                        }
                     }
                 }
             }
@@ -623,11 +724,23 @@ impl Kernel {
             Some(e) => e,
             None => return Disp::Ret(err(nr::EBADF)),
         };
-        if let FdEntry::ChannelRead { chan, end }
-        | FdEntry::ChannelWrite { chan, end }
-        | FdEntry::Socket { chan, end } = &entry
-        {
-            self.net.add_ref(*chan, *end);
+        match &entry {
+            FdEntry::ChannelRead { chan, end }
+            | FdEntry::ChannelWrite { chan, end }
+            | FdEntry::Socket { chan, end } => self.net.add_ref(*chan, *end),
+            FdEntry::Epoll { id } => {
+                if let Some(ep) = self.process_mut(pid).and_then(|p| p.epolls.get_mut(id)) {
+                    ep.refs += 1;
+                }
+            }
+            FdEntry::EventFd { id } => {
+                if let Some((_, refs)) =
+                    self.process_mut(pid).and_then(|p| p.eventfds.get_mut(id))
+                {
+                    *refs += 1;
+                }
+            }
+            _ => {}
         }
         let nfd = self
             .process_mut(pid)
@@ -664,6 +777,7 @@ impl Kernel {
         };
         let l = self.net.listeners.entry(port).or_default();
         l.refs += 1;
+        l.max_backlog = (args[1] as usize).min(65536);
         Disp::Ret(0)
     }
 
@@ -676,8 +790,15 @@ impl Kernel {
         ) {
             return Disp::Ret(err(nr::EINVAL));
         }
-        if !self.net.listeners.contains_key(&port) {
+        let Some(l) = self.net.listeners.get(&port) else {
             return Disp::Ret(err(nr::ECONNREFUSED));
+        };
+        if l.backlog_full() {
+            // Park until an accept drains a slot (SYN backlog pressure).
+            if self.process(pid).is_some_and(|p| p.nonblock.contains(&fd)) {
+                return Disp::Ret(err(nr::EAGAIN));
+            }
+            return Disp::Block(Backlog { port });
         }
         let chan = self.net.new_channel();
         self.net
@@ -704,8 +825,15 @@ impl Kernel {
         };
         let chan = match self.net.listeners.get_mut(&port).and_then(|l| l.backlog.pop_front()) {
             Some(c) => c,
-            None => return Disp::Block(Accept { port }),
+            None => {
+                if self.process(pid).is_some_and(|p| p.nonblock.contains(&fd)) {
+                    return Disp::Ret(err(nr::EAGAIN));
+                }
+                return Disp::Block(Accept { port });
+            }
         };
+        // A backlog slot freed up: parked connectors retry.
+        self.wake_backlog(port);
         let nfd = self
             .process_mut(pid)
             .map(|p| p.alloc_fd(FdEntry::Socket { chan, end: End::B }))
@@ -891,6 +1019,236 @@ impl Kernel {
         };
         match res {
             Ok(()) => Disp::Ret(len as u64),
+            Err(e) => Disp::Ret(e),
+        }
+    }
+
+    /// `fcntl` — implements the `O_NONBLOCK` file-status subset; every
+    /// other command stays an inert success (as the old stub was).
+    fn sys_fcntl(&mut self, pid: Pid, args: [u64; 6]) -> Disp {
+        let (fd, cmd, arg) = (args[0] as i64, args[1], args[2]);
+        let Some(p) = self.process_mut(pid) else {
+            return Disp::Ret(err(nr::ENOENT));
+        };
+        if !p.fds.contains_key(&fd) {
+            return Disp::Ret(err(nr::EBADF));
+        }
+        match cmd {
+            nr::F_GETFL => {
+                let fl = if p.nonblock.contains(&fd) { nr::O_NONBLOCK } else { 0 };
+                Disp::Ret(fl)
+            }
+            nr::F_SETFL => {
+                if arg & nr::O_NONBLOCK != 0 {
+                    p.nonblock.insert(fd);
+                } else {
+                    p.nonblock.remove(&fd);
+                }
+                Disp::Ret(0)
+            }
+            _ => Disp::Ret(0),
+        }
+    }
+
+    fn sys_epoll_create1(&mut self, pid: Pid) -> Disp {
+        let Some(p) = self.process_mut(pid) else {
+            return Disp::Ret(err(nr::ENOENT));
+        };
+        let id = p.alloc_epoll();
+        let fd = p.alloc_fd(FdEntry::Epoll { id });
+        Disp::Ret(fd as u64)
+    }
+
+    fn sys_eventfd2(&mut self, pid: Pid, args: [u64; 6]) -> Disp {
+        let Some(p) = self.process_mut(pid) else {
+            return Disp::Ret(err(nr::ENOENT));
+        };
+        let id = p.alloc_eventfd(args[0]);
+        let fd = p.alloc_fd(FdEntry::EventFd { id });
+        Disp::Ret(fd as u64)
+    }
+
+    /// `epoll_ctl(epfd, op, fd, events)` — simplified ABI: the event mask
+    /// rides in the fourth register instead of a struct pointer.
+    fn sys_epoll_ctl(&mut self, pid: Pid, args: [u64; 6]) -> Disp {
+        let (epfd, op, fd, events) = (args[0] as i64, args[1], args[2] as i64, args[3]);
+        let Some(p) = self.process_mut(pid) else {
+            return Disp::Ret(err(nr::ENOENT));
+        };
+        let id = match p.fds.get(&epfd) {
+            Some(FdEntry::Epoll { id }) => *id,
+            Some(_) => return Disp::Ret(err(nr::EINVAL)),
+            None => return Disp::Ret(err(nr::EBADF)),
+        };
+        if fd == epfd {
+            return Disp::Ret(err(nr::EINVAL));
+        }
+        match p.fds.get(&fd) {
+            None => return Disp::Ret(err(nr::EBADF)),
+            // No epoll-on-epoll nesting.
+            Some(FdEntry::Epoll { .. }) => return Disp::Ret(err(nr::EINVAL)),
+            Some(_) => {}
+        }
+        let ep = p.epolls.get_mut(&id).expect("live epoll behind an open fd");
+        let (disp, wake) = match op {
+            nr::EPOLL_CTL_ADD => match ep.interest.entry(fd) {
+                std::collections::btree_map::Entry::Occupied(_) => {
+                    (Disp::Ret(err(nr::EEXIST)), false)
+                }
+                std::collections::btree_map::Entry::Vacant(slot) => {
+                    slot.insert(EpollEntry {
+                        events,
+                        armed: true,
+                        seen: 0,
+                    });
+                    (Disp::Ret(0), true)
+                }
+            },
+            nr::EPOLL_CTL_MOD => match ep.interest.get_mut(&fd) {
+                Some(e) => {
+                    e.events = events;
+                    e.armed = true;
+                    e.seen = 0;
+                    (Disp::Ret(0), true)
+                }
+                None => (Disp::Ret(err(nr::ENOENT)), false),
+            },
+            nr::EPOLL_CTL_DEL => match ep.interest.remove(&fd) {
+                Some(_) => (Disp::Ret(0), false),
+                None => (Disp::Ret(err(nr::ENOENT)), false),
+            },
+            _ => (Disp::Ret(err(nr::EINVAL)), false),
+        };
+        if wake {
+            // The (re)armed member may already be ready: another thread
+            // parked in epoll_wait on this instance must recompute.
+            self.wake_epoll_waiters();
+        }
+        disp
+    }
+
+    /// The current readiness mask of one fd (level state; edge memory lives
+    /// in the epoll entry).
+    fn fd_readiness(&self, pid: Pid, fd: i64) -> u64 {
+        let Some(p) = self.process(pid) else {
+            return 0;
+        };
+        let Some(entry) = p.fds.get(&fd) else {
+            return 0;
+        };
+        match entry {
+            FdEntry::Console | FdEntry::File { .. } | FdEntry::Snapshot { .. } => {
+                nr::EPOLLIN | nr::EPOLLOUT
+            }
+            FdEntry::ChannelRead { chan, end } | FdEntry::Socket { chan, end } => {
+                let c = &self.net.channels[*chan];
+                let mut r = 0;
+                if c.readable(*end) > 0 {
+                    r |= nr::EPOLLIN;
+                }
+                if c.peer_closed(*end) {
+                    // EOF is readable (read returns 0) and a hangup.
+                    r |= nr::EPOLLIN | nr::EPOLLHUP;
+                }
+                if c.space(*end) > 0 {
+                    r |= nr::EPOLLOUT;
+                }
+                r
+            }
+            FdEntry::ChannelWrite { chan, end } => {
+                let c = &self.net.channels[*chan];
+                let mut r = 0;
+                if c.space(*end) > 0 {
+                    r |= nr::EPOLLOUT;
+                }
+                if c.peer_closed(*end) {
+                    r |= nr::EPOLLERR;
+                }
+                r
+            }
+            FdEntry::Listener { port } => match self.net.listeners.get(port) {
+                Some(l) if !l.backlog.is_empty() => nr::EPOLLIN,
+                _ => 0,
+            },
+            FdEntry::EventFd { id } => {
+                let mut r = nr::EPOLLOUT;
+                if p.eventfds.get(id).map(|(v, _)| *v > 0).unwrap_or(false) {
+                    r |= nr::EPOLLIN;
+                }
+                r
+            }
+            FdEntry::SocketUnbound | FdEntry::Epoll { .. } => 0,
+        }
+    }
+
+    /// `epoll_wait(epfd, buf, maxevents)` — simplified ABI: each ready fd
+    /// writes one 16-byte record `[fd: u64][events: u64]`; returns the
+    /// record count, or parks on [`Wait::Epoll`] when nothing is ready.
+    fn sys_epoll_wait(&mut self, pid: Pid, args: [u64; 6]) -> Disp {
+        let (epfd, buf, maxevents) = (args[0] as i64, args[1], args[2] as usize);
+        let id = match self.process(pid).and_then(|p| p.fds.get(&epfd)) {
+            Some(FdEntry::Epoll { id }) => *id,
+            Some(_) => return Disp::Ret(err(nr::EINVAL)),
+            None => return Disp::Ret(err(nr::EBADF)),
+        };
+        if maxevents == 0 {
+            return Disp::Ret(err(nr::EINVAL));
+        }
+        // Snapshot the interest set (BTreeMap order → deterministic,
+        // fd-ordered delivery), then compute readiness per member.
+        let interest: Vec<(i64, EpollEntry)> = self
+            .process(pid)
+            .and_then(|p| p.epolls.get(&id))
+            .map(|ep| ep.interest.iter().map(|(f, e)| (*f, *e)).collect())
+            .unwrap_or_default();
+        let mut out: Vec<(i64, u64)> = Vec::new();
+        let mut updates: Vec<(i64, u64, bool)> = Vec::new();
+        for (fd, ent) in &interest {
+            if !ent.armed {
+                continue;
+            }
+            let cur = self.fd_readiness(pid, *fd);
+            // A bit that stopped being ready re-arms its edge.
+            let mut seen = ent.seen & cur;
+            let wanted = cur & (ent.events | nr::EPOLLHUP | nr::EPOLLERR);
+            let fresh = if ent.events & nr::EPOLLET != 0 {
+                wanted & !seen
+            } else {
+                wanted
+            };
+            let mut armed = true;
+            if fresh != 0 && out.len() < maxevents {
+                out.push((*fd, fresh));
+                seen |= fresh;
+                if ent.events & nr::EPOLLONESHOT != 0 {
+                    armed = false;
+                }
+            }
+            if seen != ent.seen || armed != ent.armed {
+                updates.push((*fd, seen, armed));
+            }
+        }
+        if out.is_empty() {
+            // Nothing ready: park. Deferred `seen` updates are recomputed
+            // identically on the post-wake retry.
+            return Disp::Block(Epoll);
+        }
+        if let Some(ep) = self.process_mut(pid).and_then(|p| p.epolls.get_mut(&id)) {
+            for (fd, seen, armed) in updates {
+                if let Some(e) = ep.interest.get_mut(&fd) {
+                    e.seen = seen;
+                    e.armed = armed;
+                }
+            }
+        }
+        let mut bytes = Vec::with_capacity(out.len() * 16);
+        for (fd, ev) in &out {
+            bytes.extend_from_slice(&(*fd as u64).to_le_bytes());
+            bytes.extend_from_slice(&ev.to_le_bytes());
+        }
+        let n = out.len() as u64;
+        match self.guest_write(pid, buf, &bytes) {
+            Ok(()) => Disp::Ret(n),
             Err(e) => Disp::Ret(e),
         }
     }

@@ -15,7 +15,7 @@ pub mod loader;
 
 pub use image::{ImageBuilder, SimElf};
 pub use libc::{build_libc, install_standard_libs, FILLER_LIBS, LIBC_PATH, LIBC_WRAPPERS};
-pub use loader::{boot_kernel, Ld};
+pub use loader::{boot_kernel, boot_kernel_from, Ld};
 
 #[cfg(test)]
 mod tests {

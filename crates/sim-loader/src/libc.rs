@@ -21,7 +21,7 @@ pub const FILLER_LIBS: [&str; 3] = [
 /// The syscall wrappers libc-sim exports. Each wrapper is
 /// `mov rax, NR; syscall; ret` — one unique `syscall` instruction per
 /// function, at a stable offset within the library.
-pub const LIBC_WRAPPERS: [(&str, u64); 44] = [
+pub const LIBC_WRAPPERS: [(&str, u64); 49] = [
     ("read", nr::SYS_READ),
     ("write", nr::SYS_WRITE),
     ("open", nr::SYS_OPEN),
@@ -66,6 +66,11 @@ pub const LIBC_WRAPPERS: [(&str, u64); 44] = [
     ("getrandom", nr::SYS_GETRANDOM),
     ("clone", nr::SYS_CLONE),
     ("exit_group", nr::SYS_EXIT_GROUP),
+    ("fcntl", nr::SYS_FCNTL),
+    ("epoll_create1", nr::SYS_EPOLL_CREATE1),
+    ("epoll_ctl", nr::SYS_EPOLL_CTL),
+    ("epoll_wait", nr::SYS_EPOLL_WAIT),
+    ("eventfd2", nr::SYS_EVENTFD2),
 ];
 
 /// Builds libc-sim.

@@ -460,3 +460,16 @@ pub fn boot_kernel() -> sim_kernel::Kernel {
     libc::install_standard_libs(&mut k.vfs);
     k
 }
+
+/// Builds a kernel whose VFS is a clone of a prebuilt template. Serial
+/// mechanism sweeps (simperf, simprof, the simscale matrix) boot one
+/// kernel per mechanism x workload cell; assembling libc and every guest
+/// image each time is pure startup waste. Build the world once, then
+/// clone it per cell — the clone is a plain `Vec`/`BTreeMap` copy, no
+/// assembly.
+pub fn boot_kernel_from(template: &sim_kernel::Vfs) -> sim_kernel::Kernel {
+    let mut k = sim_kernel::Kernel::new();
+    k.set_loader(std::rc::Rc::new(Ld));
+    k.vfs = template.clone();
+    k
+}

@@ -18,12 +18,19 @@
 #    (mechanism, workload) cell's coverage to stay at or above the
 #    committed MATRIX_simaudit.txt floor.
 #
+# 4. Scale gate: check the committed BENCH_scale.json still satisfies
+#    the scaling criterion (epoll server >= 5x the polling variant at
+#    the top connection count under K23) and re-measure the epoll/K23
+#    floor cell against the committed throughput.
+#
 # Refresh the baselines after an intentional change with:
 #   cargo run --release -q -p bench --bin simprof
 #   cargo run --release -q -p bench --bin simperf -- --json BENCH_simperf.json
 #   cargo run --release -q -p bench --bin simaudit -- --out MATRIX_simaudit.txt
+#   cargo run --release -p bench --bin simscale -- --json BENCH_scale.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 cargo run --release -q -p bench --bin simprof -- --gate BENCH_simprof.json "$@"
 cargo run --release -q -p bench --bin simperf -- --gate BENCH_simperf.json
 cargo run --release -q -p bench --bin simaudit -- --gate MATRIX_simaudit.txt
+cargo run --release -q -p bench --bin simscale -- --gate BENCH_scale.json

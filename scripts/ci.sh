@@ -35,6 +35,12 @@ cargo run --release -q -p bench --bin simaudit -- --smoke --json target/SIMAUDIT
 cmp target/SIMAUDIT_smoke_a.txt target/SIMAUDIT_smoke_b.txt
 cmp target/SIMAUDIT_smoke_a.json target/SIMAUDIT_smoke_b.json
 
+echo "==> simscale smoke (connection-scale matrix, byte-determinism across thread counts)"
+cargo run --release -q -p bench --bin simscale -- --smoke --threads 1 --json target/SIMSCALE_smoke_a.json > target/SIMSCALE_smoke_a.txt
+cargo run --release -q -p bench --bin simscale -- --smoke --threads 4 --json target/SIMSCALE_smoke_b.json > target/SIMSCALE_smoke_b.txt
+cmp target/SIMSCALE_smoke_a.txt target/SIMSCALE_smoke_b.txt
+cmp target/SIMSCALE_smoke_a.json target/SIMSCALE_smoke_b.json
+
 echo "==> simprof smoke (profiler determinism across runs and engines)"
 cargo run --release -q -p bench --bin simprof -- --smoke
 
